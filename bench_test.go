@@ -1,0 +1,74 @@
+package nfcompass
+
+// One testing.B benchmark per paper table/figure (DESIGN.md §4). Each
+// iteration regenerates the artifact through the same drivers cmd/nfbench
+// uses, at reduced (Quick) scale so `go test -bench .` stays tractable;
+// run `go run ./cmd/nfbench all` for full-scale tables. The resulting
+// table is logged with -v so the series are inspectable from the bench
+// run itself.
+
+import (
+	"testing"
+
+	"nfcompass/internal/bench"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	cfg := bench.DefaultConfig()
+	cfg.Quick = true
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl = t
+	}
+	if tbl != nil {
+		b.Log("\n" + tbl.Format())
+	}
+}
+
+// BenchmarkFig5BatchSplit regenerates Figure 5 (batch-split overheads).
+func BenchmarkFig5BatchSplit(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkFig6OffloadRatio regenerates Figure 6 (throughput vs offload
+// fraction per NF).
+func BenchmarkFig6OffloadRatio(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7ChainLength regenerates Figure 7 (acceleration offset with
+// SFC length).
+func BenchmarkFig7ChainLength(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8BatchSize regenerates Figure 8(a–c) (batch-size
+// characterization).
+func BenchmarkFig8BatchSize(b *testing.B) { benchFigure(b, "fig8a") }
+
+// BenchmarkFig8Traffic regenerates Figure 8(d) (full-match vs no-match
+// DPI traffic).
+func BenchmarkFig8Traffic(b *testing.B) { benchFigure(b, "fig8d") }
+
+// BenchmarkFig8CoRun regenerates Figure 8(e) (co-run interference matrix).
+func BenchmarkFig8CoRun(b *testing.B) { benchFigure(b, "fig8e") }
+
+// BenchmarkFig14Reorg regenerates Figures 13–14 (SFC re-organization
+// configurations a–d).
+func BenchmarkFig14Reorg(b *testing.B) { benchFigure(b, "fig14") }
+
+// BenchmarkFig15GTA regenerates Figure 15 (graph-based task allocation vs
+// baselines and optimal).
+func BenchmarkFig15GTA(b *testing.B) { benchFigure(b, "fig15") }
+
+// BenchmarkFig17RealChain regenerates Figures 16–17 (real service chain
+// vs FastClick and NBA across ACL sizes).
+func BenchmarkFig17RealChain(b *testing.B) { benchFigure(b, "fig17") }
+
+// BenchmarkAblation runs the per-technique ablation (DESIGN.md E13).
+func BenchmarkAblation(b *testing.B) { benchFigure(b, "ablation") }
+
+// BenchmarkAlgos compares the partitioning algorithms (§IV-C-3).
+func BenchmarkAlgos(b *testing.B) { benchFigure(b, "algos") }
+
+// BenchmarkScaling sweeps SFC length, NFCompass vs the CPU baseline.
+func BenchmarkScaling(b *testing.B) { benchFigure(b, "scaling") }

@@ -1,0 +1,68 @@
+// Command nfbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	nfbench [-quick] [-batches N] [-batchsize N] [-seed N] all|<experiment>...
+//
+// Experiments: fig5 fig6 fig7 fig8a fig8d fig8e fig14 fig15 fig17 ablation.
+// Each prints the rows/series of the corresponding paper artifact (see
+// DESIGN.md §4 for the experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nfcompass/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	batches := flag.Int("batches", 0, "batches per measurement (0 = default)")
+	batchSize := flag.Int("batchsize", 0, "packets per batch (0 = default)")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	format := flag.String("format", "table", "output format: table|csv")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nfbench [flags] all|experiment...\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", bench.IDs())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = bench.IDs()
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+	if *batches > 0 {
+		cfg.Batches = *batches
+	}
+	if *batchSize > 0 {
+		cfg.BatchSize = *batchSize
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nfbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(tbl.CSV())
+		default:
+			fmt.Print(tbl.Format())
+			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Command nfcompass deploys a service function chain with the NFCompass
+// pipeline on the simulated heterogeneous platform and reports what each
+// phase did: the orchestrator's parallel stages, the synthesizer's
+// removals, the task allocator's offload ratios, and the resulting
+// throughput/latency versus CPU-only and GPU-only placements.
+//
+// Usage:
+//
+//	nfcompass [flags] <chain>
+//
+// where <chain> is a comma-separated NF list, e.g.
+//
+//	nfcompass -pkt 256 "firewall:1000,ipv4,nat,ids"
+//
+// Available NFs: see internal/spec (firewall[:rules], ipv4, ipv6, ipsec[:spi],
+// ids, streamids, dpi, nat, lb[:backends], probe, proxy, wanopt).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nfcompass/internal/core"
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/spec"
+	"nfcompass/internal/traffic"
+)
+
+func main() {
+	pkt := flag.Int("pkt", 256, "packet size in bytes (0 = IMIX)")
+	batches := flag.Int("batches", 120, "measurement batches")
+	batchSize := flag.Int("batchsize", 64, "packets per batch")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	noPar := flag.Bool("no-parallelize", false, "disable SFC parallelization")
+	noSyn := flag.Bool("no-synthesize", false, "disable NF synthesis")
+	noGTA := flag.Bool("no-gta", false, "disable graph-partition task allocation")
+	algo := flag.String("algo", "multilevel", "partitioner: multilevel|kl|agglomerative|stone")
+	pcapIn := flag.String("pcap", "", "replay this pcap capture instead of synthetic traffic")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nfcompass [flags] <chain>\n"+
+			"e.g.: nfcompass -pkt 256 \"firewall:1000,ipv4,nat,ids\"\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	chain, err := spec.Parse(flag.Arg(0), *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := core.DefaultOptions()
+	opt.Parallelize = !*noPar
+	opt.Synthesize = !*noSyn
+	opt.GTA = !*noGTA
+	opt.BatchSize = *batchSize
+	switch *algo {
+	case "multilevel":
+		opt.Algorithm = core.AlgoMultilevel
+	case "kl":
+		opt.Algorithm = core.AlgoKL
+	case "agglomerative":
+		opt.Algorithm = core.AlgoAgglomerative
+	case "stone":
+		opt.Algorithm = core.AlgoStone
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	p := hetsim.DefaultPlatform()
+	var replay []*netpkt.Batch
+	if *pcapIn != "" {
+		f, err := os.Open(*pcapIn)
+		if err != nil {
+			fatal(err)
+		}
+		replay, err = traffic.BatchesFromPcap(f, *batchSize)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if len(replay) == 0 {
+			fatal(fmt.Errorf("capture %s holds no packets", *pcapIn))
+		}
+	}
+	mkBatches := func(off int64) []*netpkt.Batch {
+		if replay != nil {
+			out := make([]*netpkt.Batch, len(replay))
+			for i, b := range replay {
+				out[i] = b.Clone()
+			}
+			return out
+		}
+		var size traffic.SizeDist = traffic.IMIX{}
+		if *pkt > 0 {
+			size = traffic.Fixed(*pkt)
+		}
+		gen := traffic.NewGenerator(traffic.Config{
+			Size: size, Seed: *seed + off, Flows: 256,
+		})
+		return gen.Batches(*batches, *batchSize)
+	}
+
+	var sample []*netpkt.Batch
+	if opt.GTA {
+		sample = mkBatches(1000)
+	}
+	d, err := core.Deploy(chain, p, sample, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Report the pipeline's decisions.
+	fmt.Printf("chain: %s\n", flag.Arg(0))
+	fmt.Print(d.Describe())
+
+	// Measure NFCompass against single-processor placements of the same
+	// graph.
+	type runRes struct {
+		name string
+		a    hetsim.Assignment
+	}
+	runs := []runRes{
+		{"NFCompass", d.Assignment},
+		{"CPU-only", nil},
+		{"GPU-only", hetsim.GPUHeavy(d.Graph)},
+	}
+	fmt.Printf("\n%-10s  %10s  %12s\n", "placement", "Gbps", "p50 latency")
+	for _, r := range runs {
+		sim, err := hetsim.NewSimulator(p, d.Costs, d.Graph, r.a)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Run(mkBatches(2000), 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-10s  %10.2f  %10.1fus\n", r.name,
+			res.Throughput.Gbps(), res.Latency.Percentile(50)/1e3)
+		resetAll(d)
+	}
+}
+
+func resetAll(d *core.Deployment) {
+	for i := 0; i < d.Graph.Len(); i++ {
+		if r, ok := d.Graph.Node(element.NodeID(i)).(element.Resetter); ok {
+			r.Reset()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nfcompass:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,17 @@
+// Package nfcompass is a full reproduction of "Enabling Efficient Network
+// Service Function Chain Deployment on Heterogeneous Server Platform"
+// (HPCA 2018): the NFCompass runtime — SFC parallelization via packet-action
+// hazard analysis, NF synthesis over Click-style element graphs, and
+// graph-partition-based CPU/GPU task allocation — together with every
+// substrate it needs: a Click-like element framework, functional network
+// functions (LPM routers, IPsec ESP, Aho–Corasick/DFA DPI, ACL firewall,
+// NAT, and more), a deterministic discrete-event heterogeneous platform
+// simulator standing in for the paper's CUDA testbed, the FastClick- and
+// NBA-like baselines, and a benchmark harness regenerating every figure of
+// the paper's evaluation.
+//
+// Start with README.md for the layout, DESIGN.md for the system inventory
+// and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level benchmarks (go test -bench .) regenerate each figure;
+// cmd/nfbench does the same from the command line at full scale.
+package nfcompass

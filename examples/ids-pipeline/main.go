@@ -1,0 +1,76 @@
+// IDS pipeline: a deep-packet-inspection deployment showing how traffic
+// content drives cost — the paper's Fig. 8(d) effect. The same DPI chain
+// is measured under no-match and full-match payload profiles, on the CPU
+// and with its matchers offloaded, and the functional alert counters are
+// read back out of the elements.
+//
+// Run with:
+//
+//	go run ./examples/ids-pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/nf"
+	"nfcompass/internal/traffic"
+)
+
+func main() {
+	patterns := []string{
+		"attack", "malware", "exploit", "shellcode", "cmd.exe",
+		"/etc/passwd", "DROP TABLE", "xp_cmdshell",
+	}
+	regexes := []string{`[0-9]+\.exe`, `(select|union)[a-z ]*from`}
+	platform := hetsim.DefaultPlatform()
+
+	for _, profile := range []struct {
+		name string
+		p    traffic.PayloadProfile
+	}{
+		{"no-match", traffic.PayloadRandom},
+		{"full-match", traffic.PayloadFullMatch},
+	} {
+		for _, gpu := range []bool{false, true} {
+			chain := []*nf.NF{
+				nf.NewIDS("ids", patterns, false),
+				nf.NewDPI("dpi", patterns, regexes),
+			}
+			g, _, _ := nf.BuildChain(chain)
+			var assign hetsim.Assignment
+			placement := "CPU"
+			if gpu {
+				assign = hetsim.GPUHeavy(g)
+				placement = "GPU"
+			}
+			sim, err := hetsim.NewSimulator(platform, nil, g, assign)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gen := traffic.NewGenerator(traffic.Config{
+				Size: traffic.Fixed(512), Payload: profile.p,
+				MatchTokens: patterns, Seed: 3, Flows: 64,
+			})
+			res, err := sim.Run(gen.Batches(60, 64), 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			// Read the elements' functional counters back.
+			var alerts, deep uint64
+			for i := 0; i < g.Len(); i++ {
+				if m, ok := g.Node(element.NodeID(i)).(*nf.AhoCorasickMatch); ok {
+					alerts += m.Alerts
+					deep += m.DeepStates
+				}
+			}
+			fmt.Printf("%-10s %-4s %8.2f Gbps  alerts=%-5d dfa-states-visited=%d\n",
+				profile.name, placement, res.Throughput.Gbps(), alerts, deep)
+		}
+	}
+	fmt.Println("\nThe no-match/full-match gap on CPU reproduces Fig. 8(d):")
+	fmt.Println("deep DFA walks on matching payloads are the cost driver.")
+}

@@ -1,0 +1,3 @@
+module nfcompass
+
+go 1.22

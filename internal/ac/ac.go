@@ -1,0 +1,199 @@
+// Package ac implements the Aho–Corasick multi-pattern string matching
+// algorithm used by the DPI/IDS network functions (the paper's Snap-derived
+// string matcher). The automaton is built in two forms: the classic
+// goto/fail machine and a fully materialized DFA (failure transitions
+// pre-resolved), which is the form GPU implementations use because every
+// input byte costs exactly one table access.
+package ac
+
+import "fmt"
+
+// Matcher is an immutable Aho–Corasick automaton over byte patterns.
+type Matcher struct {
+	// dfa[s*256+c] is the next state from state s on byte c, with failure
+	// transitions pre-applied.
+	dfa []int32
+	// out[s] lists the indices of patterns ending at state s (including
+	// via suffix links).
+	out [][]int32
+	// depth[s] is the distance of s from the root; the cost model uses
+	// the visited-state statistics it enables.
+	depth    []int32
+	patterns [][]byte
+}
+
+// Match is one pattern occurrence.
+type Match struct {
+	Pattern int // index into the pattern set
+	End     int // byte offset one past the last matched byte
+}
+
+// NewMatcher builds the automaton for the given patterns. Empty patterns
+// and an empty pattern set are rejected.
+func NewMatcher(patterns [][]byte) (*Matcher, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("ac: empty pattern set")
+	}
+	for i, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("ac: pattern %d is empty", i)
+		}
+	}
+
+	// Build the goto trie.
+	type node struct {
+		next [256]int32 // 0 = absent (state 0 is the root)
+		fail int32
+		out  []int32
+	}
+	nodes := []*node{new(node)}
+	depth := []int32{0}
+	for pi, p := range patterns {
+		s := int32(0)
+		for _, c := range p {
+			if nodes[s].next[c] == 0 {
+				nodes = append(nodes, new(node))
+				depth = append(depth, depth[s]+1)
+				nodes[s].next[c] = int32(len(nodes) - 1)
+			}
+			s = nodes[s].next[c]
+		}
+		nodes[s].out = append(nodes[s].out, int32(pi))
+	}
+
+	// BFS to compute failure links and merge outputs.
+	queue := make([]int32, 0, len(nodes))
+	for c := 0; c < 256; c++ {
+		if s := nodes[0].next[c]; s != 0 {
+			nodes[s].fail = 0
+			queue = append(queue, s)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for c := 0; c < 256; c++ {
+			v := nodes[u].next[c]
+			if v == 0 {
+				continue
+			}
+			queue = append(queue, v)
+			f := nodes[u].fail
+			for f != 0 && nodes[f].next[c] == 0 {
+				f = nodes[f].fail
+			}
+			nodes[v].fail = nodes[f].next[c]
+			if nodes[v].fail == v {
+				nodes[v].fail = 0
+			}
+			nodes[v].out = append(nodes[v].out, nodes[nodes[v].fail].out...)
+		}
+	}
+
+	// Materialize the DFA.
+	m := &Matcher{
+		dfa:      make([]int32, len(nodes)*256),
+		out:      make([][]int32, len(nodes)),
+		depth:    depth,
+		patterns: patterns,
+	}
+	// Rows must be filled in BFS order so a state's failure row (always
+	// shallower) is complete before it is consulted.
+	order := append([]int32{0}, queue...)
+	for _, s := range order {
+		n := nodes[s]
+		m.out[s] = n.out
+		for c := 0; c < 256; c++ {
+			if n.next[c] != 0 {
+				m.dfa[int(s)*256+c] = n.next[c]
+			} else if s != 0 {
+				m.dfa[int(s)*256+c] = m.dfa[int(n.fail)*256+c]
+			}
+		}
+	}
+	return m, nil
+}
+
+// NewMatcherStrings builds a matcher from string patterns.
+func NewMatcherStrings(patterns []string) (*Matcher, error) {
+	bs := make([][]byte, len(patterns))
+	for i, p := range patterns {
+		bs[i] = []byte(p)
+	}
+	return NewMatcher(bs)
+}
+
+// NumStates returns the number of automaton states (the DFA table's memory
+// footprint drives the simulator's DPI cache model).
+func (m *Matcher) NumStates() int { return len(m.out) }
+
+// NumPatterns returns the size of the pattern set.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }
+
+// Pattern returns pattern i.
+func (m *Matcher) Pattern(i int) []byte { return m.patterns[i] }
+
+// Scan runs the automaton over data and returns all matches in order of
+// their end offset.
+func (m *Matcher) Scan(data []byte) []Match {
+	var matches []Match
+	s := int32(0)
+	for i, c := range data {
+		s = m.dfa[int(s)*256+int(c)]
+		for _, p := range m.out[s] {
+			matches = append(matches, Match{Pattern: int(p), End: i + 1})
+		}
+	}
+	return matches
+}
+
+// Contains reports whether any pattern occurs in data, stopping at the
+// first hit.
+func (m *Matcher) Contains(data []byte) bool {
+	s := int32(0)
+	for _, c := range data {
+		s = m.dfa[int(s)*256+int(c)]
+		if len(m.out[s]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// State is a resumable automaton position for stream scanning.
+type State int32
+
+// StartState is the automaton root.
+const StartState State = 0
+
+// ScanFrom resumes the automaton at a saved state and scans data,
+// returning the new state plus the match and deep-state counts. Stateful
+// stream inspection (IDS over reassembled TCP flows) uses it to catch
+// patterns spanning packet boundaries.
+func (m *Matcher) ScanFrom(state State, data []byte) (State, int, int) {
+	s := int32(state)
+	matches, deep := 0, 0
+	for _, c := range data {
+		s = m.dfa[int(s)*256+int(c)]
+		if s != 0 {
+			deep++
+		}
+		matches += len(m.out[s])
+	}
+	return State(s), matches, deep
+}
+
+// ScanStats runs the automaton gathering the statistics the platform cost
+// model consumes: total states visited away from the root (a proxy for
+// DFA-table memory pressure, which separates the paper's full-match and
+// no-match traffic profiles) and the number of matches.
+func (m *Matcher) ScanStats(data []byte) (matches, deepStates int) {
+	s := int32(0)
+	for _, c := range data {
+		s = m.dfa[int(s)*256+int(c)]
+		if s != 0 {
+			deepStates++
+		}
+		matches += len(m.out[s])
+	}
+	return matches, deepStates
+}

@@ -1,0 +1,28 @@
+package ac_test
+
+import (
+	"fmt"
+
+	"nfcompass/internal/ac"
+)
+
+func ExampleMatcher_Scan() {
+	m, _ := ac.NewMatcherStrings([]string{"he", "she", "hers"})
+	for _, match := range m.Scan([]byte("ushers")) {
+		fmt.Printf("pattern %d ends at %d\n", match.Pattern, match.End)
+	}
+	// Output:
+	// pattern 1 ends at 4
+	// pattern 0 ends at 4
+	// pattern 2 ends at 6
+}
+
+func ExampleMatcher_ScanFrom() {
+	m, _ := ac.NewMatcherStrings([]string{"attack"})
+	// A signature split across two TCP segments still matches when the
+	// automaton state carries over.
+	state, n1, _ := m.ScanFrom(ac.StartState, []byte("launch the att"))
+	_, n2, _ := m.ScanFrom(state, []byte("ack now"))
+	fmt.Println(n1+n2, "match(es)")
+	// Output: 1 match(es)
+}

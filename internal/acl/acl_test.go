@@ -1,0 +1,199 @@
+package acl
+
+import (
+	"math/rand"
+	"testing"
+
+	"nfcompass/internal/netpkt"
+)
+
+func TestRuleMatches(t *testing.T) {
+	r := Rule{
+		SrcAddr: 0x0a000000, SrcPlen: 8,
+		DstAddr: 0xc0a80100, DstPlen: 24,
+		SrcPort: AnyPort, DstPort: PortRange{80, 80},
+		Proto: netpkt.IPProtoTCP,
+	}
+	k := Key{Src: 0x0a010203, Dst: 0xc0a80105, SrcPort: 5555, DstPort: 80, Proto: netpkt.IPProtoTCP}
+	if !r.Matches(k) {
+		t.Error("rule should match")
+	}
+	k2 := k
+	k2.DstPort = 81
+	if r.Matches(k2) {
+		t.Error("wrong dst port matched")
+	}
+	k3 := k
+	k3.Proto = netpkt.IPProtoUDP
+	if r.Matches(k3) {
+		t.Error("wrong proto matched")
+	}
+	k4 := k
+	k4.Dst = 0xc0a80205
+	if r.Matches(k4) {
+		t.Error("wrong dst net matched")
+	}
+	r.ProtoAny = true
+	if !r.Matches(k3) {
+		t.Error("ProtoAny should match UDP")
+	}
+}
+
+func TestListFirstMatchWins(t *testing.T) {
+	l := &List{
+		Rules: []Rule{
+			{SrcPlen: 0, DstPlen: 0, SrcPort: AnyPort, DstPort: PortRange{22, 22}, ProtoAny: true, Action: Deny},
+			{SrcPlen: 0, DstPlen: 0, SrcPort: AnyPort, DstPort: AnyPort, ProtoAny: true, Action: Permit},
+		},
+		DefaultAction: Deny,
+	}
+	a, idx := l.MatchLinear(Key{DstPort: 22})
+	if a != Deny || idx != 0 {
+		t.Errorf("MatchLinear = %v,%d, want deny,0", a, idx)
+	}
+	a, idx = l.MatchLinear(Key{DstPort: 80})
+	if a != Permit || idx != 1 {
+		t.Errorf("MatchLinear = %v,%d, want permit,1", a, idx)
+	}
+}
+
+func TestListDefault(t *testing.T) {
+	l := &List{DefaultAction: Deny}
+	a, idx := l.MatchLinear(Key{})
+	if a != Deny || idx != -1 {
+		t.Errorf("default = %v,%d", a, idx)
+	}
+}
+
+func TestKeyFromPacket(t *testing.T) {
+	p := netpkt.BuildUDPv4(netpkt.UDPPacketSpec{
+		SrcIP: 0x0a000001, DstIP: 0x0b000002,
+		SrcPort: 1111, DstPort: 53,
+	})
+	k, ok := KeyFromPacket(p)
+	if !ok {
+		t.Fatal("KeyFromPacket failed")
+	}
+	if k.Src != 0x0a000001 || k.DstPort != 53 || k.Proto != netpkt.IPProtoUDP {
+		t.Errorf("key = %+v", k)
+	}
+	bad := netpkt.NewPacket(make([]byte, 10))
+	if _, ok := KeyFromPacket(bad); ok {
+		t.Error("KeyFromPacket accepted an unparsed packet")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultGenConfig(100, 7))
+	b := Generate(DefaultGenConfig(100, 7))
+	if a.Len() != 100 || b.Len() != 100 {
+		t.Fatalf("lens = %d, %d", a.Len(), b.Len())
+	}
+	for i := range a.Rules {
+		if a.Rules[i] != b.Rules[i] {
+			t.Fatalf("rule %d differs between same-seed runs", i)
+		}
+	}
+	c := Generate(DefaultGenConfig(100, 8))
+	same := 0
+	for i := range a.Rules {
+		if a.Rules[i] == c.Rules[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical ACLs")
+	}
+}
+
+func TestRandomMatchingKey(t *testing.T) {
+	l := Generate(DefaultGenConfig(200, 3))
+	rng := rand.New(rand.NewSource(9))
+	for i := range l.Rules {
+		k := RandomMatchingKey(rng, &l.Rules[i])
+		if !l.Rules[i].Matches(k) {
+			t.Fatalf("rule %d does not match its own generated key\nrule: %v\nkey: %+v",
+				i, &l.Rules[i], k)
+		}
+	}
+}
+
+func TestTreeMatchesLinear(t *testing.T) {
+	for _, n := range []int{50, 200, 1000} {
+		l := Generate(DefaultGenConfig(n, int64(n)))
+		tree := BuildTree(l, 8)
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		for i := 0; i < 3000; i++ {
+			var k Key
+			if i%3 == 0 {
+				k = RandomMatchingKey(rng, &l.Rules[rng.Intn(len(l.Rules))])
+			} else {
+				k = Key{
+					Src: netpkt.IPv4Addr(rng.Uint32()), Dst: netpkt.IPv4Addr(rng.Uint32()),
+					SrcPort: uint16(rng.Uint32()), DstPort: uint16(rng.Uint32()),
+					Proto: netpkt.IPProtoTCP,
+				}
+			}
+			la, li := l.MatchLinear(k)
+			ta, ti := tree.Match(k)
+			if la != ta || li != ti {
+				t.Fatalf("n=%d key=%+v: tree=(%v,%d) linear=(%v,%d)", n, k, ta, ti, la, li)
+			}
+		}
+	}
+}
+
+func TestTreeGrowsWithRules(t *testing.T) {
+	small := BuildTree(Generate(DefaultGenConfig(200, 1)), 8)
+	large := BuildTree(Generate(DefaultGenConfig(2000, 1)), 8)
+	if large.Nodes() <= small.Nodes() {
+		t.Errorf("tree did not grow: %d vs %d nodes", small.Nodes(), large.Nodes())
+	}
+	if small.Leaves() <= 0 || small.MaxDepth() <= 0 {
+		t.Errorf("degenerate small tree: leaves=%d depth=%d", small.Leaves(), small.MaxDepth())
+	}
+}
+
+func TestTreeLastCost(t *testing.T) {
+	l := Generate(DefaultGenConfig(500, 2))
+	tree := BuildTree(l, 8)
+	rng := rand.New(rand.NewSource(11))
+	k := RandomMatchingKey(rng, &l.Rules[0])
+	tree.Match(k)
+	if tree.LastCost() <= 0 {
+		t.Error("LastCost not recorded")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Permit.String() != "permit" || Deny.String() != "deny" {
+		t.Error("Action.String broken")
+	}
+}
+
+func BenchmarkMatchLinear1000(b *testing.B) {
+	l := Generate(DefaultGenConfig(1000, 1))
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]Key, 1024)
+	for i := range keys {
+		keys[i] = RandomMatchingKey(rng, &l.Rules[rng.Intn(len(l.Rules))])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.MatchLinear(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkMatchTree1000(b *testing.B) {
+	l := Generate(DefaultGenConfig(1000, 1))
+	tree := BuildTree(l, 8)
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]Key, 1024)
+	for i := range keys {
+		keys[i] = RandomMatchingKey(rng, &l.Rules[rng.Intn(len(l.Rules))])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Match(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/profile"
+)
+
+// Adaptor implements NFCompass's dynamic task adaption: the runtime keeps
+// sampling the traffic (per-edge intensities, per-element table-access
+// rates, packet sizes) and re-runs the allocator when the observed profile
+// drifts from the one the current assignment was computed for. This is the
+// answer to the paper's observation that "in the NFV environment with
+// varying traffics, the optimal configurations for network function task
+// mappings can deviate significantly" — and the "dynamic task adaption"
+// step the light-weight partitioner relies on.
+type Adaptor struct {
+	d   *Deployment
+	opt Options
+	// Threshold is the relative drift that triggers re-allocation
+	// (default 0.25 = 25%).
+	Threshold float64
+	// Reallocations counts how many times Observe re-allocated.
+	Reallocations int
+
+	last trafficSig
+}
+
+// trafficSig fingerprints the traffic a deployment was tuned for.
+type trafficSig struct {
+	valid     bool
+	intensity map[element.NodeID]float64
+	memPerPkt map[element.NodeID]float64
+	avgBytes  float64
+}
+
+// NewAdaptor wraps a deployment for runtime adaptation. opt should be the
+// Options the deployment was built with.
+func NewAdaptor(d *Deployment, opt Options) *Adaptor {
+	if opt.BatchSize == 0 {
+		opt.BatchSize = 64
+	}
+	if opt.Delta == 0 {
+		opt.Delta = DefaultDelta
+	}
+	return &Adaptor{d: d, opt: opt, Threshold: 0.25}
+}
+
+// Observe feeds a traffic sample to the adaptor. The sample is consumed
+// (it runs through the deployment graph functionally). When the observed
+// profile drifts beyond the threshold, the allocator re-runs against the
+// fresh profile and the deployment's assignment is replaced; Observe
+// reports whether that happened.
+func (a *Adaptor) Observe(sample []*netpkt.Batch) (bool, error) {
+	if len(sample) == 0 {
+		return false, fmt.Errorf("core: empty adaptation sample")
+	}
+
+	profSample := cloneBatches(sample)
+	sig, in, err := a.capture(sample)
+	if err != nil {
+		return false, err
+	}
+
+	if a.last.valid && a.drift(sig) <= a.Threshold {
+		a.last = sig
+		return false, nil
+	}
+	first := !a.last.valid
+	a.last = sig
+
+	// First observation just primes the signature: the deployment was
+	// freshly tuned by Deploy.
+	if first {
+		return false, nil
+	}
+
+	// Re-profile against the new traffic and re-allocate.
+	dict, err := profile.OfflineProfile(a.d.Platform, a.d.Costs, a.d.Graph,
+		profile.OfflineConfig{BatchSize: a.opt.BatchSize, Sample: profSample})
+	if err != nil {
+		return false, err
+	}
+	assign, rep, err := Allocate(a.d.Graph, dict, in, a.d.Platform, a.d.Costs,
+		a.opt.BatchSize, a.opt.Delta, a.opt.Algorithm)
+	if err != nil {
+		return false, err
+	}
+	a.d.Assignment = assign
+	a.d.Alloc = rep
+	a.Reallocations++
+	return true, nil
+}
+
+// capture samples intensities and per-element memory-access rates. Probe
+// counters are snapshotted around the sampling run so content-dependent
+// cost shifts (e.g. no-match traffic turning into full-match) register
+// even when the flow distribution is unchanged.
+func (a *Adaptor) capture(sample []*netpkt.Batch) (trafficSig, *profile.Intensities, error) {
+	g := a.d.Graph
+	probeBatch := sample[0].Clone()
+
+	in, err := profile.SampleIntensities(g, sample)
+	if err != nil {
+		return trafficSig{}, nil, err
+	}
+	sig := trafficSig{
+		valid:     true,
+		intensity: in.Node,
+		memPerPkt: make(map[element.NodeID]float64),
+		avgBytes:  in.AvgPktBytes,
+	}
+
+	// Probe pass: SampleIntensities reset every element (counters at
+	// zero), so pushing one retained batch through and reading the
+	// counters yields the per-packet table-access rates.
+	x, err := element.NewExecutor(g)
+	if err != nil {
+		return trafficSig{}, nil, err
+	}
+	before := make(map[element.NodeID]uint64)
+	for i := 0; i < g.Len(); i++ {
+		id := element.NodeID(i)
+		if p, ok := g.Node(id).(hetsim.MemProber); ok {
+			before[id] = p.MemAccesses()
+		}
+	}
+	if _, err := x.RunBatch(probeBatch); err != nil {
+		return trafficSig{}, nil, err
+	}
+	n := float64(probeBatch.Len())
+	if n == 0 {
+		n = 1
+	}
+	for i := 0; i < g.Len(); i++ {
+		id := element.NodeID(i)
+		if p, ok := g.Node(id).(hetsim.MemProber); ok {
+			sig.memPerPkt[id] = float64(p.MemAccesses()-before[id]) / n
+		}
+	}
+	x.Reset()
+	return sig, in, nil
+}
+
+// drift returns the largest relative change between the stored signature
+// and the new one.
+func (a *Adaptor) drift(now trafficSig) float64 {
+	d := relDelta(a.last.avgBytes, now.avgBytes)
+	for id, v := range now.intensity {
+		if dd := relDelta(a.last.intensity[id], v); dd > d {
+			d = dd
+		}
+	}
+	for id, v := range now.memPerPkt {
+		if dd := relDelta(a.last.memPerPkt[id], v); dd > d {
+			d = dd
+		}
+	}
+	return d
+}
+
+// relDelta is |a-b| / max(|a|,|b|,1).
+func relDelta(a, b float64) float64 {
+	den := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return math.Abs(a-b) / den
+}

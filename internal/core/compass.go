@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/nf"
+	"nfcompass/internal/profile"
+)
+
+// Options configures a Deploy run; zero-value fields fall back to the
+// defaults of DefaultOptions. The three technique switches exist so the
+// evaluation can ablate each contribution (paper §V-B/V-C).
+type Options struct {
+	// Parallelize enables SFC-level re-organization (§IV-B-1).
+	Parallelize bool
+	// Synthesize enables NF-level element merging (§IV-B-2).
+	Synthesize bool
+	// GTA enables graph-partition task allocation (§IV-C); when off the
+	// deployment stays CPU-only.
+	GTA bool
+	// Algorithm selects the partitioner.
+	Algorithm Algorithm
+	// Delta is the offload-ratio granularity (default 0.1).
+	Delta float64
+	// BatchSize is the I/O batch size (default 64).
+	BatchSize int
+	// Costs overrides the platform cost table.
+	Costs map[string]hetsim.ElemCost
+	// ProfilePacketSizes overrides the offline profiling sweep.
+	ProfilePacketSizes []int
+}
+
+// DefaultOptions enables every NFCompass technique.
+func DefaultOptions() Options {
+	return Options{
+		Parallelize: true,
+		Synthesize:  true,
+		GTA:         true,
+		Algorithm:   AlgoMultilevel,
+		Delta:       DefaultDelta,
+		BatchSize:   64,
+	}
+}
+
+// Deployment is a fully prepared SFC: the re-organized element graph, its
+// CPU/GPU assignment, and the reports of each pipeline phase.
+type Deployment struct {
+	Graph      *element.Graph
+	Assignment hetsim.Assignment
+	Stages     []Stage
+	Synthesis  []*SynthesisReport
+	Alloc      *AllocReport
+	Platform   hetsim.Platform
+	Costs      map[string]hetsim.ElemCost
+}
+
+// Deploy runs the NFCompass pipeline on a sequential SFC: orchestrate
+// (parallelize), synthesize, build the deployment graph, profile it
+// offline and against the sample traffic, and allocate tasks. sample is
+// consumed by profiling; pass dedicated batches.
+func Deploy(chain []*nf.NF, p hetsim.Platform, sample []*netpkt.Batch, opt Options) (*Deployment, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("core: empty chain")
+	}
+	if opt.BatchSize == 0 {
+		opt.BatchSize = 64
+	}
+	if opt.Delta == 0 {
+		opt.Delta = DefaultDelta
+	}
+	costs := opt.Costs
+	if costs == nil {
+		costs = hetsim.DefaultCosts()
+	}
+
+	sequential := make([]Stage, 0, len(chain))
+	for _, f := range chain {
+		sequential = append(sequential, Stage{NFs: []*nf.NF{f}})
+	}
+	stages := sequential
+	if opt.Parallelize {
+		stages = Parallelize(chain)
+	}
+
+	// The gate below needs pristine sample traffic: deployPlan consumes
+	// (mutates) its sample, so take the clone before the first plan runs.
+	var gateSample []*netpkt.Batch
+	needGate := opt.Parallelize && len(stages) < len(sequential) && len(sample) > 0
+	if needGate {
+		gateSample = cloneBatches(sample)
+	}
+
+	d, err := deployPlan(stages, p, sample, opt, costs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Parallelization acceptance gate (paper §V-B-1: re-organization must
+	// keep throughput "in a reasonable range", <10% reduction): when the
+	// orchestrator found parallelism and sample traffic is available,
+	// compare against the sequential plan and accept the parallel one
+	// only if it costs at most 10% throughput (its payoff is latency).
+	if needGate {
+		seqD, err := deployPlan(sequential, p, cloneBatches(gateSample), opt, costs)
+		if err != nil {
+			return nil, err
+		}
+		parG, err := d.Simulate(cloneBatches(gateSample), 0)
+		if err != nil {
+			return nil, err
+		}
+		seqG, err := seqD.Simulate(cloneBatches(gateSample), 0)
+		if err != nil {
+			return nil, err
+		}
+		resetDeployment(d)
+		resetDeployment(seqD)
+		if parG.Throughput.Gbps() < 0.9*seqG.Throughput.Gbps() {
+			return seqD, nil
+		}
+	}
+	return d, nil
+}
+
+// cloneBatches deep-copies sample traffic so evaluation runs don't consume
+// the caller's batches.
+func cloneBatches(in []*netpkt.Batch) []*netpkt.Batch {
+	out := make([]*netpkt.Batch, len(in))
+	for i, b := range in {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+// resetDeployment clears stateful elements after an evaluation run.
+func resetDeployment(d *Deployment) {
+	for i := 0; i < d.Graph.Len(); i++ {
+		if r, ok := d.Graph.Node(element.NodeID(i)).(element.Resetter); ok {
+			r.Reset()
+		}
+	}
+}
+
+// deployPlan builds one stage plan into a full deployment (graph, profile,
+// allocation).
+func deployPlan(stages []Stage, p hetsim.Platform,
+	sample []*netpkt.Batch, opt Options, costs map[string]hetsim.ElemCost) (*Deployment, error) {
+	d := &Deployment{Stages: stages, Platform: p, Costs: costs}
+	g, err := d.buildGraph(stages, opt)
+	if err != nil {
+		return nil, err
+	}
+	d.Graph = g
+
+	if !opt.GTA {
+		d.Assignment = hetsim.Assignment{}
+		return d, nil
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("core: GTA requires sample traffic")
+	}
+	selSample := cloneBatches(sample) // pristine copy for candidate validation
+
+	// Profile against clones of the deployment's own sample traffic so
+	// content-dependent element costs (ACL probes, DFA walks) are the
+	// real ones; SampleIntensities then consumes the sample itself.
+	profCfg := profile.OfflineConfig{
+		PacketSizes: opt.ProfilePacketSizes,
+		BatchSize:   opt.BatchSize,
+		Sample:      cloneBatches(sample),
+	}
+	dict, err := profile.OfflineProfile(p, costs, g, profCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: offline profiling: %w", err)
+	}
+	in, err := profile.SampleIntensities(g, sample)
+	if err != nil {
+		return nil, fmt.Errorf("core: traffic sampling: %w", err)
+	}
+	assign, rep, err := Allocate(g, dict, in, p, costs, opt.BatchSize, opt.Delta, opt.Algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocation: %w", err)
+	}
+	d.Assignment = assign
+	d.Alloc = rep
+
+	// Sample-driven validation: the partition model is linear and cannot
+	// see mode-split ping-pong (a chain of half-offloaded elements pays
+	// PCIe in both directions at every stage). Evaluate a small candidate
+	// set on the sample and keep the winner — the profiling-guided
+	// refinement the runtime's measurements make cheap.
+	if name, best, err := d.selectAssignment(selSample, assign); err == nil {
+		d.Assignment = best
+		d.Alloc.Selected = name
+	} else {
+		return nil, fmt.Errorf("core: assignment validation: %w", err)
+	}
+	return d, nil
+}
+
+// selectAssignment simulates candidate placements on the sample and
+// returns the best by throughput.
+func (d *Deployment) selectAssignment(sample []*netpkt.Batch,
+	model hetsim.Assignment) (string, hetsim.Assignment, error) {
+
+	// Rounded variant: snap every split element to its majority side.
+	rounded := make(hetsim.Assignment, len(model))
+	for id, pl := range model {
+		switch {
+		case pl.Mode == hetsim.ModeSplit && pl.GPUFraction >= 0.5:
+			rounded[id] = hetsim.Placement{Mode: hetsim.ModeGPU}
+		case pl.Mode == hetsim.ModeSplit:
+			// CPU default: omit.
+		default:
+			rounded[id] = pl
+		}
+	}
+
+	// Heavy-only variant: keep the model's choices for compute kernels,
+	// return glue elements (header checks, counters) to the CPU — a
+	// partitioner that wandered into offloading cheap elements gets a
+	// cleaned-up alternative.
+	heavy := make(map[string]bool, len(hetsim.HeavyKinds))
+	for _, k := range hetsim.HeavyKinds {
+		heavy[k] = true
+	}
+	heavyOnly := make(hetsim.Assignment, len(model))
+	for id, pl := range model {
+		if heavy[d.Graph.Node(id).Traits().Kind] {
+			heavyOnly[id] = pl
+		}
+	}
+
+	candidates := []struct {
+		name string
+		a    hetsim.Assignment
+	}{
+		{"model", model},
+		{"model-rounded", rounded},
+		{"model-heavy-only", heavyOnly},
+		{"cpu-only", hetsim.Assignment{}},
+		{"gpu-heavy", hetsim.GPUHeavy(d.Graph)},
+	}
+
+	bestName, bestGbps := "", -1.0
+	var best hetsim.Assignment
+	for _, c := range candidates {
+		resetDeployment(d)
+		sim, err := hetsim.NewSimulator(d.Platform, d.Costs, d.Graph, c.a)
+		if err != nil {
+			return "", nil, err
+		}
+		res, err := sim.Run(cloneBatches(sample), 0)
+		if err != nil {
+			return "", nil, err
+		}
+		if g := res.Throughput.Gbps(); g > bestGbps {
+			bestName, bestGbps, best = c.name, g, c.a
+		}
+	}
+	resetDeployment(d)
+	return bestName, best, nil
+}
+
+// buildGraph assembles the deployment element graph from the stage plan:
+// consecutive single-NF stages become one synthesized linear segment;
+// multi-NF stages become Duplicator → branches → XORMerge diamonds.
+func (d *Deployment) buildGraph(stages []Stage, opt Options) (*element.Graph, error) {
+	g := element.NewGraph()
+	src := g.Add(element.NewFromDevice("src"))
+	prev := src
+
+	i := 0
+	segIdx := 0
+	for i < len(stages) {
+		if len(stages[i].NFs) == 1 {
+			// Collect the maximal run of sequential stages.
+			j := i
+			var run []*nf.NF
+			for j < len(stages) && len(stages[j].NFs) == 1 {
+				run = append(run, stages[j].NFs[0])
+				j++
+			}
+			entry, exit, err := d.importSegment(g, run, fmt.Sprintf("seg%d", segIdx), opt)
+			if err != nil {
+				return nil, err
+			}
+			g.MustConnect(prev, 0, entry)
+			prev = exit
+			segIdx++
+			i = j
+			continue
+		}
+
+		// Parallel stage. Branch writer flags feed the optimized
+		// duplication/merge accounting: read-only branches share buffers.
+		branches := stages[i].NFs
+		writers := make([]bool, len(branches))
+		for b, f := range branches {
+			writers[b] = f.Profile.WritesHeader || f.Profile.WritesPayload ||
+				f.Profile.AddRmBits
+		}
+		dup := NewDuplicatorProfiled(fmt.Sprintf("dup%d", segIdx), writers)
+		dupID := g.Add(dup)
+		merge := NewXORMerge(fmt.Sprintf("merge%d", segIdx), dup)
+		mergeID := g.Add(merge)
+		g.MustConnect(prev, 0, dupID)
+		for b, f := range branches {
+			entry, exit, err := d.importSegment(g, []*nf.NF{f},
+				fmt.Sprintf("seg%d.b%d", segIdx, b), opt)
+			if err != nil {
+				return nil, err
+			}
+			g.MustConnect(dupID, b, entry)
+			g.MustConnect(exit, 0, mergeID)
+		}
+		prev = mergeID
+		segIdx++
+		i++
+	}
+
+	dst := g.Add(element.NewToDevice("dst"))
+	g.MustConnect(prev, 0, dst)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: deployment graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// importSegment builds the linear element chain of a run of NFs in a
+// scratch graph, optionally synthesizes it, and imports it into g,
+// returning the (post-import) entry and exit nodes.
+func (d *Deployment) importSegment(g *element.Graph, run []*nf.NF, prefix string,
+	opt Options) (entry, exit element.NodeID, err error) {
+	seg := element.NewGraph()
+	var segPrev element.NodeID = -1
+	for k, f := range run {
+		e, x := f.Build(seg, fmt.Sprintf("%s/%s#%d", prefix, f.Name, k))
+		if segPrev >= 0 {
+			seg.MustConnect(segPrev, 0, e)
+		}
+		segPrev = x
+	}
+	if opt.Synthesize {
+		rep, err := Synthesize(seg)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: synthesize %s: %w", prefix, err)
+		}
+		d.Synthesis = append(d.Synthesis, rep)
+	}
+	seq, err := linearSequence(seg)
+	if err != nil {
+		return 0, 0, err
+	}
+	off := g.Import(seg)
+	return seq[0] + off, seq[len(seq)-1] + off, nil
+}
+
+// Simulate runs the deployment on the simulated platform.
+func (d *Deployment) Simulate(batches []*netpkt.Batch, interarrivalNs float64) (*hetsim.Result, error) {
+	sim, err := hetsim.NewSimulator(d.Platform, d.Costs, d.Graph, d.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(batches, interarrivalNs)
+}

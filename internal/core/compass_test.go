@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/nf"
+	"nfcompass/internal/profile"
+	"nfcompass/internal/traffic"
+)
+
+func telcoChain() []*nf.NF {
+	return []*nf.NF{
+		fwNF("fw"),
+		routerNF("router"),
+		nf.NewNAT("nat", 0x01020304),
+	}
+}
+
+func sampleBatches(n, size, pkt int, seed int64) []*netpkt.Batch {
+	gen := traffic.NewGenerator(traffic.Config{Size: traffic.Fixed(pkt), Seed: seed})
+	return gen.Batches(n, size)
+}
+
+func TestDeployFullPipeline(t *testing.T) {
+	d, err := Deploy(telcoChain(), hetsim.DefaultPlatform(),
+		sampleBatches(4, 32, 128, 1), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Graph == nil || d.Assignment == nil || d.Alloc == nil {
+		t.Fatal("incomplete deployment")
+	}
+	if err := d.Graph.Validate(); err != nil {
+		t.Fatalf("deployment graph invalid: %v", err)
+	}
+	if len(d.Synthesis) == 0 {
+		t.Error("no synthesis reports")
+	}
+	res, err := d.Simulate(sampleBatches(20, 64, 128, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted == 0 {
+		t.Error("nothing emitted")
+	}
+}
+
+func TestDeployEmptyChainRejected(t *testing.T) {
+	if _, err := Deploy(nil, hetsim.DefaultPlatform(), nil, DefaultOptions()); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestDeployGTARequiresSample(t *testing.T) {
+	if _, err := Deploy(telcoChain(), hetsim.DefaultPlatform(), nil, DefaultOptions()); err == nil {
+		t.Error("GTA without sample accepted")
+	}
+}
+
+// The deployed (parallelized + synthesized) graph must be functionally
+// equivalent to the plain sequential chain.
+func TestDeployPreservesSemantics(t *testing.T) {
+	mkChain := func() []*nf.NF { return telcoChain() }
+
+	plainG, _, plainDst := nf.BuildChain(mkChain())
+	x1, err := element.NewExecutor(plainG)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := DefaultOptions()
+	opt.GTA = false // placement does not affect functional output
+	d, err := Deploy(mkChain(), hetsim.DefaultPlatform(), nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := element.NewExecutor(d.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst2 := d.Graph.Sinks()[0]
+
+	in1 := sampleBatches(6, 32, 128, 3)
+	in2 := sampleBatches(6, 32, 128, 3) // identical stream
+	for bi := range in1 {
+		o1, err := x1.RunBatch(in1[bi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := x2.RunBatch(in2[bi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, b2 := o1[plainDst][0], o2[dst2][0]
+		if b1.Live() != b2.Live() {
+			t.Fatalf("batch %d live: %d vs %d", bi, b1.Live(), b2.Live())
+		}
+		for j := range b1.Packets {
+			p1, p2 := b1.Packets[j], b2.Packets[j]
+			if p1.Dropped != p2.Dropped {
+				t.Fatalf("batch %d pkt %d drop mismatch", bi, j)
+			}
+			if !p1.Dropped && !bytes.Equal(p1.Data, p2.Data) {
+				t.Fatalf("batch %d pkt %d bytes differ", bi, j)
+			}
+		}
+	}
+}
+
+// A chain of four read-only firewalls must deploy to effective length 1
+// (configuration b of Fig. 13) — one Duplicator/XORMerge diamond.
+func TestDeployParallelizesFirewalls(t *testing.T) {
+	chain := []*nf.NF{fwNF("fw1"), fwNF("fw2"), fwNF("fw3"), fwNF("fw4")}
+	opt := DefaultOptions()
+	opt.GTA = false
+	d, err := Deploy(chain, hetsim.DefaultPlatform(), nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EffectiveLength(d.Stages) != 1 {
+		t.Fatalf("effective length = %d", EffectiveLength(d.Stages))
+	}
+	dups, merges := 0, 0
+	for i := 0; i < d.Graph.Len(); i++ {
+		switch d.Graph.Node(element.NodeID(i)).Traits().Kind {
+		case "Duplicator":
+			dups++
+		case "XORMerge":
+			merges++
+		}
+	}
+	if dups != 1 || merges != 1 {
+		t.Errorf("dups=%d merges=%d", dups, merges)
+	}
+}
+
+// GTA anchor (Fig. 15): IPv4 alone gets no offload; IPsec gets offloaded.
+func TestAllocateMatchesNFAffinity(t *testing.T) {
+	p := hetsim.DefaultPlatform()
+
+	deployFrac := func(chain []*nf.NF, pkt int) float64 {
+		d, err := Deploy(chain, p, sampleBatches(4, 64, pkt, 7), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Total offloaded fraction across offloadable elements.
+		total, n := 0.0, 0
+		for id, pl := range d.Assignment {
+			_ = id
+			switch pl.Mode {
+			case hetsim.ModeGPU:
+				total += 1
+				n++
+			case hetsim.ModeSplit:
+				total += pl.GPUFraction
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return total / float64(n)
+	}
+
+	ipv4Frac := deployFrac([]*nf.NF{routerNF("r")}, 64)
+	ipsecFrac := deployFrac([]*nf.NF{
+		nf.NewIPsecGateway("gw", 9, []byte("0123456789abcdef"), []byte("a")),
+	}, 1024)
+	t.Logf("ipv4 offload=%.2f ipsec offload=%.2f", ipv4Frac, ipsecFrac)
+	if ipv4Frac > 0.15 {
+		t.Errorf("IPv4 should stay on CPU; got %.2f", ipv4Frac)
+	}
+	if ipsecFrac <= ipv4Frac {
+		t.Errorf("IPsec (%.2f) should offload more than IPv4 (%.2f)", ipsecFrac, ipv4Frac)
+	}
+}
+
+// Every partitioning algorithm must produce a runnable assignment.
+func TestAllocateAllAlgorithms(t *testing.T) {
+	p := hetsim.DefaultPlatform()
+	for _, algo := range []Algorithm{AlgoMultilevel, AlgoKL, AlgoAgglomerative, AlgoStone} {
+		opt := DefaultOptions()
+		opt.Algorithm = algo
+		d, err := Deploy(telcoChain(), p, sampleBatches(3, 32, 128, int64(algo)+20), opt)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if d.Alloc.Algorithm != algo {
+			t.Errorf("%v: report has %v", algo, d.Alloc.Algorithm)
+		}
+		res, err := d.Simulate(sampleBatches(10, 64, 128, 30), 0)
+		if err != nil {
+			t.Fatalf("%v: simulate: %v", algo, err)
+		}
+		if res.Emitted == 0 {
+			t.Errorf("%v: nothing emitted", algo)
+		}
+		if algo.String() == "unknown" {
+			t.Errorf("missing String for %d", algo)
+		}
+	}
+}
+
+// GTA should never be materially worse than both CPU-only and GPU-only on
+// the same deployment graph.
+func TestGTACompetitive(t *testing.T) {
+	p := hetsim.DefaultPlatform()
+	chain := []*nf.NF{
+		nf.NewIPsecGateway("gw", 11, []byte("0123456789abcdef"), []byte("a")),
+		idsNoDropNF("ids"),
+	}
+	d, err := Deploy(chain, p, sampleBatches(4, 64, 512, 40), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(a hetsim.Assignment) float64 {
+		sim, err := hetsim.NewSimulator(p, nil, d.Graph, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sampleBatches(40, 64, 512, 41), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput.Gbps()
+	}
+	gta := run(d.Assignment)
+	cpu := run(nil)
+	gpu := run(hetsim.AllGPU(d.Graph))
+	t.Logf("gta=%.2f cpu=%.2f gpu=%.2f", gta, cpu, gpu)
+	best := cpu
+	if gpu > best {
+		best = gpu
+	}
+	if gta < best*0.85 {
+		t.Errorf("GTA (%.2f) below 85%% of best single-processor (%.2f)", gta, best)
+	}
+}
+
+func TestExpansionInvariants(t *testing.T) {
+	opt := DefaultOptions()
+	opt.GTA = false
+	d, err := Deploy(telcoChain(), hetsim.DefaultPlatform(), nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := traffic.NewGenerator(traffic.Config{Size: traffic.Fixed(128), Seed: 50})
+	in, err := profile.SampleIntensities(d.Graph, gen.Batches(3, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Expand(d.Graph, nil, in, d.Platform, nil, 64, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offloadable elements expand to 10 instances, pinned ones to 1.
+	for i := 0; i < d.Graph.Len(); i++ {
+		id := element.NodeID(i)
+		insts := ex.instances[id]
+		if d.Graph.Node(id).Traits().Offloadable {
+			if len(insts) != 10 {
+				t.Errorf("%s: %d instances", d.Graph.Node(id).Name(), len(insts))
+			}
+		} else {
+			if len(insts) != 1 {
+				t.Errorf("%s: %d instances", d.Graph.Node(id).Name(), len(insts))
+			}
+			if ex.W.Pinned(insts[0]) == nil {
+				t.Errorf("%s not pinned", d.Graph.Node(id).Name())
+			}
+		}
+	}
+}
+
+func TestDescribeMentionsDecisions(t *testing.T) {
+	d, err := Deploy(telcoChain(), hetsim.DefaultPlatform(),
+		sampleBatches(4, 32, 128, 60), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.Describe()
+	for _, want := range []string{"stages", "allocation", "placements", "ACL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+	if d.Alloc.Selected == "" {
+		t.Error("no selected candidate recorded")
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/graph"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/profile"
+)
+
+// DefaultDelta is the offload-ratio granularity of the fine-grained
+// element expansion ("offload ratio increases as δ=10% in our design").
+const DefaultDelta = 0.1
+
+// Expansion is the partitioning view of an element graph: every
+// offloadable element is expanded into 1/δ virtual instances, each
+// carrying δ of the element's profiled load, so that the partitioner's
+// CPU/GPU assignment of instances *is* the element's offload ratio
+// (paper Fig. 12).
+type Expansion struct {
+	// W is the weighted graph handed to the partitioners.
+	W *graph.WGraph
+	// owner maps each W node back to its element.
+	owner []element.NodeID
+	// instances lists the W nodes of each element.
+	instances map[element.NodeID][]int
+	// delta is the expansion granularity.
+	delta float64
+}
+
+// Expand builds the partitioning graph from the deployment graph, the
+// profiling dictionary, and the sampled traffic intensities. batchSize
+// scales per-batch weights; avg packet size comes from the intensities.
+func Expand(g *element.Graph, dict *profile.Dictionary, in *profile.Intensities,
+	p hetsim.Platform, costs map[string]hetsim.ElemCost,
+	batchSize int, delta float64) (*Expansion, error) {
+	if delta <= 0 || delta > 1 {
+		delta = DefaultDelta
+	}
+	if costs == nil {
+		costs = hetsim.DefaultCosts()
+	}
+	k := int(math.Round(1 / delta))
+	pktBytes := in.AvgPktBytes
+	if pktBytes <= 0 {
+		pktBytes = 64
+	}
+
+	ex := &Expansion{
+		instances: make(map[element.NodeID][]int),
+		delta:     1 / float64(k),
+	}
+
+	// First pass: count W nodes.
+	total := 0
+	offloadable := make([]bool, g.Len())
+	for i := 0; i < g.Len(); i++ {
+		id := element.NodeID(i)
+		if g.Node(id).Traits().Offloadable {
+			offloadable[i] = true
+			total += k
+		} else {
+			total++
+		}
+	}
+	ex.W = graph.NewWGraph(total)
+	ex.owner = make([]element.NodeID, total)
+
+	// Second pass: weights.
+	next := 0
+	for i := 0; i < g.Len(); i++ {
+		id := element.NodeID(i)
+		tr := g.Node(id).Traits()
+		cpuNs, gpuNs, gpuFixed := ex.nodeCosts(tr.Kind, dict, p, costs, int(pktBytes))
+		intensity := in.Node[id]
+		pktsPerBatch := intensity * float64(batchSize)
+		// Pool-normalize: the partitioner sees each side as one server,
+		// so a node's weight is its per-batch work divided by the pool
+		// size — the side's steady-state time share per batch.
+		cores := float64(p.CPUCores)
+		if cores < 1 {
+			cores = 1
+		}
+		gpus := float64(p.GPUs)
+		if gpus < 1 {
+			gpus = 1
+		}
+		cpuW := cpuNs * pktsPerBatch / cores
+		gpuW := (gpuNs*pktsPerBatch + gpuFixed) / gpus
+
+		if offloadable[i] {
+			for c := 0; c < k; c++ {
+				ex.W.SetNodeWeight(next, cpuW/float64(k), gpuW/float64(k))
+				ex.owner[next] = id
+				ex.instances[id] = append(ex.instances[id], next)
+				next++
+			}
+		} else {
+			ex.W.SetNodeWeight(next, cpuW, cpuW*100)
+			ex.W.Pin(next, graph.CPU)
+			ex.owner[next] = id
+			ex.instances[id] = append(ex.instances[id], next)
+			next++
+		}
+	}
+
+	// Edges: transfer time if cut, spread across instance pairs so the
+	// cut weight scales with the crossing traffic fraction.
+	for _, e := range g.Edges() {
+		frac := in.Edge[element.EdgeKey{From: e.From, Port: e.Port, To: e.To}]
+		if frac <= 0 {
+			continue
+		}
+		bytesPerBatch := frac * float64(batchSize) * pktBytes
+		gpus := float64(p.GPUs)
+		if gpus < 1 {
+			gpus = 1
+		}
+		// Transfer time if this edge is cut, amortized over the device
+		// pool (each device moves its own share of the batches).
+		transferNs := (p.PCIeLatencyNs + bytesPerBatch/p.H2DBytesPerNs) / gpus
+		us := ex.instances[e.From]
+		vs := ex.instances[e.To]
+		w := transferNs / float64(len(us)*len(vs))
+		for _, u := range us {
+			for _, v := range vs {
+				if err := ex.W.AddEdge(u, v, w); err != nil {
+					return nil, fmt.Errorf("core: expand edge: %w", err)
+				}
+			}
+		}
+	}
+	return ex, nil
+}
+
+// nodeCosts resolves per-packet CPU/GPU costs for a kind: profiled entry
+// if available, cost-table estimate otherwise.
+func (ex *Expansion) nodeCosts(kind string, dict *profile.Dictionary,
+	p hetsim.Platform, costs map[string]hetsim.ElemCost, pktBytes int) (cpuNs, gpuNs, gpuFixed float64) {
+	if dict != nil {
+		if e, err := dict.Lookup(kind, pktBytes); err == nil {
+			return e.CPUNsPerPkt, e.GPUNsPerPkt, e.GPUFixedNsPerBatch
+		}
+	}
+	c, ok := costs[kind]
+	if !ok {
+		c = hetsim.ElemCost{CPUCyclesPerPkt: 200, GPUCyclesPerPkt: 100, Divergence: 1.2}
+	}
+	b := float64(pktBytes)
+	mem := c.MemAccessPerPkt + c.MemAccessPerByte*b
+	cpuNs = (c.CPUCyclesPerPkt + c.CPUCyclesPerByte*b + mem*p.MemAccessCycles) / p.CPUHz * 1e9
+	div := c.Divergence
+	if div < 1 {
+		div = 1
+	}
+	gpuNs = div*(c.GPUCyclesPerPkt+c.GPUCyclesPerByte*b+mem*hetsim.GPUMemAccessCycles)/p.GPUHz +
+		b/p.H2DBytesPerNs + b/p.D2HBytesPerNs
+	launch := p.KernelLaunchNs
+	if p.PersistentKernel {
+		launch = p.PersistentLaunchNs
+	}
+	gpuFixed = launch + 2*p.PCIeLatencyNs
+	return cpuNs, gpuNs, gpuFixed
+}
+
+// minOffloadFraction is the smallest offload ratio GTA will emit: the
+// expansion spreads an element's fixed kernel cost across its instances,
+// so a sliver of one or two instances under-accounts the per-batch launch
+// it would really pay. Fractions below the threshold snap back to CPU.
+const minOffloadFraction = 0.25
+
+// ToAssignment converts a partition of the expanded graph into per-element
+// placements: the GPU share of an element's instances becomes its offload
+// ratio, snapped to the δ grid (slivers below minOffloadFraction snap to
+// CPU).
+func (ex *Expansion) ToAssignment(part graph.Partition) hetsim.Assignment {
+	a := make(hetsim.Assignment)
+	for id, insts := range ex.instances {
+		gpu := 0
+		for _, w := range insts {
+			if part[w] == graph.GPU {
+				gpu++
+			}
+		}
+		if frac := float64(gpu) / float64(len(insts)); frac > 0 && frac < minOffloadFraction {
+			gpu = 0
+		}
+		switch {
+		case gpu == 0:
+			// CPU is the default; leave unset for a sparse assignment.
+		case gpu == len(insts):
+			a[id] = hetsim.Placement{Mode: hetsim.ModeGPU}
+		default:
+			a[id] = hetsim.Placement{
+				Mode:        hetsim.ModeSplit,
+				GPUFraction: float64(gpu) / float64(len(insts)),
+			}
+		}
+	}
+	return a
+}
+
+// GPUFractionOf reports the offload ratio the partition gives an element.
+func (ex *Expansion) GPUFractionOf(part graph.Partition, id element.NodeID) float64 {
+	insts := ex.instances[id]
+	if len(insts) == 0 {
+		return 0
+	}
+	gpu := 0
+	for _, w := range insts {
+		if part[w] == graph.GPU {
+			gpu++
+		}
+	}
+	return float64(gpu) / float64(len(insts))
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+)
+
+// Duplicator fans a batch out to the parallel branches of a stage,
+// retaining a pristine clone of each batch so the paired XORMerge can
+// compute per-branch modifications (paper §IV-B-1: "The original packet
+// will be xor-ed to each output packet to get the modified bits").
+//
+// When the orchestrator marks branches as read-only (writers flags), the
+// element implements the optimized packet/memory management the paper
+// leaves as future work: read-only branches logically share the original
+// buffers, so only writer branches pay copy costs. Functionally every
+// branch still gets its own clone (isolation is cheap insurance in Go);
+// the *cost* accounting — CopiedBytes, consumed by the simulator through
+// the MemProber interface — counts only the copies the optimized scheme
+// would actually make.
+type Duplicator struct {
+	name     string
+	branches int
+	writers  []bool // writer branches need private copies
+	// mu guards originals: in the concurrent dataplane the paired
+	// XORMerge reads from a different goroutine.
+	mu        sync.Mutex
+	originals map[uint64][]*netpkt.Packet
+
+	// CopiedBytes counts bytes the optimized scheme copies (writer
+	// branches plus, when any writer exists, the pristine reference).
+	CopiedBytes uint64
+}
+
+// NewDuplicator creates the fan-out element for a stage with n branches,
+// conservatively treating every branch as a writer.
+func NewDuplicator(name string, branches int) *Duplicator {
+	writers := make([]bool, branches)
+	for i := range writers {
+		writers[i] = true
+	}
+	return NewDuplicatorProfiled(name, writers)
+}
+
+// NewDuplicatorProfiled creates the fan-out element with per-branch
+// writer flags (true = the branch's NF writes packets and needs a private
+// copy).
+func NewDuplicatorProfiled(name string, writers []bool) *Duplicator {
+	return &Duplicator{
+		name: name, branches: len(writers), writers: writers,
+		originals: make(map[uint64][]*netpkt.Packet),
+	}
+}
+
+// Name implements element.Element.
+func (e *Duplicator) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *Duplicator) Traits() element.Traits {
+	return element.Traits{Kind: "Duplicator", Class: element.ClassShaper}
+}
+
+// NumOutputs implements element.Element.
+func (e *Duplicator) NumOutputs() int { return e.branches }
+
+// Signature implements element.Element.
+func (e *Duplicator) Signature() string {
+	return fmt.Sprintf("Duplicator/%s/%d", e.name, e.branches)
+}
+
+// Process implements element.Element: it stores a pristine clone and
+// emits one copy per branch, accounting copy bytes only for writer
+// branches (the optimized memory-management scheme).
+func (e *Duplicator) Process(b *netpkt.Batch) []*netpkt.Batch {
+	bytes := uint64(b.Bytes())
+	anyWriter := false
+	for i := 1; i < e.branches; i++ {
+		if e.writers[i] {
+			anyWriter = true
+			e.CopiedBytes += bytes
+		}
+	}
+	if anyWriter || e.writers[0] {
+		// The merge needs the pristine reference only when someone can
+		// modify packets.
+		e.CopiedBytes += bytes
+	}
+	pristine := b.Clone()
+	e.mu.Lock()
+	e.originals[b.ID] = pristine.Packets
+	e.mu.Unlock()
+	out := make([]*netpkt.Batch, e.branches)
+	out[0] = b
+	b.Branch = 0
+	for i := 1; i < e.branches; i++ {
+		out[i] = pristine.Clone()
+		out[i].Branch = i
+	}
+	return out
+}
+
+// MemAccesses implements hetsim.MemProber: cache lines copied by the
+// optimized duplication scheme.
+func (e *Duplicator) MemAccesses() uint64 { return e.CopiedBytes / 64 }
+
+// takeOriginal hands the stored pristine packets to the merge (consuming
+// the entry).
+func (e *Duplicator) takeOriginal(id uint64) []*netpkt.Packet {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o := e.originals[id]
+	delete(e.originals, id)
+	return o
+}
+
+// Reset implements element.Resetter.
+func (e *Duplicator) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.originals = make(map[uint64][]*netpkt.Packet)
+	e.CopiedBytes = 0
+}
+
+// XORMerge joins the branches of a parallelized stage. It buffers branch
+// outputs per batch ID; once all branches have delivered, it reconstructs
+// each packet as original XOR (OR of per-branch modifications). A packet
+// dropped by any branch stays dropped (the sequential chain would have
+// dropped it too).
+type XORMerge struct {
+	name     string
+	dup      *Duplicator
+	branches int
+	buf      map[uint64][]*netpkt.Batch
+	// Merged counts batches merged; MergeErrors counts length conflicts
+	// (which parallelization criteria should have prevented).
+	Merged      uint64
+	MergeErrors uint64
+	// DiffedBytes counts the bytes the merge actually XOR-diffs: only
+	// writer branches need diffing (read-only copies are bit-identical
+	// to the original by construction).
+	DiffedBytes uint64
+}
+
+// NewXORMerge creates the merge element paired with dup.
+func NewXORMerge(name string, dup *Duplicator) *XORMerge {
+	return &XORMerge{
+		name: name, dup: dup, branches: dup.branches,
+		buf: make(map[uint64][]*netpkt.Batch),
+	}
+}
+
+// Name implements element.Element.
+func (e *XORMerge) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *XORMerge) Traits() element.Traits {
+	return element.Traits{Kind: "XORMerge", Class: element.ClassShaper,
+		ReadsHeader: true, ReadsPayload: true, WritesHeader: true, WritesPayload: true}
+}
+
+// NumOutputs implements element.Element.
+func (e *XORMerge) NumOutputs() int { return 1 }
+
+// Signature implements element.Element.
+func (e *XORMerge) Signature() string { return "XORMerge/" + e.name }
+
+// ExpectedInputs implements hetsim.Merger: the simulator synchronizes the
+// ready times of all branch deliveries.
+func (e *XORMerge) ExpectedInputs() int { return e.branches }
+
+// Process implements element.Element. It returns an empty output until the
+// last branch delivers, then emits the merged batch.
+func (e *XORMerge) Process(b *netpkt.Batch) []*netpkt.Batch {
+	e.buf[b.ID] = append(e.buf[b.ID], b)
+	if len(e.buf[b.ID]) < e.branches {
+		return []*netpkt.Batch{nil}
+	}
+	parts := e.buf[b.ID]
+	delete(e.buf, b.ID)
+	orig := e.dup.takeOriginal(b.ID)
+	merged := e.mergeParts(orig, parts)
+	e.Merged++
+	return []*netpkt.Batch{merged}
+}
+
+// mergeParts applies the XOR/OR merge across branch copies.
+func (e *XORMerge) mergeParts(orig []*netpkt.Packet, parts []*netpkt.Batch) *netpkt.Batch {
+	out := &netpkt.Batch{ID: parts[0].ID}
+	n := len(orig)
+	for i := 0; i < n; i++ {
+		op := orig[i]
+		final := op.Clone()
+
+		// Gather this packet's copy from each branch (positional: all
+		// branches preserve batch slots).
+		dropped := false
+		var lengthChanged *netpkt.Packet
+		lengthChanges := 0
+		agg := make([]byte, len(op.Data))
+		for _, part := range parts {
+			if i >= len(part.Packets) {
+				continue
+			}
+			bp := part.Packets[i]
+			if bp.Dropped {
+				dropped = true
+				final.DropReason = bp.DropReason
+				continue
+			}
+			if len(bp.Data) != len(op.Data) {
+				lengthChanged = bp
+				lengthChanges++
+				continue
+			}
+			// Read-only branches are bit-identical to the original by
+			// construction: skip their diff (the optimized merge).
+			if part.Branch < len(e.dup.writers) && e.dup.writers[part.Branch] {
+				e.DiffedBytes += uint64(len(bp.Data))
+				for j := range bp.Data {
+					agg[j] |= bp.Data[j] ^ op.Data[j]
+				}
+			}
+			// Merge annotations: last branch that changed them wins.
+			if bp.Paint != op.Paint {
+				final.Paint = bp.Paint
+			}
+			if bp.UserAnno != op.UserAnno {
+				final.UserAnno = bp.UserAnno
+			}
+		}
+
+		switch {
+		case dropped:
+			final.Dropped = true
+		case lengthChanges > 1 && identicalCopies(parts, i, len(lengthChanged.Data)):
+			// Replicated identical NFs (the Fig. 13 evaluation shapes)
+			// produce byte-identical re-framed copies; adopt one.
+			final.Data = append([]byte(nil), lengthChanged.Data...)
+			final.L3Offset, final.L4Offset = lengthChanged.L3Offset, lengthChanged.L4Offset
+			final.L3Proto, final.L4Proto = lengthChanged.L3Proto, lengthChanged.L4Proto
+		case lengthChanges > 1:
+			// Distinct branches changed the length: the orchestrator's
+			// criteria forbid this pairing; fail safe by dropping.
+			final.Drop(e.name + "/length-conflict")
+			e.MergeErrors++
+		case lengthChanges == 1:
+			// Exactly one branch re-framed the packet: adopt its bytes
+			// (other branches were read-only on the payload by the
+			// parallelization criteria).
+			final.Data = append([]byte(nil), lengthChanged.Data...)
+			final.L3Offset, final.L4Offset = lengthChanged.L3Offset, lengthChanged.L4Offset
+			final.L3Proto, final.L4Proto = lengthChanged.L3Proto, lengthChanged.L4Proto
+		default:
+			for j := range final.Data {
+				final.Data[j] = op.Data[j] ^ agg[j]
+			}
+		}
+		out.Packets = append(out.Packets, final)
+	}
+	return out
+}
+
+// identicalCopies reports whether every live copy of packet slot i whose
+// length equals n carries identical bytes across the parts.
+func identicalCopies(parts []*netpkt.Batch, i, n int) bool {
+	var ref []byte
+	for _, part := range parts {
+		if i >= len(part.Packets) {
+			continue
+		}
+		p := part.Packets[i]
+		if p.Dropped || len(p.Data) != n {
+			continue
+		}
+		if ref == nil {
+			ref = p.Data
+			continue
+		}
+		for j := range p.Data {
+			if p.Data[j] != ref[j] {
+				return false
+			}
+		}
+	}
+	return ref != nil
+}
+
+// MemAccesses implements hetsim.MemProber: cache lines the optimized
+// merge actually diffs.
+func (e *XORMerge) MemAccesses() uint64 { return e.DiffedBytes / 64 }
+
+// Reset implements element.Resetter.
+func (e *XORMerge) Reset() {
+	e.buf = make(map[uint64][]*netpkt.Batch)
+	e.Merged, e.MergeErrors, e.DiffedBytes = 0, 0, 0
+}

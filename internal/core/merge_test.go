@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/nf"
+)
+
+func mergeBatch(n int) *netpkt.Batch {
+	pkts := make([]*netpkt.Packet, n)
+	for i := range pkts {
+		pkts[i] = netpkt.BuildUDPv4(netpkt.UDPPacketSpec{
+			SrcIP: netpkt.IPv4Addr(0x0a000001 + i), DstIP: 0x0b000001,
+			SrcPort: uint16(5000 + i), DstPort: 80,
+			Payload: []byte("hello merge world"),
+			FlowID:  uint64(i),
+		})
+	}
+	return netpkt.NewBatch(7, pkts)
+}
+
+// buildParallelDiamond wires src -> dup -> {branches} -> merge -> dst.
+func buildParallelDiamond(branches ...*nf.NF) (*element.Graph, element.NodeID) {
+	g := element.NewGraph()
+	src := g.Add(element.NewFromDevice("src"))
+	dup := NewDuplicator("dup", len(branches))
+	dupID := g.Add(dup)
+	merge := NewXORMerge("merge", dup)
+	mergeID := g.Add(merge)
+	g.MustConnect(src, 0, dupID)
+	for b, f := range branches {
+		entry, exit := f.Build(g, f.Name)
+		g.MustConnect(dupID, b, entry)
+		g.MustConnect(exit, 0, mergeID)
+	}
+	dst := g.Add(element.NewToDevice("dst"))
+	g.MustConnect(mergeID, 0, dst)
+	return g, dst
+}
+
+func runGraph(t *testing.T, g *element.Graph, dst element.NodeID, b *netpkt.Batch) *netpkt.Batch {
+	t.Helper()
+	x, err := element.NewExecutor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := x.RunBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[dst]) == 0 {
+		t.Fatal("nothing reached the sink")
+	}
+	return out[dst][0]
+}
+
+// Parallel {probe, NAT} must equal sequential probe -> NAT.
+func TestParallelMergeEqualsSequential(t *testing.T) {
+	public := netpkt.IPv4Addr(0x01020304)
+	mkChain := func() []*nf.NF {
+		return []*nf.NF{nf.NewProbe("probe"), nf.NewNAT("nat", public)}
+	}
+
+	seqG, _, seqDst := nf.BuildChain(mkChain())
+	seqOut := runGraph(t, seqG, seqDst, mergeBatch(8))
+
+	chain := mkChain()
+	parG, parDst := buildParallelDiamond(chain[0], chain[1])
+	parOut := runGraph(t, parG, parDst, mergeBatch(8))
+
+	if seqOut.Live() != parOut.Live() {
+		t.Fatalf("live: seq=%d par=%d", seqOut.Live(), parOut.Live())
+	}
+	for i := range seqOut.Packets {
+		if !bytes.Equal(seqOut.Packets[i].Data, parOut.Packets[i].Data) {
+			t.Fatalf("packet %d differs between sequential and parallel", i)
+		}
+	}
+}
+
+// A drop in any branch drops the merged packet.
+func TestMergeDropWins(t *testing.T) {
+	ids := nf.NewIDS("ids", []string{"hello"}, true) // matches every payload
+	probe := nf.NewProbe("probe")
+	g, dst := buildParallelDiamond(probe, ids)
+	out := runGraph(t, g, dst, mergeBatch(4))
+	if out.Live() != 0 {
+		t.Fatalf("IDS branch dropped everything but %d packets survive", out.Live())
+	}
+}
+
+// Disjoint-region writers merge cleanly: NAT (header) with Proxy (payload).
+func TestMergeDisjointWriters(t *testing.T) {
+	public := netpkt.IPv4Addr(0x01020304)
+	nat := nf.NewNAT("nat", public)
+	proxy := nf.NewProxy("px", []byte("XYZ"))
+	g, dst := buildParallelDiamond(nat, proxy)
+	out := runGraph(t, g, dst, mergeBatch(4))
+	if out.Live() != 4 {
+		t.Fatalf("live = %d", out.Live())
+	}
+	for _, p := range out.Packets {
+		_ = p.Parse()
+		ip, err := netpkt.ParseIPv4(p.L3())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip.Src != public {
+			t.Errorf("NAT write lost in merge: src = %v", ip.Src)
+		}
+		if !bytes.HasPrefix(p.Payload(), []byte("XYZ")) {
+			t.Errorf("proxy write lost in merge: payload = %q", p.Payload()[:8])
+		}
+	}
+}
+
+// A single length-changing branch is adopted wholesale.
+func TestMergeLengthChangeAdopted(t *testing.T) {
+	gw := nf.NewIPsecGateway("gw", 5, []byte("0123456789abcdef"), []byte("a"))
+	probe := nf.NewProbe("probe")
+	g, dst := buildParallelDiamond(probe, gw)
+	in := mergeBatch(3)
+	origLen := in.Packets[0].Len()
+	out := runGraph(t, g, dst, in)
+	if out.Live() != 3 {
+		t.Fatalf("live = %d", out.Live())
+	}
+	for _, p := range out.Packets {
+		if p.Len() <= origLen {
+			t.Errorf("ESP growth lost in merge: len %d <= %d", p.Len(), origLen)
+		}
+	}
+}
+
+// Two length-changing branches conflict and fail safe.
+func TestMergeLengthConflictDrops(t *testing.T) {
+	gw1 := nf.NewIPsecGateway("gw1", 5, []byte("0123456789abcdef"), []byte("a"))
+	gw2 := nf.NewIPsecGateway("gw2", 6, []byte("fedcba9876543210"), []byte("b"))
+	g, dst := buildParallelDiamond(gw1, gw2)
+	out := runGraph(t, g, dst, mergeBatch(2))
+	if out.Live() != 0 {
+		t.Fatal("length conflict not failed safe")
+	}
+}
+
+func TestMergeAnnotations(t *testing.T) {
+	lb := nf.NewLoadBalancer("lb", 4)
+	probe := nf.NewProbe("probe")
+	g, dst := buildParallelDiamond(probe, lb)
+	out := runGraph(t, g, dst, mergeBatch(16))
+	painted := false
+	for _, p := range out.Packets {
+		if p.Paint != 0 {
+			painted = true
+		}
+	}
+	if !painted {
+		t.Error("LB paint annotation lost in merge")
+	}
+}
+
+func TestDuplicatorAndMergeReset(t *testing.T) {
+	dup := NewDuplicator("d", 2)
+	m := NewXORMerge("m", dup)
+	b := mergeBatch(2)
+	outs := dup.Process(b)
+	m.Process(outs[0])
+	dup.Reset()
+	m.Reset()
+	if len(dup.originals) != 0 || len(m.buf) != 0 {
+		t.Error("reset did not clear buffers")
+	}
+}
+
+func TestMergeTraitsAndAccessors(t *testing.T) {
+	dup := NewDuplicator("d", 3)
+	m := NewXORMerge("m", dup)
+	if dup.NumOutputs() != 3 || m.NumOutputs() != 1 {
+		t.Error("port counts wrong")
+	}
+	if m.ExpectedInputs() != 3 {
+		t.Error("ExpectedInputs wrong")
+	}
+	if dup.Signature() == "" || m.Signature() == "" {
+		t.Error("empty signatures")
+	}
+	if dup.Traits().Kind != "Duplicator" || m.Traits().Kind != "XORMerge" {
+		t.Error("kinds wrong")
+	}
+}

@@ -1,0 +1,163 @@
+// Package core implements NFCompass itself (paper §IV): the SFC
+// orchestrator that parallelizes hazard-free NFs (Tables II/III), the
+// XOR-based parallel-branch merge (Fig. 10), the NF synthesizer that
+// de-duplicates and re-orders Click elements across chained NFs (Figs.
+// 10–11), the fine-grained element expansion that exposes offload ratios
+// to graph partitioning (Fig. 12), and the graph-partition-based task
+// allocator (GTA) that maps the synthesized element graph onto the
+// CPU/GPU platform.
+package core
+
+import "nfcompass/internal/nf"
+
+// Hazard classifies the dependency between two consecutive NFs, mirroring
+// the instruction-pipeline analogy of §IV-B-1.
+type Hazard int
+
+// Hazard kinds.
+const (
+	// HazardNone means the pair is freely parallelizable (RAR, WAR).
+	HazardNone Hazard = iota
+	// HazardRAW: the later NF reads a region the former writes.
+	HazardRAW
+	// HazardWAW: both write the same region.
+	HazardWAW
+	// HazardLength: a length-changing NF conflicts with any NF that
+	// touches the payload or the length-bearing header fields.
+	HazardLength
+)
+
+// String implements fmt.Stringer.
+func (h Hazard) String() string {
+	switch h {
+	case HazardNone:
+		return "none"
+	case HazardRAW:
+		return "RAW"
+	case HazardWAW:
+		return "WAW"
+	case HazardLength:
+		return "length"
+	default:
+		return "unknown"
+	}
+}
+
+// Analyze returns the hazard between a former NF and a later NF in a
+// chain, per Table III: RAR and WAR are safe; RAW and WAW are not —
+// except that WAW (and region-crossed cases) are safe when the two NFs
+// touch disjoint regions (one header, one payload), the "locate the
+// changed fields" refinement the paper describes.
+func Analyze(former, later nf.ActionProfile) Hazard {
+	// Length changes invalidate offsets for any packet-touching peer.
+	if former.AddRmBits || later.AddRmBits {
+		touches := func(p nf.ActionProfile) bool {
+			return p.ReadsHeader || p.ReadsPayload || p.WritesHeader || p.WritesPayload
+		}
+		if touches(former) && touches(later) {
+			return HazardLength
+		}
+	}
+	// RAW per region: former writes X, later reads X.
+	if former.WritesHeader && later.ReadsHeader {
+		return HazardRAW
+	}
+	if former.WritesPayload && later.ReadsPayload {
+		return HazardRAW
+	}
+	// WAW per region.
+	if former.WritesHeader && later.WritesHeader {
+		return HazardWAW
+	}
+	if former.WritesPayload && later.WritesPayload {
+		return HazardWAW
+	}
+	// WAR (later writes what former reads) and RAR are safe under packet
+	// duplication: each branch works on its own copy and the XOR merge
+	// reconciles disjoint modifications. Drops merge with drop-wins
+	// semantics, so CanDrop does not serialize.
+	return HazardNone
+}
+
+// Parallelizable reports whether a later NF may run in parallel with a
+// former NF of the chain on duplicated packets. The check is directional,
+// as in Table III: WAR (former reads, later writes) is safe because the
+// former's copy still sees the pre-write packet, exactly as it would have
+// sequentially; RAW is not, because the later NF would lose the former's
+// writes.
+func Parallelizable(former, later nf.ActionProfile) bool {
+	return Analyze(former, later) == HazardNone
+}
+
+// Stage is one step of the re-organized SFC: NFs within a stage run in
+// parallel on duplicated traffic; stages run in sequence.
+type Stage struct {
+	NFs []*nf.NF
+}
+
+// Parallelize re-organizes a sequential chain into parallel stages by
+// dependency-DAG level assignment (the paper models the SFC as a dataflow
+// graph): NF i depends on an earlier NF j when their packet actions hazard
+// (Analyze != none); each NF's stage is one past its deepest dependency.
+// Two NFs land in the same stage only if no dependency path separates
+// them, so every stage is hazard-free, and an NF unconstrained by its
+// immediate predecessor can still hoist past it — which the simpler greedy
+// grouping (kept as ParallelizeGreedy) cannot do.
+func Parallelize(chain []*nf.NF) []Stage {
+	if len(chain) == 0 {
+		return nil
+	}
+	level := make([]int, len(chain))
+	maxLevel := 0
+	for i, f := range chain {
+		l := 0
+		for j := 0; j < i; j++ {
+			if Analyze(chain[j].Profile, f.Profile) != HazardNone && level[j]+1 > l {
+				l = level[j] + 1
+			}
+		}
+		level[i] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	stages := make([]Stage, maxLevel+1)
+	for i, f := range chain {
+		stages[level[i]].NFs = append(stages[level[i]].NFs, f)
+	}
+	return stages
+}
+
+// ParallelizeGreedy is the simpler left-to-right grouping: an NF joins the
+// current stage if it is pairwise-parallelizable with every NF already in
+// it, else it opens a new stage. Parallelize never produces more stages
+// than this (see TestParallelizeDominatesGreedy).
+func ParallelizeGreedy(chain []*nf.NF) []Stage {
+	var stages []Stage
+	for _, f := range chain {
+		placed := false
+		if n := len(stages); n > 0 {
+			cur := &stages[n-1]
+			ok := true
+			for _, g := range cur.NFs {
+				if !Parallelizable(g.Profile, f.Profile) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cur.NFs = append(cur.NFs, f)
+				placed = true
+			}
+		}
+		if !placed {
+			stages = append(stages, Stage{NFs: []*nf.NF{f}})
+		}
+	}
+	return stages
+}
+
+// EffectiveLength returns the re-organized SFC's critical-path length in
+// stages — the paper's "effective length of SFC configuration" metric
+// (Fig. 13: configuration a has length 4, b has 1, c has 2).
+func EffectiveLength(stages []Stage) int { return len(stages) }

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+
+	"nfcompass/internal/element"
+)
+
+// SynthesisReport records what the NF synthesizer changed — the numbers
+// the evaluation reports (removed redundant elements, hoisted drops).
+type SynthesisReport struct {
+	// Removed lists the names of de-duplicated or dead elements.
+	Removed []string
+	// DeadWrites lists pure-overwrite elements eliminated as dead.
+	DeadWrites []string
+	// Hoisted lists drop-capable classifiers moved earlier.
+	Hoisted []string
+	// Before and After are the element counts.
+	Before, After int
+}
+
+// Synthesize applies the NF-level merging of §IV-B-2 to a *linear* element
+// chain (the shape BuildChain and each parallel branch produce): it
+// removes redundant duplicate classifiers, eliminates dead pure
+// overwrites, and hoists drop-capable classifiers to the front of their
+// classifier runs — all under the safety rules of Fig. 11 (classifiers
+// never move across modifiers or shapers; stateful order is preserved
+// because reordering stays within read-only runs).
+//
+// The graph is modified in place. Non-linear graphs are rejected.
+func Synthesize(g *element.Graph) (*SynthesisReport, error) {
+	seq, err := linearSequence(g)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SynthesisReport{Before: g.Len()}
+
+	// Pass 1: de-duplicate read-only classifiers.
+	removed := map[element.NodeID]bool{}
+	for j := 1; j < len(seq); j++ {
+		ej := g.Node(seq[j])
+		tj := ej.Traits()
+		if !isReadOnlyClassifier(tj) {
+			continue
+		}
+		for i := 0; i < j; i++ {
+			if removed[seq[i]] {
+				continue
+			}
+			ei := g.Node(seq[i])
+			if ei.Signature() != ej.Signature() {
+				continue
+			}
+			if dedupSafe(g, seq, i, j, tj, removed) {
+				removed[seq[j]] = true
+				rep.Removed = append(rep.Removed, ej.Name())
+				break
+			}
+		}
+	}
+
+	// Pass 2: dead pure-overwrite elimination — an earlier pure
+	// overwrite of the same kind is dead if nothing between it and a
+	// later one reads the written region.
+	for i := 0; i < len(seq); i++ {
+		if removed[seq[i]] {
+			continue
+		}
+		ti := g.Node(seq[i]).Traits()
+		if !ti.PureOverwrite || !ti.WritesHeader {
+			continue
+		}
+		for j := i + 1; j < len(seq); j++ {
+			if removed[seq[j]] {
+				continue
+			}
+			tj := g.Node(seq[j]).Traits()
+			if tj.ReadsHeader || tj.Class == element.ClassShaper {
+				break // region read (or opaque shaper): the write is live
+			}
+			if tj.PureOverwrite && tj.Kind == ti.Kind {
+				removed[seq[i]] = true
+				rep.DeadWrites = append(rep.DeadWrites, g.Node(seq[i]).Name())
+				break
+			}
+			if tj.WritesHeader {
+				break // a non-pure write intervenes; be conservative
+			}
+		}
+	}
+
+	// Apply removals (descending ids keep earlier ids stable).
+	var order []element.NodeID
+	for id := range removed {
+		order = append(order, id)
+	}
+	for i := range order {
+		for j := i + 1; j < len(order); j++ {
+			if order[j] > order[i] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, id := range order {
+		if err := g.RemoveNode(id); err != nil {
+			return nil, fmt.Errorf("core: splice failed: %w", err)
+		}
+	}
+
+	// Pass 3: drop hoisting within classifier runs, on the post-removal
+	// sequence.
+	seq, err = linearSequence(g)
+	if err != nil {
+		return nil, err
+	}
+	hoisted := hoistDrops(g, seq)
+	rep.Hoisted = hoisted
+
+	rep.After = g.Len()
+	return rep, nil
+}
+
+// isReadOnlyClassifier reports whether the element only inspects packets.
+func isReadOnlyClassifier(t element.Traits) bool {
+	return t.Class == element.ClassClassifier &&
+		!t.WritesHeader && !t.WritesPayload && !t.AddsRemovesBytes
+}
+
+// dedupSafe checks that re-running the classifier at position j would give
+// the same verdict it gave at position i: no intermediate element disturbs
+// a region the classifier reads (header writers are tolerated when they
+// preserve header validity; payload writers always block payload readers).
+func dedupSafe(g *element.Graph, seq []element.NodeID, i, j int,
+	cls element.Traits, removed map[element.NodeID]bool) bool {
+	for k := i + 1; k < j; k++ {
+		if removed[seq[k]] {
+			continue
+		}
+		t := g.Node(seq[k]).Traits()
+		if cls.ReadsPayload && (t.WritesPayload || t.AddsRemovesBytes) {
+			return false
+		}
+		if cls.ReadsHeader && (t.WritesHeader || t.AddsRemovesBytes) &&
+			!t.PreservesHeaderValidity {
+			return false
+		}
+		if t.Class == element.ClassShaper {
+			return false // opaque reordering/duplication
+		}
+	}
+	return true
+}
+
+// hoistDrops stable-moves drop-capable classifiers to the front of each
+// maximal run of consecutive classifiers, so doomed packets stop consuming
+// downstream work (§IV-B-2 redundancy source #2). Returns the names moved.
+func hoistDrops(g *element.Graph, seq []element.NodeID) []string {
+	var hoisted []string
+	i := 0
+	for i < len(seq) {
+		// Find a maximal run of classifiers.
+		if g.Node(seq[i]).Traits().Class != element.ClassClassifier {
+			i++
+			continue
+		}
+		j := i
+		for j < len(seq) && g.Node(seq[j]).Traits().Class == element.ClassClassifier {
+			j++
+		}
+		// Stable partition [i,j): CanDrop first.
+		run := append([]element.NodeID(nil), seq[i:j]...)
+		var front, back []element.NodeID
+		for _, id := range run {
+			if g.Node(id).Traits().CanDrop {
+				front = append(front, id)
+			} else {
+				back = append(back, id)
+			}
+		}
+		newRun := append(front, back...)
+		changed := false
+		for k := range run {
+			if newRun[k] != run[k] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			reorderRun(g, seq, i, j, newRun)
+			for k, id := range newRun {
+				if id != run[k] && g.Node(id).Traits().CanDrop {
+					hoisted = append(hoisted, g.Node(id).Name())
+				}
+			}
+			copy(seq[i:j], newRun)
+		}
+		i = j
+	}
+	return hoisted
+}
+
+// reorderRun rewires the linear chain so positions [i,j) of seq follow
+// newRun's order.
+func reorderRun(g *element.Graph, seq []element.NodeID, i, j int, newRun []element.NodeID) {
+	// The chain is ... seq[i-1] -> seq[i] -> ... -> seq[j-1] -> seq[j] ...
+	// Remove all edges among {seq[i-1]} ∪ run ∪ {seq[j]} and relink.
+	inRun := map[element.NodeID]bool{}
+	for _, id := range seq[i:j] {
+		inRun[id] = true
+	}
+	var kept []element.Edge
+	for _, e := range g.Edges() {
+		if inRun[e.From] || inRun[e.To] {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	g.SetEdges(kept)
+	prev := element.NodeID(-1)
+	if i > 0 {
+		prev = seq[i-1]
+	}
+	for _, id := range newRun {
+		if prev >= 0 {
+			g.MustConnect(prev, 0, id)
+		}
+		prev = id
+	}
+	if j < len(seq) {
+		g.MustConnect(prev, 0, seq[j])
+	}
+}
+
+// LinearSequence extracts the single path of a linear chain graph, in
+// order. Builders that splice synthesized segments use it to find segment
+// entry/exit nodes.
+func LinearSequence(g *element.Graph) ([]element.NodeID, error) {
+	return linearSequence(g)
+}
+
+// linearSequence extracts the single path of a linear graph.
+func linearSequence(g *element.Graph) ([]element.NodeID, error) {
+	srcs := g.Sources()
+	if len(srcs) != 1 {
+		return nil, fmt.Errorf("core: synthesizer requires a linear chain (got %d sources)", len(srcs))
+	}
+	var seq []element.NodeID
+	cur := srcs[0]
+	seen := map[element.NodeID]bool{}
+	for {
+		if seen[cur] {
+			return nil, fmt.Errorf("core: cycle in chain")
+		}
+		seen[cur] = true
+		seq = append(seq, cur)
+		succ := g.Successors(cur)
+		switch {
+		case len(succ) == 0 || len(succ[0]) == 0:
+			if len(seq) != g.Len() {
+				return nil, fmt.Errorf("core: graph is not a single linear chain")
+			}
+			return seq, nil
+		case len(succ) > 1 || len(succ[0]) > 1:
+			return nil, fmt.Errorf("core: element %s branches; chain not linear",
+				g.Node(cur).Name())
+		}
+		cur = succ[0][0]
+	}
+}

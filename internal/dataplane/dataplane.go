@@ -1,0 +1,295 @@
+// Package dataplane executes element graphs as a real concurrent
+// pipeline: every element runs on its own goroutine, batches flow through
+// channels along the graph's edges, and an ordered-release completion
+// queue restores batch order at the sink — the runtime shape of the
+// paper's Figure 3 (I/O threads feeding processing elements feeding
+// offload threads), with goroutines standing in for pinned cores.
+//
+// The platform *simulator* (internal/hetsim) answers "how fast would this
+// run on the paper's CPU+GPU server"; the dataplane answers "run it now,
+// concurrently, on this machine" — it is the deployment artifact a user
+// of the library would actually operate.
+package dataplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	// QueueDepth is the channel capacity between elements (default 16).
+	// When a stage's queue is full the upstream stage blocks —
+	// back-pressure, not drops.
+	QueueDepth int
+	// PreserveOrder re-sequences batches at the sink in injection order
+	// using a completion queue (default true behaviour is OFF to keep
+	// the zero value cheap; the paper's stateful NFs need it ON).
+	PreserveOrder bool
+}
+
+// Stats counts pipeline activity with atomics (safe to read live).
+type Stats struct {
+	InBatches   atomic.Uint64
+	OutBatches  atomic.Uint64
+	InPackets   atomic.Uint64
+	OutPackets  atomic.Uint64
+	DropPackets atomic.Uint64
+}
+
+// Pipeline is a running dataplane for one element graph.
+type Pipeline struct {
+	g     *element.Graph
+	cfg   Config
+	Stats Stats
+
+	in      chan *netpkt.Batch
+	out     chan *netpkt.Batch
+	cancel  context.CancelFunc
+	done    chan struct{}
+	runErr  error
+	errOnce sync.Once
+}
+
+// stageMsg carries a batch between stages.
+type stageMsg struct {
+	b *netpkt.Batch
+}
+
+// New validates the graph and constructs a stopped pipeline.
+func New(g *element.Graph, cfg Config) (*Pipeline, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	return &Pipeline{
+		g:    g,
+		cfg:  cfg,
+		in:   make(chan *netpkt.Batch, cfg.QueueDepth),
+		out:  make(chan *netpkt.Batch, cfg.QueueDepth),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Start launches one goroutine per element plus the sink collector. The
+// pipeline runs until Close (or ctx cancellation) and the input channel is
+// drained.
+func (p *Pipeline) Start(ctx context.Context) {
+	ctx, p.cancel = context.WithCancel(ctx)
+
+	n := p.g.Len()
+	// One input channel per node; fan-in edges share it.
+	inbox := make([]chan stageMsg, n)
+	for i := range inbox {
+		inbox[i] = make(chan stageMsg, p.cfg.QueueDepth)
+	}
+	// Writer counts per node, so each inbox closes when all its
+	// upstreams finish.
+	writers := make([]atomic.Int32, n)
+	for _, e := range p.g.Edges() {
+		writers[e.To].Add(1)
+	}
+	sources := p.g.Sources()
+	for _, s := range sources {
+		writers[s].Add(1) // the injector writes to sources
+	}
+
+	var wg sync.WaitGroup
+	sinkOut := make(chan *netpkt.Batch, p.cfg.QueueDepth)
+	var sinkWriters atomic.Int32
+
+	for i := 0; i < n; i++ {
+		id := element.NodeID(i)
+		el := p.g.Node(id)
+		succ := p.g.Successors(id)
+		isSink := el.NumOutputs() == 0
+		if isSink {
+			sinkWriters.Add(1)
+		}
+		wg.Add(1)
+		go func(id element.NodeID, el element.Element, succ [][]element.NodeID, isSink bool) {
+			defer wg.Done()
+			defer func() {
+				// Decrement writer counts downstream; close inboxes
+				// that have no writers left.
+				for _, targets := range succ {
+					for _, to := range targets {
+						if writers[to].Add(-1) == 0 {
+							close(inbox[to])
+						}
+					}
+				}
+				if isSink {
+					if sinkWriters.Add(-1) == 0 {
+						close(sinkOut)
+					}
+				}
+			}()
+			for msg := range inbox[id] {
+				outs := el.Process(msg.b)
+				if isSink {
+					select {
+					case sinkOut <- msg.b:
+					case <-ctx.Done():
+						return
+					}
+					continue
+				}
+				if len(outs) != el.NumOutputs() {
+					p.fail(fmt.Errorf("dataplane: %s emitted %d outputs, declared %d",
+						el.Name(), len(outs), el.NumOutputs()))
+					return
+				}
+				for port, ob := range outs {
+					if ob == nil || len(ob.Packets) == 0 {
+						continue
+					}
+					for _, to := range succ[port] {
+						select {
+						case inbox[to] <- stageMsg{b: ob}:
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+			}
+		}(id, el, succ, isSink)
+	}
+
+	// Injector: p.in -> all source inboxes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			for _, s := range sources {
+				if writers[s].Add(-1) == 0 {
+					close(inbox[s])
+				}
+			}
+		}()
+		for b := range p.in {
+			p.Stats.InBatches.Add(1)
+			p.Stats.InPackets.Add(uint64(b.Live()))
+			for _, s := range sources {
+				select {
+				case inbox[s] <- stageMsg{b: b}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	// Collector: sinkOut -> p.out, optionally re-ordered.
+	go func() {
+		defer close(p.done)
+		defer close(p.out)
+		var cq *netpkt.CompletionQueue
+		if p.cfg.PreserveOrder {
+			cq = netpkt.NewCompletionQueue(0)
+		}
+		emit := func(b *netpkt.Batch) bool {
+			p.Stats.OutBatches.Add(1)
+			live := uint64(b.Live())
+			p.Stats.OutPackets.Add(live)
+			p.Stats.DropPackets.Add(uint64(b.Len()) - live)
+			select {
+			case p.out <- b:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for b := range sinkOut {
+			if cq == nil {
+				if !emit(b) {
+					return
+				}
+				continue
+			}
+			cq.Submit(b, 1)
+			cq.Complete(b.ID)
+			for {
+				ready := cq.Pop()
+				if ready == nil {
+					break
+				}
+				if !emit(ready) {
+					return
+				}
+			}
+		}
+		wg.Wait()
+	}()
+}
+
+// fail records the first pipeline error and cancels the run.
+func (p *Pipeline) fail(err error) {
+	p.errOnce.Do(func() {
+		p.runErr = err
+		p.cancel()
+	})
+}
+
+// In returns the injection channel. Close it (via CloseInput) to drain.
+func (p *Pipeline) In() chan<- *netpkt.Batch { return p.in }
+
+// Out returns the channel of completed batches.
+func (p *Pipeline) Out() <-chan *netpkt.Batch { return p.out }
+
+// CloseInput signals that no more batches will be injected; the pipeline
+// drains and closes Out.
+func (p *Pipeline) CloseInput() { close(p.in) }
+
+// Wait blocks until the pipeline has fully drained and returns the first
+// error, if any.
+func (p *Pipeline) Wait() error {
+	<-p.done
+	return p.runErr
+}
+
+// RunBatches is the convenience one-shot: start, inject everything, drain,
+// and return the collected output batches in completion order.
+func RunBatches(ctx context.Context, g *element.Graph, cfg Config,
+	batches []*netpkt.Batch) ([]*netpkt.Batch, *Stats, error) {
+	p, err := New(g, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.Start(ctx)
+
+	var outs []*netpkt.Batch
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for b := range p.Out() {
+			outs = append(outs, b)
+		}
+	}()
+
+	for _, b := range batches {
+		select {
+		case p.In() <- b:
+		case <-ctx.Done():
+			p.CloseInput()
+			<-collectDone
+			return outs, &p.Stats, ctx.Err()
+		}
+	}
+	p.CloseInput()
+	<-collectDone
+	if err := p.Wait(); err != nil {
+		return outs, &p.Stats, err
+	}
+	return outs, &p.Stats, nil
+}

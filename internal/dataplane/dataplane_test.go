@@ -1,0 +1,204 @@
+package dataplane
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"nfcompass/internal/core"
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/nf"
+	"nfcompass/internal/traffic"
+	"nfcompass/internal/trie"
+)
+
+func testChainGraph() *element.Graph {
+	var tr trie.IPv4Trie
+	_ = tr.Insert(0, 0, 1)
+	g, _, _ := nf.BuildChain([]*nf.NF{
+		nf.NewIPv4Router("r", trie.BuildDir24_8(&tr), "dp"),
+		nf.NewNAT("nat", 0x01020304),
+	})
+	return g
+}
+
+func genBatches(n, size int, seed int64) []*netpkt.Batch {
+	gen := traffic.NewGenerator(traffic.Config{Size: traffic.Fixed(128), Seed: seed})
+	return gen.Batches(n, size)
+}
+
+func TestRunBatchesBasic(t *testing.T) {
+	g := testChainGraph()
+	outs, stats, err := RunBatches(context.Background(), g, Config{}, genBatches(20, 32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 20 {
+		t.Fatalf("out batches = %d", len(outs))
+	}
+	if stats.InPackets.Load() != 640 || stats.OutPackets.Load() != 640 {
+		t.Errorf("packets in/out = %d/%d",
+			stats.InPackets.Load(), stats.OutPackets.Load())
+	}
+}
+
+// The concurrent pipeline must produce byte-identical results to the
+// sequential executor.
+func TestMatchesSequentialExecutor(t *testing.T) {
+	seqG := testChainGraph()
+	x, err := element.NewExecutor(seqG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqIn := genBatches(10, 16, 2)
+	seqOut := make(map[uint64]*netpkt.Batch)
+	dst := seqG.Sinks()[0]
+	for _, b := range seqIn {
+		o, err := x.RunBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqOut[b.ID] = o[dst][0]
+	}
+
+	parG := testChainGraph()
+	outs, _, err := RunBatches(context.Background(), parG, Config{}, genBatches(10, 16, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 10 {
+		t.Fatalf("out = %d", len(outs))
+	}
+	for _, ob := range outs {
+		want := seqOut[ob.ID]
+		if want == nil {
+			t.Fatalf("unexpected batch id %d", ob.ID)
+		}
+		for i := range ob.Packets {
+			if !bytes.Equal(ob.Packets[i].Data, want.Packets[i].Data) {
+				t.Fatalf("batch %d packet %d differs from sequential", ob.ID, i)
+			}
+		}
+	}
+}
+
+func TestPreserveOrder(t *testing.T) {
+	g := testChainGraph()
+	outs, _, err := RunBatches(context.Background(), g,
+		Config{PreserveOrder: true}, genBatches(30, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range outs {
+		if b.ID != uint64(i) {
+			t.Fatalf("batch %d arrived at position %d", b.ID, i)
+		}
+	}
+}
+
+// A parallel diamond (Duplicator -> branches -> XORMerge) must work across
+// goroutines (this test exercises the Duplicator's locking under -race).
+func TestParallelDiamondConcurrent(t *testing.T) {
+	g := element.NewGraph()
+	src := g.Add(element.NewFromDevice("src"))
+	dup := core.NewDuplicator("dup", 2)
+	dupID := g.Add(dup)
+	merge := core.NewXORMerge("merge", dup)
+	mergeID := g.Add(merge)
+	g.MustConnect(src, 0, dupID)
+	probe := nf.NewProbe("p1")
+	e1, x1 := probe.Build(g, "b0")
+	nat := nf.NewNAT("nat", 0x0a0b0c0d)
+	e2, x2 := nat.Build(g, "b1")
+	g.MustConnect(dupID, 0, e1)
+	g.MustConnect(dupID, 1, e2)
+	g.MustConnect(x1, 0, mergeID)
+	g.MustConnect(x2, 0, mergeID)
+	dst := g.Add(element.NewToDevice("dst"))
+	g.MustConnect(mergeID, 0, dst)
+
+	outs, stats, err := RunBatches(context.Background(), g,
+		Config{PreserveOrder: true}, genBatches(25, 16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 25 {
+		t.Fatalf("out = %d", len(outs))
+	}
+	if stats.OutPackets.Load() != 25*16 {
+		t.Errorf("out packets = %d", stats.OutPackets.Load())
+	}
+	// NAT's header writes must have survived the merge.
+	for _, b := range outs {
+		p := b.Packets[0]
+		_ = p.Parse()
+		ip, err := netpkt.ParseIPv4(p.L3())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip.Src != 0x0a0b0c0d {
+			t.Fatalf("NAT write lost: src=%v", ip.Src)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	g := testChainGraph()
+	p, err := New(g, Config{QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p.Start(ctx)
+	// Inject a couple, then cancel without closing input.
+	for _, b := range genBatches(2, 8, 5) {
+		p.In() <- b
+	}
+	cancel()
+	p.CloseInput()
+	donech := make(chan struct{})
+	go func() {
+		for range p.Out() {
+		}
+		close(donech)
+	}()
+	select {
+	case <-donech:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline did not shut down after cancellation")
+	}
+}
+
+func TestInvalidGraphRejected(t *testing.T) {
+	g := element.NewGraph()
+	g.Add(element.NewFromDevice("src")) // unconnected output
+	if _, err := New(g, Config{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestBadElementOutputsFails(t *testing.T) {
+	g := element.NewGraph()
+	src := g.Add(element.NewFromDevice("src"))
+	bad := g.Add(&misbehaving{})
+	dst := g.Add(element.NewToDevice("dst"))
+	g.MustConnect(src, 0, bad)
+	g.MustConnect(bad, 0, dst)
+	_, _, err := RunBatches(context.Background(), g, Config{}, genBatches(1, 4, 6))
+	if err == nil {
+		t.Error("misbehaving element not reported")
+	}
+}
+
+// misbehaving declares one output but emits none.
+type misbehaving struct{}
+
+func (m *misbehaving) Name() string           { return "bad" }
+func (m *misbehaving) Traits() element.Traits { return element.Traits{Kind: "Bad"} }
+func (m *misbehaving) NumOutputs() int        { return 1 }
+func (m *misbehaving) Signature() string      { return "Bad" }
+func (m *misbehaving) Process(b *netpkt.Batch) []*netpkt.Batch {
+	return nil
+}

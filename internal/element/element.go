@@ -1,0 +1,114 @@
+// Package element provides the Click-style packet processing framework the
+// paper builds on: processing elements, the element graph (configuration
+// DAG), and a push-mode batch executor. NFCompass's NF synthesizer operates
+// on these graphs — concatenating, de-duplicating, and re-ordering elements
+// — so every element carries the traits the synthesizer's rules consult:
+// its traffic class (classifiers must not move across modifiers/shapers),
+// its header/payload read/write sets, whether it can drop packets, and
+// whether it is GPU-offloadable.
+package element
+
+import "nfcompass/internal/netpkt"
+
+// Class is the element traffic class used by the synthesizer's re-ordering
+// rules (paper §IV-B-2: "to keep the correctness of classification, the
+// classifiers are not allowed to move across modifiers or shapers").
+type Class int
+
+// Element traffic classes.
+const (
+	// ClassIO is a network I/O endpoint (FromDevice/ToDevice).
+	ClassIO Class = iota
+	// ClassClassifier inspects packets and routes them to outputs
+	// without modifying them (Classifier, CheckIPHeader, ACL, DPI match).
+	ClassClassifier
+	// ClassModifier rewrites packet bytes (DecTTL, NAT, IPsec, EtherEncap).
+	ClassModifier
+	// ClassShaper reorders, delays, or duplicates packets (Queue, Tee).
+	ClassShaper
+	// ClassTerminal consumes packets (Discard, Counter sinks).
+	ClassTerminal
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassIO:
+		return "io"
+	case ClassClassifier:
+		return "classifier"
+	case ClassModifier:
+		return "modifier"
+	case ClassShaper:
+		return "shaper"
+	case ClassTerminal:
+		return "terminal"
+	default:
+		return "unknown"
+	}
+}
+
+// Traits describes an element's externally visible behaviour. The SFC
+// orchestrator's hazard analysis (Tables II/III) and the synthesizer's
+// merge rules are computed from these fields, and the platform simulator
+// keys its cost tables on Kind.
+type Traits struct {
+	// Kind is the element type name (e.g. "IPLookup", "AhoCorasick");
+	// cost tables and de-duplication signatures key on it.
+	Kind string
+	// Class is the traffic class for re-ordering rules.
+	Class Class
+	// ReadsHeader/ReadsPayload/WritesHeader/WritesPayload describe the
+	// packet regions the element touches.
+	ReadsHeader, ReadsPayload   bool
+	WritesHeader, WritesPayload bool
+	// CanDrop reports whether the element may drop packets.
+	CanDrop bool
+	// AddsRemovesBytes reports whether the element changes packet length
+	// (encapsulation, WAN optimization).
+	AddsRemovesBytes bool
+	// Offloadable reports whether a GPU implementation exists.
+	Offloadable bool
+	// Stateful elements require in-order per-flow processing, which
+	// forces completion-queue buffering when offloaded.
+	Stateful bool
+	// PreservesHeaderValidity marks modifiers that keep the IP header
+	// well-formed (length and checksum maintained). The NF synthesizer
+	// may de-duplicate a header-validating classifier across such
+	// modifiers.
+	PreservesHeaderValidity bool
+	// PureOverwrite marks modifiers whose writes do not depend on the
+	// overwritten value (e.g. MAC rewrite); an earlier instance is dead
+	// when a later same-kind instance overwrites it unread.
+	PureOverwrite bool
+}
+
+// Element is one Click-style packet processing element. Implementations
+// process whole batches (the batching granularity the heterogeneous
+// frameworks use) and steer packets to output ports.
+type Element interface {
+	// Name returns the instance name (unique within a graph).
+	Name() string
+	// Traits returns the element's behavioural description.
+	Traits() Traits
+	// NumOutputs returns the number of output ports (0 for sinks).
+	NumOutputs() int
+	// Process consumes a batch and returns one batch per output port
+	// (entries may be nil or empty). Packets it drops are marked
+	// Dropped in place. Elements must tolerate already-dropped packets
+	// in the input (skip them).
+	Process(b *netpkt.Batch) []*netpkt.Batch
+	// Signature returns a configuration fingerprint: two elements with
+	// equal signatures are functionally identical, which is the
+	// synthesizer's de-duplication criterion.
+	Signature() string
+}
+
+// Resetter is implemented by stateful elements that can be reset between
+// experiment runs.
+type Resetter interface {
+	Reset()
+}
+
+// single wraps a batch as the output vector of a one-output element.
+func single(b *netpkt.Batch) []*netpkt.Batch { return []*netpkt.Batch{b} }

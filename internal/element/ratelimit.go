@@ -1,0 +1,91 @@
+package element
+
+import (
+	"fmt"
+
+	"nfcompass/internal/netpkt"
+)
+
+// RateLimiter is a token-bucket policer (like Click's BandwidthShaper in
+// policing mode): packets consume tokens proportional to their wire bytes;
+// packets arriving to an empty bucket are dropped. The bucket refills
+// against the packets' Arrival timestamps, so the limiter is deterministic
+// under simulated time (wall clocks would break reproducibility).
+type RateLimiter struct {
+	name string
+	// RateBps is the sustained rate in bytes per second.
+	RateBps float64
+	// BurstBytes is the bucket depth.
+	BurstBytes float64
+
+	tokens   float64
+	lastTime int64
+	primed   bool
+
+	Passed  uint64
+	Policed uint64
+}
+
+// NewRateLimiter builds a policer with the given rate (bytes/second) and
+// burst (bytes).
+func NewRateLimiter(name string, rateBps, burstBytes float64) *RateLimiter {
+	if burstBytes <= 0 {
+		burstBytes = 64 * 1500
+	}
+	return &RateLimiter{
+		name: name, RateBps: rateBps, BurstBytes: burstBytes,
+		tokens: burstBytes,
+	}
+}
+
+// Name implements Element.
+func (e *RateLimiter) Name() string { return e.name }
+
+// Traits implements Element.
+func (e *RateLimiter) Traits() Traits {
+	return Traits{Kind: "RateLimiter", Class: ClassShaper, CanDrop: true, Stateful: true}
+}
+
+// NumOutputs implements Element.
+func (e *RateLimiter) NumOutputs() int { return 1 }
+
+// Signature implements Element.
+func (e *RateLimiter) Signature() string {
+	return fmt.Sprintf("RateLimiter/%g/%g", e.RateBps, e.BurstBytes)
+}
+
+// Process implements Element.
+func (e *RateLimiter) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped {
+			continue
+		}
+		if !e.primed {
+			e.primed = true
+			e.lastTime = p.Arrival
+		}
+		if p.Arrival > e.lastTime {
+			e.tokens += float64(p.Arrival-e.lastTime) * e.RateBps / 1e9
+			if e.tokens > e.BurstBytes {
+				e.tokens = e.BurstBytes
+			}
+			e.lastTime = p.Arrival
+		}
+		need := float64(len(p.Data))
+		if e.tokens >= need {
+			e.tokens -= need
+			e.Passed++
+		} else {
+			p.Drop(e.name)
+			e.Policed++
+		}
+	}
+	return single(b)
+}
+
+// Reset implements Resetter.
+func (e *RateLimiter) Reset() {
+	e.tokens = e.BurstBytes
+	e.lastTime, e.primed = 0, false
+	e.Passed, e.Policed = 0, 0
+}

@@ -1,0 +1,149 @@
+package element
+
+import (
+	"testing"
+
+	"nfcompass/internal/netpkt"
+)
+
+func TestQueueFIFOAndOverflow(t *testing.T) {
+	q := NewQueue("q", 3)
+	b := udpBatch(5)
+	out := q.Process(b)[0]
+	if out.Live() != 3 {
+		t.Fatalf("live = %d, want 3 (capacity)", out.Live())
+	}
+	if q.Drops != 2 {
+		t.Errorf("Drops = %d", q.Drops)
+	}
+	if q.HighWater != 3 {
+		t.Errorf("HighWater = %d", q.HighWater)
+	}
+	// FIFO order preserved.
+	for i, p := range out.Packets {
+		if !p.Dropped && p.SeqInBatch != i {
+			t.Errorf("packet %d has seq %d", i, p.SeqInBatch)
+		}
+	}
+	q.Reset()
+	if q.Len() != 0 || q.Drops != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestQueueDefaultCapacity(t *testing.T) {
+	q := NewQueue("q", 0)
+	if q.Capacity != 512 {
+		t.Errorf("Capacity = %d", q.Capacity)
+	}
+}
+
+func TestCheckPaintSteers(t *testing.T) {
+	e := NewCheckPaint("cp", 7)
+	b := udpBatch(6)
+	b.Packets[1].Paint = 7
+	b.Packets[4].Paint = 7
+	outs := e.Process(b)
+	if len(outs) != 2 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	if len(outs[0].Packets) != 4 || len(outs[1].Packets) != 2 {
+		t.Errorf("split = %d/%d", len(outs[0].Packets), len(outs[1].Packets))
+	}
+	for _, p := range outs[1].Packets {
+		if p.Paint != 7 {
+			t.Error("unpainted packet on the painted port")
+		}
+	}
+}
+
+func TestSetDSCPRewritesAndChecksums(t *testing.T) {
+	e := NewSetDSCP("dscp", 46) // EF
+	p := netpkt.BuildUDPv4(netpkt.UDPPacketSpec{SrcIP: 1, DstIP: 2})
+	b := netpkt.NewBatch(0, []*netpkt.Packet{p})
+	e.Process(b)
+	ip, err := netpkt.ParseIPv4(p.L3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.TOS>>2 != 46 {
+		t.Errorf("DSCP = %d", ip.TOS>>2)
+	}
+	if !netpkt.IPv4HeaderChecksumOK(p.L3()) {
+		t.Error("checksum invalid after DSCP rewrite")
+	}
+}
+
+func TestSetDSCPIsDeadWriteEliminable(t *testing.T) {
+	tr := NewSetDSCP("d", 1).Traits()
+	if !tr.PureOverwrite || !tr.PreservesHeaderValidity {
+		t.Error("SetDSCP should be a pure header overwrite")
+	}
+}
+
+func TestSetDSCPMasksTo6Bits(t *testing.T) {
+	e := NewSetDSCP("d", 0xff)
+	if e.dscp != 0x3f {
+		t.Errorf("dscp = %#x", e.dscp)
+	}
+}
+
+func TestRateLimiterPolicesToRate(t *testing.T) {
+	// 1000 bytes/second, burst 100 bytes; 64-byte packets every 10 ms
+	// (6.4 kB/s offered) must be policed down to ~1 kB/s.
+	rl := NewRateLimiter("rl", 1000, 100)
+	passedBytes := 0
+	for i := 0; i < 200; i++ {
+		p := netpkt.BuildUDPv4(netpkt.UDPPacketSpec{SrcIP: 1, DstIP: 2, Payload: make([]byte, 22)})
+		p.Arrival = int64(i) * 10_000_000 // 10 ms
+		rl.Process(netpkt.NewBatch(uint64(i), []*netpkt.Packet{p}))
+		if !p.Dropped {
+			passedBytes += p.Len()
+		}
+	}
+	// 2 seconds elapsed: ~2000 bytes + burst should pass.
+	if passedBytes < 1900 || passedBytes > 2400 {
+		t.Errorf("passed %d bytes over 2s at 1000 B/s", passedBytes)
+	}
+	if rl.Policed == 0 {
+		t.Error("nothing policed at 6x oversubscription")
+	}
+}
+
+func TestRateLimiterBurstAbsorbed(t *testing.T) {
+	rl := NewRateLimiter("rl", 1000, 10_000)
+	// A burst at t=0 within the bucket depth passes entirely.
+	pkts := make([]*netpkt.Packet, 10)
+	for i := range pkts {
+		pkts[i] = netpkt.BuildUDPv4(netpkt.UDPPacketSpec{SrcIP: 1, DstIP: 2,
+			Payload: make([]byte, 958)}) // 1000B wire
+	}
+	rl.Process(netpkt.NewBatch(0, pkts))
+	for i, p := range pkts {
+		if p.Dropped {
+			t.Fatalf("packet %d of in-burst traffic dropped", i)
+		}
+	}
+	// The 11th immediately after must be policed.
+	p := netpkt.BuildUDPv4(netpkt.UDPPacketSpec{SrcIP: 1, DstIP: 2, Payload: make([]byte, 958)})
+	rl.Process(netpkt.NewBatch(1, []*netpkt.Packet{p}))
+	if !p.Dropped {
+		t.Error("post-burst packet passed an empty bucket")
+	}
+}
+
+func TestRateLimiterReset(t *testing.T) {
+	rl := NewRateLimiter("rl", 1, 50)
+	p := netpkt.BuildUDPv4(netpkt.UDPPacketSpec{SrcIP: 1, DstIP: 2})
+	rl.Process(netpkt.NewBatch(0, []*netpkt.Packet{p}))
+	rl.Reset()
+	if rl.Passed != 0 || rl.Policed != 0 {
+		t.Error("counters not reset")
+	}
+	// Bucket refilled to burst after reset.
+	q := netpkt.BuildUDPv4(netpkt.UDPPacketSpec{SrcIP: 1, DstIP: 2})
+	rl.Process(netpkt.NewBatch(1, []*netpkt.Packet{q}))
+	if q.Dropped {
+		t.Error("bucket not refilled by Reset")
+	}
+}

@@ -1,0 +1,167 @@
+// Package flowtable provides the bounded per-flow state store the stateful
+// network functions share (NAT port mappings, TCP reassembly contexts,
+// stream-scanner automaton states). Real NFV deployments bound flow state
+// and evict — an unbounded map is a memory leak under flow churn — so the
+// table keeps at most Capacity entries with least-recently-used eviction
+// and an eviction callback for owners that must release resources.
+package flowtable
+
+// Table is a bounded flow-keyed store with LRU eviction. The zero value is
+// not usable; construct with New. It is not goroutine-safe (each stateful
+// element owns one and runs on a single goroutine).
+type Table[V any] struct {
+	capacity int
+	entries  map[uint64]*entry[V]
+	// Doubly-linked LRU list: head = most recent, tail = next victim.
+	head, tail *entry[V]
+	// OnEvict, when set, observes each evicted key/value.
+	OnEvict func(key uint64, value V)
+
+	// Evictions counts LRU evictions (the churn metric).
+	Evictions uint64
+}
+
+type entry[V any] struct {
+	key        uint64
+	value      V
+	prev, next *entry[V]
+}
+
+// New creates a table bounded to capacity entries (minimum 1).
+func New[V any](capacity int) *Table[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Table[V]{
+		capacity: capacity,
+		entries:  make(map[uint64]*entry[V], capacity),
+	}
+}
+
+// Len returns the number of live entries.
+func (t *Table[V]) Len() int { return len(t.entries) }
+
+// Capacity returns the bound.
+func (t *Table[V]) Capacity() int { return t.capacity }
+
+// Get returns the value for key, marking it most recently used.
+func (t *Table[V]) Get(key uint64) (V, bool) {
+	e, ok := t.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	t.touch(e)
+	return e.value, true
+}
+
+// Peek returns the value without touching recency.
+func (t *Table[V]) Peek(key uint64) (V, bool) {
+	e, ok := t.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return e.value, true
+}
+
+// Put inserts or replaces the value for key (most recently used), evicting
+// the LRU entry if the table is full.
+func (t *Table[V]) Put(key uint64, value V) {
+	if e, ok := t.entries[key]; ok {
+		e.value = value
+		t.touch(e)
+		return
+	}
+	if len(t.entries) >= t.capacity {
+		t.evict()
+	}
+	e := &entry[V]{key: key, value: value}
+	t.entries[key] = e
+	t.pushFront(e)
+}
+
+// GetOrCreate returns the existing value or installs the one produced by
+// mk, reporting whether it was created.
+func (t *Table[V]) GetOrCreate(key uint64, mk func() V) (V, bool) {
+	if v, ok := t.Get(key); ok {
+		return v, false
+	}
+	v := mk()
+	t.Put(key, v)
+	return v, true
+}
+
+// Delete removes key if present.
+func (t *Table[V]) Delete(key uint64) {
+	e, ok := t.entries[key]
+	if !ok {
+		return
+	}
+	t.unlink(e)
+	delete(t.entries, key)
+}
+
+// Reset drops every entry without invoking OnEvict.
+func (t *Table[V]) Reset() {
+	t.entries = make(map[uint64]*entry[V], t.capacity)
+	t.head, t.tail = nil, nil
+	t.Evictions = 0
+}
+
+// Range visits every entry from most to least recently used; returning
+// false stops the walk.
+func (t *Table[V]) Range(visit func(key uint64, value V) bool) {
+	for e := t.head; e != nil; e = e.next {
+		if !visit(e.key, e.value) {
+			return
+		}
+	}
+}
+
+func (t *Table[V]) evict() {
+	victim := t.tail
+	if victim == nil {
+		return
+	}
+	t.unlink(victim)
+	delete(t.entries, victim.key)
+	t.Evictions++
+	if t.OnEvict != nil {
+		t.OnEvict(victim.key, victim.value)
+	}
+}
+
+func (t *Table[V]) touch(e *entry[V]) {
+	if t.head == e {
+		return
+	}
+	t.unlink(e)
+	t.pushFront(e)
+}
+
+func (t *Table[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = t.head
+	if t.head != nil {
+		t.head.prev = e
+	}
+	t.head = e
+	if t.tail == nil {
+		t.tail = e
+	}
+}
+
+func (t *Table[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,161 @@
+package flowtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetBasics(t *testing.T) {
+	tb := New[string](4)
+	tb.Put(1, "a")
+	tb.Put(2, "b")
+	if v, ok := tb.Get(1); !ok || v != "a" {
+		t.Errorf("Get(1) = %q,%v", v, ok)
+	}
+	if _, ok := tb.Get(9); ok {
+		t.Error("Get(9) hit")
+	}
+	tb.Put(1, "a2")
+	if v, _ := tb.Get(1); v != "a2" {
+		t.Errorf("replace failed: %q", v)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	tb := New[int](3)
+	var evicted []uint64
+	tb.OnEvict = func(k uint64, _ int) { evicted = append(evicted, k) }
+	tb.Put(1, 10)
+	tb.Put(2, 20)
+	tb.Put(3, 30)
+	tb.Get(1)     // 1 becomes MRU; LRU order now 2,3,1
+	tb.Put(4, 40) // evicts 2
+	tb.Put(5, 50) // evicts 3
+	if len(evicted) != 2 || evicted[0] != 2 || evicted[1] != 3 {
+		t.Fatalf("evicted = %v, want [2 3]", evicted)
+	}
+	if _, ok := tb.Get(1); !ok {
+		t.Error("recently-used entry evicted")
+	}
+	if tb.Evictions != 2 {
+		t.Errorf("Evictions = %d", tb.Evictions)
+	}
+}
+
+func TestPeekDoesNotTouch(t *testing.T) {
+	tb := New[int](2)
+	tb.Put(1, 10)
+	tb.Put(2, 20)
+	tb.Peek(1)    // must NOT refresh 1
+	tb.Put(3, 30) // evicts 1 (still LRU)
+	if _, ok := tb.Peek(1); ok {
+		t.Error("Peek refreshed recency")
+	}
+}
+
+func TestDeleteAndReset(t *testing.T) {
+	tb := New[int](4)
+	tb.Put(1, 10)
+	tb.Put(2, 20)
+	tb.Delete(1)
+	tb.Delete(99) // no-op
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Errorf("Len after reset = %d", tb.Len())
+	}
+	// Table still usable after reset.
+	tb.Put(5, 50)
+	if v, ok := tb.Get(5); !ok || v != 50 {
+		t.Error("table broken after Reset")
+	}
+}
+
+func TestGetOrCreate(t *testing.T) {
+	tb := New[int](2)
+	v, created := tb.GetOrCreate(7, func() int { return 70 })
+	if !created || v != 70 {
+		t.Errorf("create = %v,%v", v, created)
+	}
+	v, created = tb.GetOrCreate(7, func() int { return 99 })
+	if created || v != 70 {
+		t.Errorf("reuse = %v,%v", v, created)
+	}
+}
+
+func TestRangeMRUOrder(t *testing.T) {
+	tb := New[int](4)
+	tb.Put(1, 1)
+	tb.Put(2, 2)
+	tb.Put(3, 3)
+	tb.Get(1)
+	var keys []uint64
+	tb.Range(func(k uint64, _ int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []uint64{1, 3, 2}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range order = %v, want %v", keys, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	tb.Range(func(uint64, int) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("Range did not stop: %d", count)
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	tb := New[int](0)
+	if tb.Capacity() != 1 {
+		t.Errorf("Capacity = %d", tb.Capacity())
+	}
+	tb.Put(1, 1)
+	tb.Put(2, 2)
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+// Property: the table never exceeds capacity, and a Get immediately after
+// a Put always hits.
+func TestBoundedProperty(t *testing.T) {
+	f := func(seed int64, capRaw uint8, opsRaw []byte) bool {
+		capacity := int(capRaw%16) + 1
+		tb := New[int](capacity)
+		rng := rand.New(rand.NewSource(seed))
+		for range opsRaw {
+			k := uint64(rng.Intn(64))
+			switch rng.Intn(3) {
+			case 0:
+				tb.Put(k, int(k))
+				if v, ok := tb.Get(k); !ok || v != int(k) {
+					return false
+				}
+			case 1:
+				tb.Get(k)
+			default:
+				tb.Delete(k)
+			}
+			if tb.Len() > capacity {
+				return false
+			}
+		}
+		// Linked list and map must agree.
+		n := 0
+		tb.Range(func(uint64, int) bool { n++; return true })
+		return n == tb.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package graph
+
+import "container/heap"
+
+// Seed-based agglomerative node clustering: the paper's light-weight
+// O(k log k) partitioner for when "extreme diverse traffics and complicated
+// SFCs are presented". Starting from seed vertices (one CPU seed and one
+// GPU seed per SFC), clusters greedily absorb their most communication-
+// heavy neighbours — keeping heavy edges internal minimizes the eventual
+// cut — subject to a load cap that keeps the sides roughly balanced. The
+// result may be less balanced than KL (the paper notes "this light-weight
+// partition may result in unbalanced throughput"); callers can follow with
+// Refine for the dynamic adaptation step.
+
+// edgeItem is a candidate absorption: cluster side s absorbs node v via an
+// edge of weight w.
+type edgeItem struct {
+	v    int
+	side Side
+	w    float64
+}
+
+type edgeHeap []edgeItem
+
+func (h edgeHeap) Len() int            { return len(h) }
+func (h edgeHeap) Less(i, j int) bool  { return h[i].w > h[j].w } // max-heap
+func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x interface{}) { *h = append(*h, x.(edgeItem)) }
+func (h *edgeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PartitionAgglomerative clusters g from the given seed sets. cpuSeeds and
+// gpuSeeds must be disjoint, non-empty node sets; balanceCap (e.g. 0.65)
+// caps either side's share of the total max-side node weight. Unreached
+// nodes fall to the side that increases cost least.
+func PartitionAgglomerative(g *WGraph, cpuSeeds, gpuSeeds []int, balanceCap float64) (Partition, float64) {
+	n := g.Len()
+	if balanceCap <= 0.5 {
+		balanceCap = 0.65
+	}
+	total := 0.0
+	for v := 0; v < n; v++ {
+		total += maxw(g, v)
+	}
+	cap_ := total * balanceCap
+
+	assigned := make([]bool, n)
+	p := make(Partition, n)
+	load := [2]float64{}
+
+	h := &edgeHeap{}
+	absorb := func(v int, s Side) {
+		assigned[v] = true
+		p[v] = s
+		load[s] += g.NodeWeight(v, s)
+		for _, e := range g.adj[v] {
+			if !assigned[e.To] {
+				heap.Push(h, edgeItem{v: e.To, side: s, w: e.W})
+			}
+		}
+	}
+	for _, v := range cpuSeeds {
+		if !assigned[v] {
+			absorb(v, CPU)
+		}
+	}
+	for _, v := range gpuSeeds {
+		if !assigned[v] {
+			absorb(v, GPU)
+		}
+	}
+
+	for h.Len() > 0 {
+		it := heap.Pop(h).(edgeItem)
+		if assigned[it.v] {
+			continue
+		}
+		s := it.side
+		if f := g.fixed[it.v]; f != nil {
+			s = *f
+		} else if load[s]+g.NodeWeight(it.v, s) > cap_ {
+			s = s.Other()
+		}
+		absorb(it.v, s)
+	}
+
+	// Disconnected leftovers: place each where cost grows least.
+	for v := 0; v < n; v++ {
+		if assigned[v] {
+			continue
+		}
+		s := CPU
+		if f := g.fixed[v]; f != nil {
+			s = *f
+		} else if load[GPU]+g.wGPU[v] < load[CPU]+g.wCPU[v] {
+			s = GPU
+		}
+		absorb(v, s)
+	}
+	return p, g.Cost(p)
+}

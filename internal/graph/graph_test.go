@@ -1,0 +1,445 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWGraphBasics(t *testing.T) {
+	g := NewWGraph(3)
+	g.SetNodeWeight(0, 1, 2)
+	g.SetNodeWeight(1, 3, 4)
+	g.SetNodeWeight(2, 5, 6)
+	if err := g.AddEdge(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Error("self edge accepted")
+	}
+	if err := g.AddEdge(0, 9, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	// Accumulating edge weight.
+	_ = g.AddEdge(0, 1, 5)
+	if g.NumEdges() != 2 {
+		t.Errorf("duplicate edge created a new edge")
+	}
+
+	p := Partition{CPU, GPU, CPU}
+	if got := g.CutWeight(p); got != 15+20 {
+		t.Errorf("CutWeight = %v", got)
+	}
+	cpu, gpu := g.Loads(p)
+	if cpu != 1+5 || gpu != 4 {
+		t.Errorf("Loads = %v,%v", cpu, gpu)
+	}
+	// Cost = max(cpu, gpu+cut) = max(6, 4+35).
+	if got := g.Cost(p); got != 39 {
+		t.Errorf("Cost = %v", got)
+	}
+}
+
+func TestPinningAndFeasibility(t *testing.T) {
+	g := NewWGraph(2)
+	g.Pin(0, GPU)
+	p := g.InitialPartition()
+	if p[0] != GPU {
+		t.Error("InitialPartition ignores pin")
+	}
+	if !g.Feasible(p) {
+		t.Error("InitialPartition infeasible")
+	}
+	p[0] = CPU
+	if g.Feasible(p) {
+		t.Error("Feasible missed a pin violation")
+	}
+	if g.Pinned(0) == nil || g.Pinned(1) != nil {
+		t.Error("Pinned accessor wrong")
+	}
+}
+
+func TestMaxFlowSimple(t *testing.T) {
+	// Classic: s=0, t=3; two disjoint paths of caps 3 and 2.
+	f := NewFlowNetwork(4)
+	f.AddArc(0, 1, 3)
+	f.AddArc(1, 3, 3)
+	f.AddArc(0, 2, 2)
+	f.AddArc(2, 3, 2)
+	if got := f.MaxFlow(0, 3); got != 5 {
+		t.Errorf("MaxFlow = %v, want 5", got)
+	}
+}
+
+func TestMaxFlowBottleneck(t *testing.T) {
+	f := NewFlowNetwork(4)
+	f.AddArc(0, 1, 10)
+	f.AddArc(1, 2, 1)
+	f.AddArc(2, 3, 10)
+	if got := f.MaxFlow(0, 3); got != 1 {
+		t.Errorf("MaxFlow = %v, want 1", got)
+	}
+	side := f.MinCutSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Errorf("MinCutSide = %v", side)
+	}
+}
+
+func TestStoneAssignPrefersCheaperSide(t *testing.T) {
+	// One isolated node cheaper on GPU, one cheaper on CPU.
+	g := NewWGraph(2)
+	g.SetNodeWeight(0, 10, 1) // GPU much cheaper
+	g.SetNodeWeight(1, 1, 10) // CPU much cheaper
+	p := StoneAssign(g)
+	if p[0] != GPU || p[1] != CPU {
+		t.Errorf("StoneAssign = %v", p)
+	}
+}
+
+func TestStoneAssignTransferDominates(t *testing.T) {
+	// Node 1 is slightly cheaper on GPU but moving it across a heavy edge
+	// from CPU-pinned node 0 is not worth it.
+	g := NewWGraph(2)
+	g.Pin(0, CPU)
+	g.SetNodeWeight(0, 1, 1)
+	g.SetNodeWeight(1, 5, 4)
+	_ = g.AddEdge(0, 1, 100)
+	p := StoneAssign(g)
+	if p[1] != CPU {
+		t.Errorf("node 1 offloaded across a 100-cost edge: %v", p)
+	}
+}
+
+func TestStoneAssignHonoursPins(t *testing.T) {
+	g := NewWGraph(3)
+	g.Pin(0, CPU)
+	g.Pin(2, GPU)
+	g.SetNodeWeight(0, 1, 1)
+	g.SetNodeWeight(1, 2, 2)
+	g.SetNodeWeight(2, 1, 1)
+	_ = g.AddEdge(0, 1, 0.5)
+	_ = g.AddEdge(1, 2, 0.5)
+	p := StoneAssign(g)
+	if p[0] != CPU || p[2] != GPU {
+		t.Errorf("pins violated: %v", p)
+	}
+}
+
+// StoneAssign minimizes total cost; compare against brute force.
+func TestStoneAssignOptimalSumCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sumCost := func(g *WGraph, p Partition) float64 {
+		cpu, gpu := g.Loads(p)
+		return cpu + gpu + g.CutWeight(p)
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		g := NewWGraph(n)
+		for v := 0; v < n; v++ {
+			g.SetNodeWeight(v, rng.Float64()*10, rng.Float64()*10)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					_ = g.AddEdge(u, v, rng.Float64()*5)
+				}
+			}
+		}
+		got := StoneAssign(g)
+		gotCost := sumCost(g, got)
+
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			p := make(Partition, n)
+			for v := 0; v < n; v++ {
+				if mask>>v&1 == 1 {
+					p[v] = GPU
+				}
+			}
+			if c := sumCost(g, p); c < best {
+				best = c
+			}
+		}
+		if gotCost > best+1e-6 {
+			t.Fatalf("trial %d: StoneAssign cost %v, optimal %v", trial, gotCost, best)
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, n int, pEdge float64) *WGraph {
+	g := NewWGraph(n)
+	for v := 0; v < n; v++ {
+		g.SetNodeWeight(v, rng.Float64()*10+0.1, rng.Float64()*10+0.1)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < pEdge {
+				_ = g.AddEdge(u, v, rng.Float64()*3)
+			}
+		}
+	}
+	return g
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 12, 0.3)
+		p := g.InitialPartition()
+		before := g.Cost(p)
+		after := Refine(g, p, 8)
+		if after > before+1e-9 {
+			t.Fatalf("Refine worsened: %v -> %v", before, after)
+		}
+		if math.Abs(after-g.Cost(p)) > 1e-9 {
+			t.Fatalf("returned cost %v != actual %v", after, g.Cost(p))
+		}
+	}
+}
+
+func TestPartitionKLBeatsAllCPU(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomGraph(rng, 20, 0.2)
+	p, cost := PartitionKL(g)
+	allCPU := make(Partition, g.Len())
+	if cost > g.Cost(allCPU)+1e-9 {
+		t.Errorf("KL (%v) worse than all-CPU (%v)", cost, g.Cost(allCPU))
+	}
+	if !g.Feasible(p) {
+		t.Error("KL produced infeasible partition")
+	}
+}
+
+func TestPartitionKLRespectsPins(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	g := randomGraph(rng, 15, 0.3)
+	g.Pin(0, GPU)
+	g.Pin(1, CPU)
+	p, _ := PartitionKL(g)
+	if p[0] != GPU || p[1] != CPU {
+		t.Errorf("pins violated: %v", p[:2])
+	}
+}
+
+func TestMultilevelOnLargeGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	g := randomGraph(rng, 200, 0.03)
+	g.Pin(0, CPU)
+	g.Pin(1, GPU)
+	p, cost := PartitionMultilevel(g)
+	if !g.Feasible(p) {
+		t.Fatal("multilevel violated pins")
+	}
+	if math.Abs(cost-g.Cost(p)) > 1e-9 {
+		t.Fatalf("reported cost %v != actual %v", cost, g.Cost(p))
+	}
+	allCPU := make(Partition, g.Len())
+	for v, f := range []int{} {
+		_ = v
+		_ = f
+	}
+	if cost > g.Cost(allCPU)*1.5 {
+		t.Errorf("multilevel cost %v far worse than trivial %v", cost, g.Cost(allCPU))
+	}
+}
+
+func TestMultilevelSmallGraphFallsThrough(t *testing.T) {
+	g := NewWGraph(4)
+	for v := 0; v < 4; v++ {
+		g.SetNodeWeight(v, 1, 1)
+	}
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(2, 3, 1)
+	p, _ := PartitionMultilevel(g)
+	if len(p) != 4 {
+		t.Fatalf("partition len = %d", len(p))
+	}
+}
+
+func TestAgglomerativeBasics(t *testing.T) {
+	// Two communities joined by one light edge; seeds in each.
+	g := NewWGraph(8)
+	for v := 0; v < 8; v++ {
+		g.SetNodeWeight(v, 1, 1)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}} {
+		_ = g.AddEdge(e[0], e[1], 10)
+	}
+	for _, e := range [][2]int{{4, 5}, {5, 6}, {6, 7}, {4, 6}} {
+		_ = g.AddEdge(e[0], e[1], 10)
+	}
+	_ = g.AddEdge(3, 4, 0.1)
+	p, cost := PartitionAgglomerative(g, []int{0}, []int{7}, 0.65)
+	for v := 0; v < 4; v++ {
+		if p[v] != CPU {
+			t.Errorf("node %d on %v, want CPU (partition %v)", v, p[v], p)
+			break
+		}
+	}
+	for v := 4; v < 8; v++ {
+		if p[v] != GPU {
+			t.Errorf("node %d on %v, want GPU (partition %v)", v, p[v], p)
+			break
+		}
+	}
+	if got := g.CutWeight(p); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("cut = %v, want 0.1", got)
+	}
+	if math.Abs(cost-g.Cost(p)) > 1e-9 {
+		t.Error("returned cost mismatch")
+	}
+}
+
+func TestAgglomerativeRespectsPinsAndLeftovers(t *testing.T) {
+	g := NewWGraph(5)
+	for v := 0; v < 5; v++ {
+		g.SetNodeWeight(v, 1, 1)
+	}
+	_ = g.AddEdge(0, 1, 1)
+	// Nodes 2,3,4 disconnected; 3 pinned GPU.
+	g.Pin(3, GPU)
+	p, _ := PartitionAgglomerative(g, []int{0}, []int{1}, 0.65)
+	if p[3] != GPU {
+		t.Errorf("pin violated: %v", p)
+	}
+	if !g.Feasible(p) {
+		t.Error("infeasible")
+	}
+}
+
+func TestAgglomerativeBalanceCap(t *testing.T) {
+	// A chain of heavy edges from the CPU seed would swallow everything;
+	// the cap must push the tail to GPU.
+	g := NewWGraph(10)
+	for v := 0; v < 10; v++ {
+		g.SetNodeWeight(v, 1, 1)
+	}
+	for v := 0; v+1 < 10; v++ {
+		_ = g.AddEdge(v, v+1, 5)
+	}
+	p, _ := PartitionAgglomerative(g, []int{0}, []int{9}, 0.6)
+	cpu, gpu := g.Loads(p)
+	if cpu > 7 || gpu > 7 {
+		t.Errorf("balance cap ignored: loads %v/%v (%v)", cpu, gpu, p)
+	}
+}
+
+func TestSideOther(t *testing.T) {
+	if CPU.Other() != GPU || GPU.Other() != CPU {
+		t.Error("Other broken")
+	}
+}
+
+// On small graphs the heuristic partitioners must land near the true
+// optimum (brute-force over all 2^n assignments).
+func TestHeuristicsNearBruteForceOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	worstKL, worstML := 1.0, 1.0
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(7) // 4..10 nodes
+		g := randomGraph(rng, n, 0.35)
+		if trial%3 == 0 {
+			g.Pin(0, CPU)
+		}
+
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			p := make(Partition, n)
+			for v := 0; v < n; v++ {
+				if mask>>v&1 == 1 {
+					p[v] = GPU
+				}
+			}
+			if !g.Feasible(p) {
+				continue
+			}
+			if c := g.Cost(p); c < best {
+				best = c
+			}
+		}
+
+		_, klCost := PartitionKL(g)
+		_, mlCost := PartitionMultilevel(g)
+		if r := best / klCost; r < worstKL {
+			worstKL = r
+		}
+		if r := best / mlCost; r < worstML {
+			worstML = r
+		}
+		if klCost > best*1.3 {
+			t.Errorf("trial %d: KL cost %.2f vs optimal %.2f (>30%% off)",
+				trial, klCost, best)
+		}
+		if mlCost > best*1.3 {
+			t.Errorf("trial %d: multilevel cost %.2f vs optimal %.2f (>30%% off)",
+				trial, mlCost, best)
+		}
+	}
+	t.Logf("optimality ratio: KL >= %.2f, multilevel >= %.2f", worstKL, worstML)
+}
+
+// Pins are never violated, whatever random graph the partitioners see.
+func TestPartitionersHonorPinsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(20)
+		g := randomGraph(rng, n, 0.2)
+		for v := 0; v < n; v++ {
+			switch rng.Intn(4) {
+			case 0:
+				g.Pin(v, CPU)
+			case 1:
+				g.Pin(v, GPU)
+			}
+		}
+		if p, _ := PartitionKL(g); !g.Feasible(p) {
+			t.Fatal("KL violated pins")
+		}
+		if p, _ := PartitionMultilevel(g); !g.Feasible(p) {
+			t.Fatal("multilevel violated pins")
+		}
+		cpuSeeds, gpuSeeds := []int{}, []int{}
+		for v := 0; v < n && (len(cpuSeeds) == 0 || len(gpuSeeds) == 0); v++ {
+			if g.Pinned(v) == nil {
+				if len(cpuSeeds) == 0 {
+					cpuSeeds = append(cpuSeeds, v)
+				} else {
+					gpuSeeds = append(gpuSeeds, v)
+				}
+			}
+		}
+		if len(cpuSeeds) > 0 && len(gpuSeeds) > 0 {
+			if p, _ := PartitionAgglomerative(g, cpuSeeds, gpuSeeds, 0.65); !g.Feasible(p) {
+				t.Fatal("agglomerative violated pins")
+			}
+		}
+		if p := StoneAssign(g); !g.Feasible(p) {
+			t.Fatal("stone violated pins")
+		}
+	}
+}
+
+func BenchmarkPartitionMultilevel(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 120, 0.05)
+	g.Pin(0, CPU)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PartitionMultilevel(g)
+	}
+}
+
+func BenchmarkStoneAssign(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 120, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StoneAssign(g)
+	}
+}

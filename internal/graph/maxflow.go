@@ -1,0 +1,169 @@
+package graph
+
+// Dinic max-flow on a directed flow network, used by the Stone-model
+// optimal two-processor assignment (min s-t cut).
+
+import "math"
+
+// flowEdge is one directed arc plus its residual twin index.
+type flowEdge struct {
+	to, rev int
+	cap     float64
+}
+
+// FlowNetwork is a capacitated directed graph for max-flow.
+type FlowNetwork struct {
+	adj [][]flowEdge
+}
+
+// NewFlowNetwork creates a network with n nodes.
+func NewFlowNetwork(n int) *FlowNetwork {
+	return &FlowNetwork{adj: make([][]flowEdge, n)}
+}
+
+// Len returns the node count.
+func (f *FlowNetwork) Len() int { return len(f.adj) }
+
+// AddArc adds a directed arc u->v with the given capacity (and a zero-
+// capacity residual arc).
+func (f *FlowNetwork) AddArc(u, v int, cap float64) {
+	f.adj[u] = append(f.adj[u], flowEdge{to: v, rev: len(f.adj[v]), cap: cap})
+	f.adj[v] = append(f.adj[v], flowEdge{to: u, rev: len(f.adj[u]) - 1, cap: 0})
+}
+
+// MaxFlow runs Dinic's algorithm from s to t and returns the flow value.
+// The network's residual capacities are mutated.
+func (f *FlowNetwork) MaxFlow(s, t int) float64 {
+	const eps = 1e-12
+	total := 0.0
+	level := make([]int, f.Len())
+	iter := make([]int, f.Len())
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		queue := []int{s}
+		level[s] = 0
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range f.adj[u] {
+				if e.cap > eps && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, limit float64) float64
+	dfs = func(u int, limit float64) float64 {
+		if u == t {
+			return limit
+		}
+		for ; iter[u] < len(f.adj[u]); iter[u]++ {
+			e := &f.adj[u][iter[u]]
+			if e.cap <= eps || level[e.to] != level[u]+1 {
+				continue
+			}
+			d := dfs(e.to, math.Min(limit, e.cap))
+			if d > eps {
+				e.cap -= d
+				f.adj[e.to][e.rev].cap += d
+				return d
+			}
+		}
+		return 0
+	}
+
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			d := dfs(s, math.Inf(1))
+			if d <= eps {
+				break
+			}
+			total += d
+		}
+	}
+	return total
+}
+
+// MinCutSide returns, after MaxFlow(s,t) has been run, the set of nodes on
+// the s side of the minimum cut (reachable in the residual network).
+func (f *FlowNetwork) MinCutSide(s int) []bool {
+	const eps = 1e-12
+	seen := make([]bool, f.Len())
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range f.adj[u] {
+			if e.cap > eps && !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+// StoneAssign computes the optimal (sum-cost) CPU/GPU assignment of g by
+// Stone's classical reduction to min s-t cut: node v costs its GPU time if
+// placed on CPU-side of the cut... concretely, arcs source->v with capacity
+// = GPU execution time and v->sink with capacity = CPU execution time, plus
+// undirected transfer edges; the min cut severs, for every node, exactly
+// the execution it pays for plus every crossing transfer edge. Pins are
+// encoded as infinite-capacity arcs.
+//
+// The returned partition minimizes sum(exec time) + cut(transfer), the
+// MFMC formulation the paper cites; it ignores load balance, which the KL
+// and multilevel partitioners address.
+func StoneAssign(g *WGraph) Partition {
+	n := g.Len()
+	src, snk := n, n+1
+	f := NewFlowNetwork(n + 2)
+	inf := math.Inf(1)
+	for v := 0; v < n; v++ {
+		cCPU, cGPU := g.wCPU[v], g.wGPU[v]
+		if p := g.fixed[v]; p != nil {
+			if *p == CPU {
+				cGPU = inf // never pay to cut the source arc: stay CPU side
+				cCPU = 0
+			} else {
+				cCPU = inf
+				cGPU = 0
+			}
+		}
+		// Source side = CPU assignment. Cutting the arc source->v (cap =
+		// GPU time) puts v on the sink (GPU) side and pays GPU time;
+		// cutting v->sink (cap = CPU time) keeps v on the source side and
+		// pays CPU time.
+		f.AddArc(src, v, cGPU)
+		f.AddArc(v, snk, cCPU)
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.adj[u] {
+			if u < e.To {
+				f.AddArc(u, e.To, e.W)
+				f.AddArc(e.To, u, e.W)
+			}
+		}
+	}
+	f.MaxFlow(src, snk)
+	onSrc := f.MinCutSide(src)
+	p := make(Partition, n)
+	for v := 0; v < n; v++ {
+		if onSrc[v] {
+			p[v] = CPU
+		} else {
+			p[v] = GPU
+		}
+	}
+	return p
+}

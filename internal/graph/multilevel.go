@@ -1,0 +1,140 @@
+package graph
+
+import "sort"
+
+// Multilevel (METIS-like) partitioning: coarsen by heavy-edge matching,
+// partition the smallest graph, then uncoarsen with KL refinement at each
+// level. This is the partitioner the paper implements "as a modified
+// Kernighan-Lin (KL) Algorithm using METIS".
+
+// coarseLevel records how a graph was contracted.
+type coarseLevel struct {
+	g    *WGraph
+	map_ []int // fine node -> coarse node
+}
+
+const coarsenStopSize = 24
+
+// PartitionMultilevel partitions g and returns the assignment and cost.
+func PartitionMultilevel(g *WGraph) (Partition, float64) {
+	levels := []coarseLevel{}
+	cur := g
+	for cur.Len() > coarsenStopSize {
+		next, m, shrunk := coarsen(cur)
+		if !shrunk {
+			break
+		}
+		levels = append(levels, coarseLevel{g: cur, map_: m})
+		cur = next
+	}
+
+	p, _ := PartitionKL(cur)
+
+	// Uncoarsen: project and refine level by level.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fine := make(Partition, lv.g.Len())
+		for v := range fine {
+			fine[v] = p[lv.map_[v]]
+		}
+		// Pins must be re-honoured exactly on the fine graph.
+		for v := range fine {
+			if f := lv.g.fixed[v]; f != nil {
+				fine[v] = *f
+			}
+		}
+		Refine(lv.g, fine, 4)
+		p = fine
+	}
+	return p, g.Cost(p)
+}
+
+// coarsen contracts a heavy-edge matching. Nodes with incompatible pins
+// are never merged. Returns the coarse graph, the fine->coarse map, and
+// whether the graph actually shrank.
+func coarsen(g *WGraph) (*WGraph, []int, bool) {
+	n := g.Len()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+
+	// Visit nodes in random-ish but deterministic order (by degree) and
+	// match each with its heaviest compatible unmatched neighbor.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := len(g.adj[order[a]]), len(g.adj[order[b]])
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+	for _, u := range order {
+		if match[u] != -1 {
+			continue
+		}
+		bestV, bestW := -1, -1.0
+		for _, e := range g.adj[u] {
+			if match[e.To] != -1 || !pinsCompatible(g, u, e.To) {
+				continue
+			}
+			if e.W > bestW {
+				bestV, bestW = e.To, e.W
+			}
+		}
+		if bestV >= 0 {
+			match[u], match[bestV] = bestV, u
+		} else {
+			match[u] = u // self-matched
+		}
+	}
+
+	// Assign coarse ids.
+	cmap := make([]int, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	cn := 0
+	for v := 0; v < n; v++ {
+		if cmap[v] != -1 {
+			continue
+		}
+		cmap[v] = cn
+		if match[v] != v && match[v] != -1 {
+			cmap[match[v]] = cn
+		}
+		cn++
+	}
+	if cn == n {
+		return nil, nil, false
+	}
+
+	cg := NewWGraph(cn)
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		cg.wCPU[cv] += g.wCPU[v]
+		cg.wGPU[cv] += g.wGPU[v]
+		if f := g.fixed[v]; f != nil {
+			cg.Pin(cv, *f)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.adj[u] {
+			if u < e.To && cmap[u] != cmap[e.To] {
+				_ = cg.AddEdge(cmap[u], cmap[e.To], e.W)
+			}
+		}
+	}
+	return cg, cmap, true
+}
+
+func pinsCompatible(g *WGraph, u, v int) bool {
+	fu, fv := g.fixed[u], g.fixed[v]
+	if fu == nil || fv == nil {
+		return fu == nil && fv == nil // merging pinned with free would blur the pin
+	}
+	return *fu == *fv
+}

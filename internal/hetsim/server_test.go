@@ -1,0 +1,169 @@
+package hetsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestServerEarliestStartEmptySchedule(t *testing.T) {
+	var s server
+	if got := s.earliestStart(10, 5); got != 10 {
+		t.Errorf("earliestStart = %v", got)
+	}
+}
+
+func TestServerBackfillsGaps(t *testing.T) {
+	var s server
+	s.book(100, 50) // busy [100,150)
+	// A 20-unit task ready at 0 fits before the booked interval.
+	if got := s.earliestStart(0, 20); got != 0 {
+		t.Errorf("earliestStart = %v, want 0 (backfill)", got)
+	}
+	s.book(0, 20)
+	// A 90-unit task ready at 0 does not fit in [20,100): goes after 150.
+	if got := s.earliestStart(0, 90); got != 150 {
+		t.Errorf("earliestStart = %v, want 150", got)
+	}
+	// A 70-unit task fits into the [20,100) gap.
+	if got := s.earliestStart(0, 70); got != 20 {
+		t.Errorf("earliestStart = %v, want 20", got)
+	}
+}
+
+func TestServerBookKeepsSorted(t *testing.T) {
+	var s server
+	s.book(50, 10)
+	s.book(10, 10)
+	s.book(30, 10)
+	for i := 1; i < len(s.busy); i++ {
+		if s.busy[i][0] < s.busy[i-1][0] {
+			t.Fatalf("intervals unsorted: %v", s.busy)
+		}
+	}
+}
+
+// Property: scheduling through earliestStart+book never produces
+// overlapping intervals, and every start respects readiness.
+func TestServerNoOverlapProperty(t *testing.T) {
+	f := func(seed int64, taskBytes []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s server
+		for range taskBytes {
+			ready := float64(rng.Intn(1000))
+			dur := float64(rng.Intn(50) + 1)
+			start := s.earliestStart(ready, dur)
+			if start < ready {
+				return false
+			}
+			s.book(start, dur)
+		}
+		for i := 1; i < len(s.busy); i++ {
+			if s.busy[i][0] < s.busy[i-1][1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a pool never starts a task before its ready time, and total
+// completion is consistent (end = start + duration >= ready + duration).
+func TestPoolRunProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := make(pool, int(n%4)+1)
+		for i := 0; i < 200; i++ {
+			ready := float64(rng.Intn(10000))
+			dur := float64(rng.Intn(100) + 1)
+			end := p.run(ready, dur)
+			if end < ready+dur-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolEmptyFallsThrough(t *testing.T) {
+	var p pool
+	if got := p.run(5, 7); got != 12 {
+		t.Errorf("empty pool run = %v", got)
+	}
+}
+
+// Simulation-level conservation invariants: emitted packets never exceed
+// injected; throughput bytes match live sink bytes; busy time is bounded
+// by makespan times pool size.
+func TestRunConservationInvariants(t *testing.T) {
+	g := chainGraph(ipsecNF("inv"), idsNF("ids"))
+	s, err := NewSimulator(DefaultPlatform(), nil, g, UniformSplit(g, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := genBatches(40, 64, 256, 99)
+	injected := uint64(0)
+	for _, b := range batches {
+		injected += uint64(b.Len())
+	}
+	res, err := s.Run(batches, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted > injected {
+		t.Errorf("emitted %d > injected %d", res.Emitted, injected)
+	}
+	dropped := uint64(0)
+	for _, n := range res.DroppedByElement {
+		dropped += n
+	}
+	if res.Emitted+dropped != injected {
+		t.Errorf("conservation: %d emitted + %d dropped != %d injected",
+			res.Emitted, dropped, injected)
+	}
+	makespan := float64(res.Throughput.Nanos)
+	if res.CPUBusyNs > makespan*float64(DefaultPlatform().CPUCores)*1.0001 {
+		t.Errorf("CPU busy %v exceeds capacity %v", res.CPUBusyNs,
+			makespan*float64(DefaultPlatform().CPUCores))
+	}
+	if res.GPUBusyNs > makespan*float64(DefaultPlatform().GPUs)*1.0001 {
+		t.Errorf("GPU busy %v exceeds capacity", res.GPUBusyNs)
+	}
+}
+
+// Device residency: two adjacent GPU elements move each batch across PCIe
+// once in each direction, not once per element.
+func TestDeviceResidencySavesTransfers(t *testing.T) {
+	g := chainGraph(ipsecNF("a"), ipsecNF("b"))
+	// Offload both seal elements: chk elements stay on CPU, so the two
+	// GPU elements are *not* adjacent (chk between them) — transfers per
+	// batch: 2x(h2d+d2h).
+	sNonAdj, _ := NewSimulator(DefaultPlatform(), nil, g, KindSplit(g, 1, "IPsecSeal"))
+	rNonAdj, err := sNonAdj.Run(genBatches(20, 64, 256, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := chainGraph(ipsecNF("a"), ipsecNF("b"))
+	// Offload everything: the whole interior of the chain is GPU-resident,
+	// so each batch crosses once out and once back.
+	sAdj, _ := NewSimulator(DefaultPlatform(), nil, g2, AllGPU(g2))
+	rAdj, err := sAdj.Run(genBatches(20, 64, 256, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rAdj.H2DBytes >= rNonAdj.H2DBytes {
+		t.Errorf("residency did not reduce H2D: %d vs %d",
+			rAdj.H2DBytes, rNonAdj.H2DBytes)
+	}
+	if rAdj.D2HBytes >= rNonAdj.D2HBytes {
+		t.Errorf("residency did not reduce D2H: %d vs %d",
+			rAdj.D2HBytes, rNonAdj.D2HBytes)
+	}
+}

@@ -1,0 +1,633 @@
+package hetsim
+
+import (
+	"fmt"
+	"math"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/stats"
+)
+
+// MemProber is implemented by elements that count their table accesses
+// exactly (Aho–Corasick deep states, ACL tree probes, LPM probes). The
+// simulator charges these real counts instead of the cost table's
+// per-packet estimates, which is how traffic content (full-match vs
+// no-match payloads, large ACLs) moves the simulated clock.
+type MemProber interface {
+	MemAccesses() uint64
+}
+
+// Footprinter is implemented by elements that know their real table
+// working-set size (ACL decision trees, AC/regex DFA tables, tries). The
+// cache-contention model prefers it over the cost table's static estimate,
+// which is how growing rule sets (Fig. 17's ACL 200→10000) raise CPU
+// pressure in the simulation.
+type Footprinter interface {
+	FootprintBytes() float64
+}
+
+// Merger is implemented by elements that buffer fan-in branches and emit
+// only when all expected copies of a batch have arrived (the XOR merge of
+// parallelized SFCs). The simulator synchronizes batch ready times across
+// the expected inputs.
+type Merger interface {
+	ExpectedInputs() int
+}
+
+// Mode places an element on a processor.
+type Mode int
+
+// Placement modes.
+const (
+	// ModeCPU runs the element entirely on CPU cores.
+	ModeCPU Mode = iota
+	// ModeGPU offloads every packet to a GPU device.
+	ModeGPU
+	// ModeSplit offloads GPUFraction of each batch and processes the
+	// rest on CPU, joining at a completion queue.
+	ModeSplit
+)
+
+// Placement is one element's processor assignment.
+type Placement struct {
+	Mode        Mode
+	GPUFraction float64 // used by ModeSplit
+}
+
+// Assignment maps graph nodes to placements; missing nodes default to CPU.
+type Assignment map[element.NodeID]Placement
+
+// AllCPU returns the assignment placing everything on the CPU.
+func AllCPU(g *element.Graph) Assignment { return Assignment{} }
+
+// AllGPU places every offloadable element on the GPU.
+func AllGPU(g *element.Graph) Assignment {
+	a := make(Assignment)
+	for i := 0; i < g.Len(); i++ {
+		if g.Node(element.NodeID(i)).Traits().Offloadable {
+			a[element.NodeID(i)] = Placement{Mode: ModeGPU}
+		}
+	}
+	return a
+}
+
+// KindSplit offloads the given fraction of the elements whose kind is in
+// kinds, leaving everything else on the CPU. This models the usual
+// operator practice of offloading only an NF's heavy element (the sweep of
+// Fig. 6 varies the offload ratio of the NF's compute kernel, not of its
+// header checks).
+func KindSplit(g *element.Graph, frac float64, kinds ...string) Assignment {
+	want := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	a := make(Assignment)
+	for i := 0; i < g.Len(); i++ {
+		id := element.NodeID(i)
+		tr := g.Node(id).Traits()
+		if !tr.Offloadable || !want[tr.Kind] {
+			continue
+		}
+		switch {
+		case frac <= 0:
+			a[id] = Placement{Mode: ModeCPU}
+		case frac >= 1:
+			a[id] = Placement{Mode: ModeGPU}
+		default:
+			a[id] = Placement{Mode: ModeSplit, GPUFraction: frac}
+		}
+	}
+	return a
+}
+
+// HeavyKinds are the compute-kernel element kinds an operator would
+// realistically offload wholesale; glue elements (header checks, counters,
+// encaps) stay on the CPU even in "GPU-only" deployments, as in the GPU
+// frameworks the paper compares against.
+var HeavyKinds = []string{
+	"IPsecSeal", "AhoCorasick", "RegexDFA", "IPLookup", "V6Lookup",
+	"ACL", "NATRewrite", "LBHash", "WANCompress", "PayloadRewrite",
+}
+
+// GPUHeavy offloads every heavy element of g wholly to the GPU.
+func GPUHeavy(g *element.Graph) Assignment {
+	return KindSplit(g, 1.0, HeavyKinds...)
+}
+
+// UniformSplit offloads the given fraction of every offloadable element.
+func UniformSplit(g *element.Graph, frac float64) Assignment {
+	a := make(Assignment)
+	for i := 0; i < g.Len(); i++ {
+		if g.Node(element.NodeID(i)).Traits().Offloadable {
+			switch {
+			case frac <= 0:
+				a[element.NodeID(i)] = Placement{Mode: ModeCPU}
+			case frac >= 1:
+				a[element.NodeID(i)] = Placement{Mode: ModeGPU}
+			default:
+				a[element.NodeID(i)] = Placement{Mode: ModeSplit, GPUFraction: frac}
+			}
+		}
+	}
+	return a
+}
+
+// CoRun describes interference context from NFs co-resident on the same
+// platform but outside the simulated graph (Fig. 8e experiments).
+type CoRun struct {
+	// ExtraCPUFootprint adds co-runner table bytes to cache pressure.
+	ExtraCPUFootprint float64
+	// ExtraGPUKinds counts co-resident GPU kernels (adds per-kernel
+	// context-switch cost).
+	ExtraGPUKinds int
+	// CPUCoreShare in (0,1] scales available cores (co-runners own the
+	// rest). Zero means 1.0.
+	CPUCoreShare float64
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// Throughput over the whole run (bytes and live packets at sinks).
+	Throughput stats.Throughput
+	// Latency samples one observation per sink-arriving batch.
+	Latency stats.LatencySample
+	// CPUBusyNs and GPUBusyNs accumulate resource busy time.
+	CPUBusyNs, GPUBusyNs float64
+	// KernelLaunches, H2DBytes, D2HBytes, SplitEvents count offload and
+	// re-organization overheads.
+	KernelLaunches uint64
+	H2DBytes       uint64
+	D2HBytes       uint64
+	SplitEvents    uint64
+	// Emitted counts live packets that reached sinks.
+	Emitted uint64
+	// DroppedByElement mirrors functional drop accounting.
+	DroppedByElement map[string]uint64
+}
+
+// GPUMemAccessCycles is the effective per-table-access cost on the GPU
+// (latency largely hidden by parallel warps, so far below the CPU's).
+const GPUMemAccessCycles = 18
+
+// Simulator runs an element graph functionally while charging calibrated
+// time costs to simulated resources.
+type Simulator struct {
+	P      Platform
+	Costs  map[string]ElemCost
+	G      *element.Graph
+	Assign Assignment
+	CoRun  CoRun
+
+	order      []element.NodeID
+	contention map[string]float64 // per-kind CPU contention factor
+	gpuKinds   int
+}
+
+// NewSimulator validates the graph and precomputes contention state.
+func NewSimulator(p Platform, costs map[string]ElemCost, g *element.Graph, a Assignment) (*Simulator, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if costs == nil {
+		costs = DefaultCosts()
+	}
+	if a == nil {
+		a = Assignment{}
+	}
+	s := &Simulator{P: p, Costs: costs, G: g, Assign: a, order: order}
+	s.precompute()
+	return s, nil
+}
+
+// SetCoRun installs interference context (must be called before Run).
+func (s *Simulator) SetCoRun(c CoRun) {
+	s.CoRun = c
+	s.precompute()
+}
+
+// precompute derives cache-contention factors from the set of kinds
+// resident on each processor.
+func (s *Simulator) precompute() {
+	cpuFootprint := s.CoRun.ExtraCPUFootprint + s.P.ProcessFootprint
+	seenCPU := map[string]bool{}
+	gpuKinds := map[string]bool{}
+	for i := 0; i < s.G.Len(); i++ {
+		id := element.NodeID(i)
+		el := s.G.Node(id)
+		kind := el.Traits().Kind
+		pl := s.Assign[id]
+		fp := costFor(s.Costs, kind).FootprintBytes
+		if f, ok := el.(Footprinter); ok {
+			fp = f.FootprintBytes()
+		}
+		switch pl.Mode {
+		case ModeGPU:
+			gpuKinds[kind] = true
+		case ModeSplit:
+			gpuKinds[kind] = true
+			if !seenCPU[kind] {
+				seenCPU[kind] = true
+				cpuFootprint += fp
+			}
+		default:
+			if !seenCPU[kind] {
+				seenCPU[kind] = true
+				cpuFootprint += fp
+			}
+		}
+	}
+	overshoot := 0.0
+	if cpuFootprint > s.P.LLCBytes {
+		overshoot = (cpuFootprint - s.P.LLCBytes) / s.P.LLCBytes
+	}
+	s.contention = make(map[string]float64)
+	for kind := range seenCPU {
+		c := costFor(s.Costs, kind)
+		s.contention[kind] = 1 + s.P.ContentionSlope*overshoot*c.MemIntensity
+	}
+	s.gpuKinds = len(gpuKinds) + s.CoRun.ExtraGPUKinds
+}
+
+// contentionFor returns the CPU contention factor for kind.
+func (s *Simulator) contentionFor(kind string) float64 {
+	if f, ok := s.contention[kind]; ok {
+		return f
+	}
+	return 1
+}
+
+// cpuServiceNs prices CPU processing of n packets / bytes with mem exact
+// table accesses for the given kind.
+func (s *Simulator) cpuServiceNs(kind string, n, bytes int, mem float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	c := costFor(s.Costs, kind)
+	base := float64(n)*c.CPUCyclesPerPkt + float64(bytes)*c.CPUCyclesPerByte
+	memAcc := mem
+	if memAcc == 0 {
+		memAcc = float64(n)*c.MemAccessPerPkt + float64(bytes)*c.MemAccessPerByte
+	}
+	knee := 1.0
+	if c.BatchKnee > 0 && n > c.BatchKnee {
+		knee = 1 + c.KneeSlope*(float64(n)/float64(c.BatchKnee)-1)
+	}
+	memCycles := memAcc * s.P.MemAccessCycles * knee * s.contentionFor(kind)
+	return (base + memCycles) / s.P.CPUHz * 1e9
+}
+
+// gpuServiceNs prices one kernel invocation over n packets. h2d and d2h
+// are returned separately: the engine charges them only when the batch
+// actually crosses the host/device boundary (data already resident on the
+// device stays there between adjacent GPU elements — the data-movement
+// saving NFCompass's partitioner optimizes for).
+func (s *Simulator) gpuServiceNs(kind string, n, bytes int, mem float64) (service, h2d, d2h float64) {
+	if n == 0 {
+		return 0, 0, 0
+	}
+	c := costFor(s.Costs, kind)
+	launch := s.P.KernelLaunchNs
+	if s.P.PersistentKernel {
+		launch = s.P.PersistentLaunchNs
+	}
+	ctx := s.P.CtxSwitchNs * float64(max(0, s.gpuKinds-1))
+	memAcc := mem
+	if memAcc == 0 {
+		memAcc = float64(n)*c.MemAccessPerPkt + float64(bytes)*c.MemAccessPerByte
+	}
+	work := float64(n)*c.GPUCyclesPerPkt + float64(bytes)*c.GPUCyclesPerByte +
+		memAcc*GPUMemAccessCycles
+	lanes := math.Min(float64(n), s.P.GPUParallelism)
+	div := c.Divergence
+	if div < 1 {
+		div = 1
+	}
+	kernel := div * work / lanes / s.P.GPUHz * 1e9
+	h2d = s.P.PCIeLatencyNs + float64(bytes)/s.P.H2DBytesPerNs
+	d2h = s.P.PCIeLatencyNs + float64(bytes)/s.P.D2HBytesPerNs
+	service = launch + ctx + kernel
+	return service, h2d, d2h
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pendingBatch is a batch waiting at a node with its ready time and data
+// location (host memory or GPU device memory).
+type pendingBatch struct {
+	b     *netpkt.Batch
+	ready float64
+	onGPU bool
+}
+
+// Run pushes the batches through the graph, injecting batch i at
+// i*interarrivalNs, and returns throughput/latency/overhead metrics.
+// interarrivalNs <= 0 injects back-to-back (saturation measurement).
+func (s *Simulator) Run(batches []*netpkt.Batch, interarrivalNs float64) (*Result, error) {
+	res := &Result{DroppedByElement: make(map[string]uint64)}
+	nCores := s.P.CPUCores
+	if s.CoRun.CPUCoreShare > 0 && s.CoRun.CPUCoreShare <= 1 {
+		nCores = int(math.Max(1, math.Floor(float64(nCores)*s.CoRun.CPUCoreShare)))
+	}
+	cpuFree := make(pool, nCores)
+	gpuFree := make(pool, s.P.GPUs)
+
+	arrival := make(map[uint64]float64) // batch ID -> injection time
+	var firstArrival, lastDeparture float64
+	firstArrival = math.Inf(1)
+
+	sources := s.G.Sources()
+	sinks := map[element.NodeID]bool{}
+	for _, id := range s.G.Sinks() {
+		sinks[id] = true
+	}
+
+	// Stage-major scheduling: inject every batch, then drain the graph one
+	// element at a time in topological order — the way a real pipeline's
+	// elements each consume a stream of batches. Same-stage tasks have
+	// similar ready times, so the server pools stay packed (batch-major
+	// ordering would leave unfillable gaps on the cores).
+	pending := make(map[element.NodeID][]pendingBatch, s.G.Len())
+	for bi, in := range batches {
+		t0 := float64(bi) * math.Max(0, interarrivalNs)
+		arrival[in.ID] = t0
+		if t0 < firstArrival {
+			firstArrival = t0
+		}
+		for _, src := range sources {
+			pending[src] = append(pending[src], pendingBatch{b: in, ready: t0})
+		}
+	}
+
+	{
+		for _, id := range s.order {
+			entries := pending[id]
+			if len(entries) == 0 {
+				continue
+			}
+			el := s.G.Node(id)
+			kind := el.Traits().Kind
+			pl := s.Assign[id]
+			succ := s.G.Successors(id)
+
+			// Merge synchronization: all copies of one batch reach a
+			// Merger with that batch's max ready time.
+			if m, ok := el.(Merger); ok && m.ExpectedInputs() > 1 {
+				maxReady := make(map[uint64]float64, len(entries)/m.ExpectedInputs()+1)
+				for _, e := range entries {
+					if e.ready > maxReady[e.b.ID] {
+						maxReady[e.b.ID] = e.ready
+					}
+				}
+				for i := range entries {
+					entries[i].ready = maxReady[entries[i].b.ID]
+				}
+			}
+
+			for _, ent := range entries {
+				n := liveCount(ent.b)
+				bytes := liveBytes(ent.b)
+
+				// Snapshot exact memory probes around the functional call.
+				var memBefore uint64
+				prober, probes := el.(MemProber)
+				if probes {
+					memBefore = prober.MemAccesses()
+				}
+				outs := el.Process(ent.b)
+				var memDelta float64
+				if probes {
+					memDelta = float64(prober.MemAccesses() - memBefore)
+				}
+
+				done := ent.ready
+				outOnGPU := false
+				switch {
+				case n == 0:
+					// Nothing live: zero service.
+				case pl.Mode == ModeGPU:
+					svc, h2d, _ := s.gpuServiceNs(kind, n, bytes, memDelta)
+					if !ent.onGPU {
+						svc += h2d
+						res.H2DBytes += uint64(bytes)
+					}
+					done = gpuFree.run(ent.ready, svc)
+					res.GPUBusyNs += svc
+					res.KernelLaunches++
+					outOnGPU = true
+				case pl.Mode == ModeSplit:
+					nGPU := int(math.Round(pl.GPUFraction * float64(n)))
+					nCPU := n - nGPU
+					bGPU := int(pl.GPUFraction * float64(bytes))
+					bCPU := bytes - bGPU
+					memGPU := memDelta * pl.GPUFraction
+					memCPU := memDelta - memGPU
+
+					// CPU/GPU split bookkeeping (the offload thread's
+					// partitioning and completion-queue join) costs a
+					// fixed per-batch slice, decoupled from the
+					// element-branch re-organization of Fig. 5.
+					reorg := s.P.SplitPerBatchNs * 2
+					res.SplitEvents++
+
+					ready := ent.ready
+					if ent.onGPU {
+						// The split is host-coordinated: fetch the batch
+						// off the device first.
+						d2h := s.P.PCIeLatencyNs + float64(bytes)/s.P.D2HBytesPerNs
+						ready = gpuFree.run(ready, d2h)
+						res.GPUBusyNs += d2h
+						res.D2HBytes += uint64(bytes)
+					}
+					var cpuDone, gpuDone float64 = ready, ready
+					if nCPU > 0 {
+						svc := s.cpuServiceNs(kind, nCPU, bCPU, memCPU) + reorg
+						cpuDone = cpuFree.run(ready, svc)
+						res.CPUBusyNs += svc
+					}
+					if nGPU > 0 {
+						svc, h2d, d2h := s.gpuServiceNs(kind, nGPU, bGPU, memGPU)
+						svc += h2d + d2h // split halves rejoin in host memory
+						gpuDone = gpuFree.run(ready, svc)
+						res.GPUBusyNs += svc
+						res.KernelLaunches++
+						res.H2DBytes += uint64(bGPU)
+						res.D2HBytes += uint64(bGPU)
+					}
+					// Completion-queue join preserves order: release at
+					// the later of the two halves.
+					done = math.Max(cpuDone, gpuDone)
+				default:
+					ready := ent.ready
+					if ent.onGPU {
+						// Crossing back to the host: device-to-host copy.
+						d2h := s.P.PCIeLatencyNs + float64(bytes)/s.P.D2HBytesPerNs
+						ready = gpuFree.run(ready, d2h)
+						res.GPUBusyNs += d2h
+						res.D2HBytes += uint64(bytes)
+					}
+					svc := s.cpuServiceNs(kind, n, bytes, memDelta)
+					done = cpuFree.run(ready, svc)
+					res.CPUBusyNs += svc
+				}
+
+				if el.NumOutputs() == 0 {
+					// Sink: record departure (sinks are host endpoints; a
+					// device-resident batch was already fetched above
+					// because sinks are CPU-placed).
+					live := liveCount(ent.b)
+					res.Emitted += uint64(live)
+					if live > 0 {
+						res.Latency.Add(done - arrival[ent.b.ID])
+						res.Throughput.Packets += uint64(live)
+						res.Throughput.Bytes += uint64(liveBytes(ent.b))
+						if done > lastDeparture {
+							lastDeparture = done
+						}
+					}
+					countDrops(ent.b, res)
+					continue
+				}
+				if len(outs) != el.NumOutputs() {
+					return nil, fmt.Errorf("hetsim: %s emitted %d outputs, declared %d",
+						el.Name(), len(outs), el.NumOutputs())
+				}
+
+				// Batch-split overhead: an element emitting multiple
+				// non-empty sub-batches pays re-organization time on CPU.
+				nonEmpty := 0
+				for _, ob := range outs {
+					if ob != nil && len(ob.Packets) > 0 {
+						nonEmpty++
+					}
+				}
+				if nonEmpty > 1 {
+					if outOnGPU {
+						// Branch re-organization is host-side work: the
+						// batch comes off the device and stays there.
+						d2h := s.P.PCIeLatencyNs + float64(bytes)/s.P.D2HBytesPerNs
+						done = gpuFree.run(done, d2h)
+						res.GPUBusyNs += d2h
+						res.D2HBytes += uint64(bytes)
+						outOnGPU = false
+					}
+					reorg := s.P.SplitPerBatchNs*float64(nonEmpty) +
+						s.P.SplitPerPacketNs*float64(n)
+					done = cpuFree.run(done, reorg)
+					res.CPUBusyNs += reorg
+					res.SplitEvents++
+				}
+
+				for port, ob := range outs {
+					if ob == nil || len(ob.Packets) == 0 {
+						continue
+					}
+					for _, to := range succ[port] {
+						pending[to] = append(pending[to],
+							pendingBatch{b: ob, ready: done, onGPU: outOnGPU})
+					}
+				}
+				countDrops(ent.b, res)
+			}
+		}
+	}
+
+	if lastDeparture > firstArrival {
+		res.Throughput.Nanos = int64(lastDeparture - firstArrival)
+	}
+	return res, nil
+}
+
+// server books non-overlapping busy intervals on one execution unit,
+// sorted by start time. Interval booking (rather than a single next-free
+// time) lets late-ready tasks backfill idle gaps — without it, a task
+// scheduled at a large ready time would poison the server for earlier
+// work that arrives later in the stage-major sweep.
+type server struct {
+	busy [][2]float64
+}
+
+// earliestStart returns the first time >= ready at which a task of the
+// given duration fits.
+func (s *server) earliestStart(ready, duration float64) float64 {
+	start := ready
+	for _, iv := range s.busy {
+		if iv[1] <= start {
+			continue
+		}
+		if iv[0]-start >= duration {
+			return start
+		}
+		start = iv[1]
+	}
+	return start
+}
+
+// book inserts the interval, keeping the list sorted.
+func (s *server) book(start, duration float64) {
+	iv := [2]float64{start, start + duration}
+	i := len(s.busy)
+	for i > 0 && s.busy[i-1][0] > start {
+		i--
+	}
+	s.busy = append(s.busy, [2]float64{})
+	copy(s.busy[i+1:], s.busy[i:])
+	s.busy[i] = iv
+}
+
+// pool is a bank of identical servers.
+type pool []server
+
+// run schedules a task of the given duration on the server able to start
+// it earliest (no sooner than ready) and returns its completion time.
+func (p pool) run(ready, duration float64) float64 {
+	if len(p) == 0 {
+		return ready + duration
+	}
+	best, bestStart := 0, p[0].earliestStart(ready, duration)
+	for i := 1; i < len(p); i++ {
+		if st := p[i].earliestStart(ready, duration); st < bestStart {
+			best, bestStart = i, st
+		}
+	}
+	p[best].book(bestStart, duration)
+	return bestStart + duration
+}
+
+func liveCount(b *netpkt.Batch) int {
+	n := 0
+	for _, p := range b.Packets {
+		if !p.Dropped {
+			n++
+		}
+	}
+	return n
+}
+
+func liveBytes(b *netpkt.Batch) int {
+	n := 0
+	for _, p := range b.Packets {
+		if !p.Dropped {
+			n += len(p.Data)
+		}
+	}
+	return n
+}
+
+func countDrops(b *netpkt.Batch, res *Result) {
+	for _, p := range b.Packets {
+		if p.Dropped && p.DropReason != "" {
+			res.DroppedByElement[p.DropReason]++
+			p.DropReason = ""
+		}
+	}
+}

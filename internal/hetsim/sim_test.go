@@ -1,0 +1,345 @@
+package hetsim
+
+import (
+	"testing"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/nf"
+	"nfcompass/internal/traffic"
+	"nfcompass/internal/trie"
+)
+
+// chainGraph builds FromDevice -> NFs -> ToDevice.
+func chainGraph(nfs ...*nf.NF) *element.Graph {
+	g, _, _ := nf.BuildChain(nfs)
+	return g
+}
+
+func defaultTrie() *trie.Dir24_8 {
+	var tr trie.IPv4Trie
+	_ = tr.Insert(0, 0, 1)
+	return trie.BuildDir24_8(&tr)
+}
+
+func genBatches(count, size, pktSize int, seed int64) []*netpkt.Batch {
+	g := traffic.NewGenerator(traffic.Config{Size: traffic.Fixed(pktSize), Seed: seed})
+	return g.Batches(count, size)
+}
+
+func ipsecNF(name string) *nf.NF {
+	return nf.NewIPsecGateway(name, 0x10, []byte("0123456789abcdef"), []byte("auth"))
+}
+
+func idsNF(name string) *nf.NF {
+	return nf.NewIDS(name, []string{"attack", "malware", "exploit", "overflow"}, false)
+}
+
+func runSim(t *testing.T, g *element.Graph, a Assignment, batches []*netpkt.Batch) *Result {
+	t.Helper()
+	s, err := NewSimulator(DefaultPlatform(), nil, g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(batches, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCPURunBasics(t *testing.T) {
+	g := chainGraph(nf.NewIPv4Router("r", defaultTrie(), "d"))
+	res := runSim(t, g, nil, genBatches(50, 64, 64, 1))
+	if res.Emitted != 50*64 {
+		t.Fatalf("Emitted = %d", res.Emitted)
+	}
+	if res.Throughput.Gbps() <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	if res.CPUBusyNs <= 0 {
+		t.Error("CPU busy time not accounted")
+	}
+	if res.GPUBusyNs != 0 || res.KernelLaunches != 0 {
+		t.Error("CPU-only run touched the GPU")
+	}
+	if res.Latency.N() != 50 {
+		t.Errorf("latency samples = %d", res.Latency.N())
+	}
+}
+
+func TestGPURunChargesOffload(t *testing.T) {
+	g := chainGraph(ipsecNF("ipsec"))
+	res := runSim(t, g, AllGPU(g), genBatches(50, 64, 64, 2))
+	if res.KernelLaunches == 0 {
+		t.Error("no kernel launches on AllGPU")
+	}
+	if res.H2DBytes == 0 || res.D2HBytes == 0 {
+		t.Error("no PCIe transfers accounted")
+	}
+	if res.GPUBusyNs <= 0 {
+		t.Error("GPU busy time not accounted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		g := chainGraph(ipsecNF("ipsec"))
+		res := runSim(t, g, UniformSplit(g, 0.5), genBatches(40, 64, 64, 3))
+		return res.Throughput.Gbps()
+	}
+	if run() != run() {
+		t.Error("simulation is not deterministic")
+	}
+}
+
+// The Fig. 6 anchor: for IPsec the best offload ratio is interior
+// (~0.7), beating both CPU-only and GPU-only.
+func TestIPsecOffloadSweetSpot(t *testing.T) {
+	gbpsAt := func(frac float64) float64 {
+		g := chainGraph(ipsecNF("ipsec"))
+		res := runSim(t, g, KindSplit(g, frac, "IPsecSeal"), genBatches(120, 64, 64, 4))
+		return res.Throughput.Gbps()
+	}
+	cpu := gbpsAt(0)
+	gpu := gbpsAt(1)
+	best, bestFrac := 0.0, 0.0
+	for f := 0.0; f <= 1.001; f += 0.1 {
+		if g := gbpsAt(f); g > best {
+			best, bestFrac = g, f
+		}
+	}
+	t.Logf("cpu=%.2f gpu=%.2f best=%.2f at %.0f%%", cpu, gpu, best, bestFrac*100)
+	if best <= cpu || best <= gpu {
+		t.Errorf("interior optimum expected: cpu=%.2f gpu=%.2f best=%.2f@%.1f",
+			cpu, gpu, best, bestFrac)
+	}
+	if bestFrac < 0.4 || bestFrac > 0.9 {
+		t.Errorf("best offload fraction %.1f outside the plausible band", bestFrac)
+	}
+}
+
+// IPv4 is CPU-friendly: offloading should not beat CPU-only (Fig. 6/15).
+func TestIPv4PrefersCPU(t *testing.T) {
+	gbpsAt := func(frac float64) float64 {
+		g := chainGraph(nf.NewIPv4Router("r", defaultTrie(), "d"))
+		res := runSim(t, g, UniformSplit(g, frac), genBatches(120, 64, 64, 5))
+		return res.Throughput.Gbps()
+	}
+	cpu := gbpsAt(0)
+	for _, f := range []float64{0.5, 1.0} {
+		if g := gbpsAt(f); g > cpu*1.02 {
+			t.Errorf("IPv4 offload %.0f%% (%.2f Gbps) beat CPU-only (%.2f)", f*100, g, cpu)
+		}
+	}
+}
+
+// Fig. 8d anchor: DPI full-match traffic is several times slower than
+// no-match on CPU, driven by the exact DFA probe counts.
+func TestDPITrafficPatternGap(t *testing.T) {
+	patterns := []string{"attack", "malware", "exploit", "overflow"}
+	run := func(profile traffic.PayloadProfile) float64 {
+		g := chainGraph(nf.NewIDS("ids", patterns, false))
+		gen := traffic.NewGenerator(traffic.Config{
+			Size: traffic.Fixed(512), Payload: profile, MatchTokens: patterns, Seed: 6,
+		})
+		res := runSim(t, g, nil, gen.Batches(60, 64))
+		return res.Throughput.Gbps()
+	}
+	noMatch := run(traffic.PayloadRandom)
+	fullMatch := run(traffic.PayloadFullMatch)
+	ratio := noMatch / fullMatch
+	t.Logf("no-match=%.2f full-match=%.2f ratio=%.2f", noMatch, fullMatch, ratio)
+	if ratio < 2 {
+		t.Errorf("no-match should be several times faster; ratio = %.2f", ratio)
+	}
+}
+
+// Fig. 8 anchor: DPI CPU throughput degrades past the batch-size knee.
+func TestDPIBatchKnee(t *testing.T) {
+	perPkt := func(batch int) float64 {
+		g := chainGraph(idsNF("ids"))
+		res := runSim(t, g, nil, genBatches(6000/batch, batch, 256, 7))
+		return res.CPUBusyNs / float64(res.Emitted)
+	}
+	at64 := perPkt(64)
+	at1024 := perPkt(1024)
+	t.Logf("per-packet CPU ns: batch64=%.0f batch1024=%.0f", at64, at1024)
+	if at1024 <= at64*1.2 {
+		t.Errorf("expected super-knee cost growth: %.0f vs %.0f", at64, at1024)
+	}
+}
+
+// Per-batch fixed overheads amortize: bigger batches raise GPU throughput.
+func TestGPUBatchAmortization(t *testing.T) {
+	gbpsAt := func(batch int) float64 {
+		g := chainGraph(ipsecNF("ipsec"))
+		res := runSim(t, g, AllGPU(g), genBatches(2048/batch, batch, 64, 8))
+		return res.Throughput.Gbps()
+	}
+	small := gbpsAt(32)
+	large := gbpsAt(512)
+	if large <= small {
+		t.Errorf("batch 512 (%.2f) not faster than batch 32 (%.2f) on GPU", large, small)
+	}
+}
+
+// Persistent kernels reduce launch overhead (the NFCompass design).
+func TestPersistentKernelHelps(t *testing.T) {
+	run := func(persistent bool) float64 {
+		p := DefaultPlatform()
+		p.PersistentKernel = persistent
+		g := chainGraph(ipsecNF("ipsec"))
+		s, err := NewSimulator(p, nil, g, AllGPU(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(genBatches(60, 64, 64, 9), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput.Gbps()
+	}
+	if p, n := run(true), run(false); p <= n {
+		t.Errorf("persistent kernel (%.2f) not faster than launch-per-batch (%.2f)", p, n)
+	}
+}
+
+// Fig. 8e anchor: co-run interference hurts cache-hungry NFs (IDS) more
+// than light ones (firewall-like IPv4).
+func TestCoRunInterference(t *testing.T) {
+	drop := func(build func(string) *nf.NF, pktSize int) float64 {
+		solo := chainGraph(build("solo"))
+		s1, _ := NewSimulator(DefaultPlatform(), nil, solo, nil)
+		r1, err := s1.Run(genBatches(60, 64, pktSize, 10), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		co := chainGraph(build("co"))
+		s2, _ := NewSimulator(DefaultPlatform(), nil, co, nil)
+		s2.SetCoRun(CoRun{ExtraCPUFootprint: 24 << 20, CPUCoreShare: 0.5})
+		r2, err := s2.Run(genBatches(60, 64, pktSize, 10), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 1 - r2.Throughput.Gbps()/r1.Throughput.Gbps()
+	}
+	idsDrop := drop(func(n string) *nf.NF { return idsNF(n) }, 512)
+	fwDrop := drop(func(n string) *nf.NF {
+		return nf.NewIPv4Router(n, defaultTrie(), "d")
+	}, 512)
+	t.Logf("ids drop = %.1f%%, ipv4 drop = %.1f%%", idsDrop*100, fwDrop*100)
+	if idsDrop <= fwDrop {
+		t.Errorf("IDS (%.2f) should suffer more than IPv4 (%.2f)", idsDrop, fwDrop)
+	}
+}
+
+// Fig. 7 anchor: GPU-only acceleration shrinks relative to CPU as the
+// chain grows (aggregated offloading overheads).
+func TestChainLengthErodesGPUGain(t *testing.T) {
+	relGain := func(chain ...*nf.NF) float64 {
+		gCPU := chainGraph(chain...)
+		rCPU := runSim(t, gCPU, nil, genBatches(60, 64, 64, 11))
+		gGPU := chainGraph(chain...)
+		rGPU := runSim(t, gGPU, AllGPU(gGPU), genBatches(60, 64, 64, 11))
+		return rGPU.Throughput.Gbps() / rCPU.Throughput.Gbps()
+	}
+	short := relGain(ipsecNF("a"))
+	long := relGain(ipsecNF("a"), nf.NewIPv4Router("b", defaultTrie(), "d"), idsNF("c"))
+	t.Logf("gpu/cpu: 1-NF=%.2f 3-NF=%.2f", short, long)
+	if long >= short {
+		t.Errorf("GPU relative gain should erode with chain length: %.2f -> %.2f", short, long)
+	}
+}
+
+func TestSplitEventsCharged(t *testing.T) {
+	g := chainGraph(ipsecNF("ipsec"))
+	res := runSim(t, g, UniformSplit(g, 0.5), genBatches(10, 64, 64, 12))
+	if res.SplitEvents == 0 {
+		t.Error("split placements should record split events")
+	}
+}
+
+func TestCoreShareReducesCapacity(t *testing.T) {
+	g := chainGraph(idsNF("ids"))
+	s, _ := NewSimulator(DefaultPlatform(), nil, g, nil)
+	full, err := s.Run(genBatches(60, 64, 256, 13), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := chainGraph(idsNF("ids"))
+	s2, _ := NewSimulator(DefaultPlatform(), nil, g2, nil)
+	s2.SetCoRun(CoRun{CPUCoreShare: 0.25})
+	quarter, err := s2.Run(genBatches(60, 64, 256, 13), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarter.Throughput.Gbps() >= full.Throughput.Gbps() {
+		t.Error("fewer cores should lower throughput")
+	}
+}
+
+func TestUniformSplitBoundaries(t *testing.T) {
+	g := chainGraph(ipsecNF("x"))
+	a0 := UniformSplit(g, 0)
+	a1 := UniformSplit(g, 1)
+	for _, pl := range a0 {
+		if pl.Mode != ModeCPU {
+			t.Error("frac 0 should pin CPU")
+		}
+	}
+	for _, pl := range a1 {
+		if pl.Mode != ModeGPU {
+			t.Error("frac 1 should pin GPU")
+		}
+	}
+}
+
+func TestInvalidGraphRejected(t *testing.T) {
+	g := element.NewGraph()
+	g.Add(element.NewFromDevice("in")) // unconnected output
+	if _, err := NewSimulator(DefaultPlatform(), nil, g, nil); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestOfferedLoadLatencyLowerThanSaturation(t *testing.T) {
+	mk := func() []*netpkt.Batch { return genBatches(60, 64, 64, 14) }
+	g1 := chainGraph(ipsecNF("a"))
+	s1, _ := NewSimulator(DefaultPlatform(), nil, g1, nil)
+	sat, err := s1.Run(mk(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := chainGraph(ipsecNF("a"))
+	s2, _ := NewSimulator(DefaultPlatform(), nil, g2, nil)
+	light, err := s2.Run(mk(), 1e6) // 1 ms apart: no queueing
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light.Latency.Mean() >= sat.Latency.Mean() {
+		t.Errorf("light-load latency (%.0f) should undercut saturation (%.0f)",
+			light.Latency.Mean(), sat.Latency.Mean())
+	}
+}
+
+func BenchmarkSimulateTelcoChain(b *testing.B) {
+	g := chainGraph(ipsecNF("sec"), idsNF("ids"))
+	batches := genBatches(20, 64, 256, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fresh := make([]*netpkt.Batch, len(batches))
+		for j, bb := range batches {
+			fresh[j] = bb.Clone()
+		}
+		s, err := NewSimulator(DefaultPlatform(), nil, g, UniformSplit(g, 0.5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.Run(fresh, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package ipsec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func pair(t *testing.T) (*SA, *SA) {
+	t.Helper()
+	enc := []byte("0123456789abcdef")
+	auth := []byte("secret-auth-key")
+	tx, err := NewSA(0x1001, enc, auth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewSA(0x1001, enc, auth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx, rx
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	tx, rx := pair(t)
+	msgs := [][]byte{
+		[]byte(""),
+		[]byte("x"),
+		[]byte("the quick brown fox"),
+		bytes.Repeat([]byte{0xAA}, 1500),
+	}
+	for _, m := range msgs {
+		esp, err := tx.Seal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(esp) != len(m)+Overhead() {
+			t.Errorf("len = %d, want %d", len(esp), len(m)+Overhead())
+		}
+		pt, err := rx.Open(esp)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(pt, m) {
+			t.Errorf("round trip mismatch: %q != %q", pt, m)
+		}
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	tx, _ := pair(t)
+	m := bytes.Repeat([]byte("A"), 64)
+	esp, _ := tx.Seal(m)
+	if bytes.Contains(esp, m) {
+		t.Error("plaintext visible in ESP output")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	tx, rx := pair(t)
+	esp, _ := tx.Seal([]byte("payload"))
+	for _, idx := range []int{8, len(esp) / 2, len(esp) - 1} {
+		bad := append([]byte(nil), esp...)
+		bad[idx] ^= 0x01
+		if _, err := rx.Open(bad); !errors.Is(err, ErrAuthFailed) {
+			t.Errorf("tamper at %d: err = %v, want ErrAuthFailed", idx, err)
+		}
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	tx, rx := pair(t)
+	esp, _ := tx.Seal([]byte("one"))
+	if _, err := rx.Open(esp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Open(esp); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestReplayWindowOutOfOrder(t *testing.T) {
+	tx, rx := pair(t)
+	var packets [][]byte
+	for i := 0; i < 10; i++ {
+		esp, _ := tx.Seal([]byte{byte(i)})
+		packets = append(packets, esp)
+	}
+	// Deliver 0, 5, 3, 9, 1 — all distinct, all inside the window.
+	for _, i := range []int{0, 5, 3, 9, 1} {
+		if _, err := rx.Open(packets[i]); err != nil {
+			t.Fatalf("out-of-order delivery %d failed: %v", i, err)
+		}
+	}
+	// Re-delivery of 3 must be caught.
+	if _, err := rx.Open(packets[3]); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay of 3: err = %v", err)
+	}
+}
+
+func TestReplayWindowStale(t *testing.T) {
+	tx, rx := pair(t)
+	var first []byte
+	for i := 0; i < 70; i++ {
+		esp, _ := tx.Seal([]byte("x"))
+		if i == 0 {
+			first = esp
+		} else if i == 69 {
+			if _, err := rx.Open(esp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Sequence 1 is now 69 behind: outside the 64-packet window.
+	if _, err := rx.Open(first); !errors.Is(err, ErrReplay) {
+		t.Errorf("stale: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestFailedAuthDoesNotAdvanceWindow(t *testing.T) {
+	tx, rx := pair(t)
+	esp, _ := tx.Seal([]byte("data"))
+	bad := append([]byte(nil), esp...)
+	bad[len(bad)-1] ^= 1
+	if _, err := rx.Open(bad); !errors.Is(err, ErrAuthFailed) {
+		t.Fatal("tamper not detected")
+	}
+	// The genuine packet must still be accepted.
+	if _, err := rx.Open(esp); err != nil {
+		t.Errorf("genuine packet rejected after forged copy: %v", err)
+	}
+}
+
+func TestBadKeyLen(t *testing.T) {
+	if _, err := NewSA(1, []byte("short"), []byte("a")); !errors.Is(err, ErrBadKeyLen) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	_, rx := pair(t)
+	if _, err := rx.Open(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWrongSPI(t *testing.T) {
+	tx, _ := pair(t)
+	other, _ := NewSA(0x2002, []byte("0123456789abcdef"), []byte("k"))
+	esp, _ := tx.Seal([]byte("m"))
+	if _, err := other.Open(esp); !errors.Is(err, ErrUnknownSPI) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB()
+	enc := []byte("0123456789abcdef")
+	sa1, _ := NewSA(1, enc, []byte("a"))
+	sa2, _ := NewSA(2, enc, []byte("b"))
+	db.Add(sa1)
+	db.Add(sa2)
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	tx, _ := NewSA(2, enc, []byte("b"))
+	esp, _ := tx.Seal([]byte("via db"))
+	pt, err := db.OpenPacket(esp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "via db" {
+		t.Errorf("pt = %q", pt)
+	}
+	if _, err := db.Lookup(99); err == nil {
+		t.Error("Lookup(99) succeeded")
+	}
+	if _, err := db.OpenPacket([]byte{1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	enc := []byte("fedcba9876543210")
+	auth := []byte("hmac-key")
+	tx, _ := NewSA(7, enc, auth)
+	rx, _ := NewSA(7, enc, auth)
+	f := func(msg []byte) bool {
+		esp, err := tx.Seal(msg)
+		if err != nil {
+			return false
+		}
+		pt, err := rx.Open(esp)
+		return err == nil && bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSeal64B(b *testing.B)   { benchSeal(b, 64) }
+func BenchmarkSeal1500B(b *testing.B) { benchSeal(b, 1500) }
+
+func benchSeal(b *testing.B, size int) {
+	sa, _ := NewSA(1, []byte("0123456789abcdef"), []byte("k"))
+	msg := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sa.Seal(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen1500B(b *testing.B) {
+	enc := []byte("0123456789abcdef")
+	tx, _ := NewSA(1, enc, []byte("k"))
+	msg := make([]byte, 1500)
+	esp, _ := tx.Seal(msg)
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rx, _ := NewSA(1, enc, []byte("k"))
+		if _, err := rx.Open(esp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

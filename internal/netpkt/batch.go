@@ -1,0 +1,122 @@
+package netpkt
+
+// Batch is an ordered collection of packets processed together by an
+// element. Batching amortizes per-packet overheads (paper §III-B-1); the
+// cost of *splitting* batches at element branches is one of the aggregated
+// overheads NFCompass attacks (Fig. 5).
+type Batch struct {
+	Packets []*Packet
+
+	// ID identifies the original input batch this (sub-)batch derives
+	// from, so the completion queue can regroup split batches.
+	ID uint64
+
+	// Branch identifies which parallel-stage branch this batch traverses
+	// (set by the SFC duplicator; meaningful only between a duplicator
+	// and its paired merge).
+	Branch int
+}
+
+// NewBatch wraps pkts in a batch and stamps each packet's SeqInBatch.
+func NewBatch(id uint64, pkts []*Packet) *Batch {
+	for i, p := range pkts {
+		p.SeqInBatch = i
+	}
+	return &Batch{Packets: pkts, ID: id}
+}
+
+// Len returns the number of packets in the batch (including dropped ones).
+func (b *Batch) Len() int { return len(b.Packets) }
+
+// Live returns the number of not-dropped packets.
+func (b *Batch) Live() int {
+	n := 0
+	for _, p := range b.Packets {
+		if !p.Dropped {
+			n++
+		}
+	}
+	return n
+}
+
+// Bytes returns the total wire bytes of live packets.
+func (b *Batch) Bytes() int {
+	n := 0
+	for _, p := range b.Packets {
+		if !p.Dropped {
+			n += len(p.Data)
+		}
+	}
+	return n
+}
+
+// SplitBy partitions the batch into sub-batches keyed by class(p), in
+// first-seen class order. Dropped packets are omitted. This models the
+// batch re-organization an element branch forces on the framework; the
+// number of resulting sub-batches drives the split cost model.
+func (b *Batch) SplitBy(class func(*Packet) int) []*Batch {
+	order := make([]int, 0, 4)
+	groups := make(map[int][]*Packet, 4)
+	for _, p := range b.Packets {
+		if p.Dropped {
+			continue
+		}
+		c := class(p)
+		if _, ok := groups[c]; !ok {
+			order = append(order, c)
+		}
+		groups[c] = append(groups[c], p)
+	}
+	out := make([]*Batch, 0, len(order))
+	for _, c := range order {
+		out = append(out, &Batch{Packets: groups[c], ID: b.ID})
+	}
+	return out
+}
+
+// Merge concatenates sub-batches (in the order given) back into one batch,
+// restoring the original arrival order using SeqInBatch. All sub-batches
+// must share the same origin batch ID.
+func Merge(id uint64, parts []*Batch) *Batch {
+	total := 0
+	for _, part := range parts {
+		total += len(part.Packets)
+	}
+	merged := make([]*Packet, 0, total)
+	for _, part := range parts {
+		merged = append(merged, part.Packets...)
+	}
+	// Insertion sort by SeqInBatch: sub-batches are already internally
+	// ordered, so this is near-linear for the common case.
+	for i := 1; i < len(merged); i++ {
+		p := merged[i]
+		j := i - 1
+		for j >= 0 && merged[j].SeqInBatch > p.SeqInBatch {
+			merged[j+1] = merged[j]
+			j--
+		}
+		merged[j+1] = p
+	}
+	return &Batch{Packets: merged, ID: id}
+}
+
+// Filter returns a new batch containing the live packets for which keep
+// returns true; the rest are marked dropped with reason.
+func (b *Batch) Filter(reason string, keep func(*Packet) bool) {
+	for _, p := range b.Packets {
+		if !p.Dropped && !keep(p) {
+			p.Drop(reason)
+		}
+	}
+}
+
+// Clone deep-copies the batch. Parallelized SFC branches each process a
+// clone of the input traffic (paper §IV-B-1: "It just creates the copy of
+// network packets and distributes them").
+func (b *Batch) Clone() *Batch {
+	pkts := make([]*Packet, len(b.Packets))
+	for i, p := range b.Packets {
+		pkts[i] = p.Clone()
+	}
+	return &Batch{Packets: pkts, ID: b.ID, Branch: b.Branch}
+}

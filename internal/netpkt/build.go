@@ -1,0 +1,140 @@
+package netpkt
+
+import "encoding/binary"
+
+// UDPPacketSpec describes a UDP/IPv4 packet to synthesize.
+type UDPPacketSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv4Addr
+	SrcPort, DstPort uint16
+	TTL              uint8
+	Payload          []byte
+	FlowID           uint64
+}
+
+// BuildUDPv4 synthesizes a complete, checksum-correct Ethernet/IPv4/UDP
+// packet and parses it so offsets are set.
+func BuildUDPv4(spec UDPPacketSpec) *Packet {
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	udpLen := UDPHeaderLen + len(spec.Payload)
+	ipLen := IPv4MinHeaderLen + udpLen
+	data := make([]byte, EthernetHeaderLen+ipLen)
+
+	eth := EthernetHeader{Dst: spec.DstMAC, Src: spec.SrcMAC, EtherType: ProtoIPv4}
+	_ = eth.Marshal(data)
+
+	ip := IPv4Header{
+		TotalLen: uint16(ipLen),
+		TTL:      ttl,
+		Protocol: IPProtoUDP,
+		Src:      spec.SrcIP,
+		Dst:      spec.DstIP,
+	}
+	_ = ip.Marshal(data[EthernetHeaderLen:])
+
+	l4 := data[EthernetHeaderLen+IPv4MinHeaderLen:]
+	udp := UDPHeader{SrcPort: spec.SrcPort, DstPort: spec.DstPort, Length: uint16(udpLen)}
+	_ = udp.Marshal(l4)
+	copy(l4[UDPHeaderLen:], spec.Payload)
+	binary.BigEndian.PutUint16(l4[6:8], UDPChecksumIPv4(spec.SrcIP, spec.DstIP, l4))
+
+	p := NewPacket(data)
+	p.FlowID = spec.FlowID
+	_ = p.Parse()
+	return p
+}
+
+// TCPPacketSpec describes a TCP/IPv4 packet to synthesize.
+type TCPPacketSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv4Addr
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            TCPFlags
+	TTL              uint8
+	Payload          []byte
+	FlowID           uint64
+}
+
+// BuildTCPv4 synthesizes a complete, checksum-correct Ethernet/IPv4/TCP
+// packet and parses it so offsets are set.
+func BuildTCPv4(spec TCPPacketSpec) *Packet {
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	tcpLen := TCPMinHeaderLen + len(spec.Payload)
+	ipLen := IPv4MinHeaderLen + tcpLen
+	data := make([]byte, EthernetHeaderLen+ipLen)
+
+	eth := EthernetHeader{Dst: spec.DstMAC, Src: spec.SrcMAC, EtherType: ProtoIPv4}
+	_ = eth.Marshal(data)
+
+	ip := IPv4Header{
+		TotalLen: uint16(ipLen),
+		TTL:      ttl,
+		Protocol: IPProtoTCP,
+		Src:      spec.SrcIP,
+		Dst:      spec.DstIP,
+	}
+	_ = ip.Marshal(data[EthernetHeaderLen:])
+
+	l4 := data[EthernetHeaderLen+IPv4MinHeaderLen:]
+	tcp := TCPHeader{
+		SrcPort: spec.SrcPort, DstPort: spec.DstPort,
+		Seq: spec.Seq, Ack: spec.Ack, Flags: spec.Flags, Window: 65535,
+	}
+	_ = tcp.Marshal(l4)
+	copy(l4[TCPMinHeaderLen:], spec.Payload)
+	binary.BigEndian.PutUint16(l4[16:18], TCPChecksumIPv4(spec.SrcIP, spec.DstIP, l4))
+
+	p := NewPacket(data)
+	p.FlowID = spec.FlowID
+	_ = p.Parse()
+	return p
+}
+
+// UDPv6PacketSpec describes a UDP/IPv6 packet to synthesize.
+type UDPv6PacketSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv6Addr
+	SrcPort, DstPort uint16
+	HopLimit         uint8
+	Payload          []byte
+	FlowID           uint64
+}
+
+// BuildUDPv6 synthesizes a complete Ethernet/IPv6/UDP packet and parses it.
+func BuildUDPv6(spec UDPv6PacketSpec) *Packet {
+	hop := spec.HopLimit
+	if hop == 0 {
+		hop = 64
+	}
+	udpLen := UDPHeaderLen + len(spec.Payload)
+	data := make([]byte, EthernetHeaderLen+IPv6HeaderLen+udpLen)
+
+	eth := EthernetHeader{Dst: spec.DstMAC, Src: spec.SrcMAC, EtherType: ProtoIPv6}
+	_ = eth.Marshal(data)
+
+	ip := IPv6Header{
+		PayloadLen: uint16(udpLen),
+		NextHeader: IPProtoUDP,
+		HopLimit:   hop,
+		Src:        spec.SrcIP,
+		Dst:        spec.DstIP,
+	}
+	_ = ip.Marshal(data[EthernetHeaderLen:])
+
+	l4 := data[EthernetHeaderLen+IPv6HeaderLen:]
+	udp := UDPHeader{SrcPort: spec.SrcPort, DstPort: spec.DstPort, Length: uint16(udpLen)}
+	_ = udp.Marshal(l4)
+	copy(l4[UDPHeaderLen:], spec.Payload)
+
+	p := NewPacket(data)
+	p.FlowID = spec.FlowID
+	_ = p.Parse()
+	return p
+}

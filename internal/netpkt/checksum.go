@@ -1,0 +1,77 @@
+package netpkt
+
+import "encoding/binary"
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	return finishChecksum(sumBytes(0, b))
+}
+
+// sumBytes adds b to a running 32-bit one's-complement accumulator.
+func sumBytes(sum uint32, b []byte) uint32 {
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if n%2 == 1 {
+		sum += uint32(b[n-1]) << 8
+	}
+	return sum
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSumIPv4 returns the partial sum of the IPv4 pseudo-header used
+// by the TCP and UDP checksums.
+func pseudoHeaderSumIPv4(src, dst IPv4Addr, proto IPProto, l4len int) uint32 {
+	var sum uint32
+	sum += uint32(src) >> 16
+	sum += uint32(src) & 0xffff
+	sum += uint32(dst) >> 16
+	sum += uint32(dst) & 0xffff
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}
+
+// UDPChecksumIPv4 computes the UDP checksum for a UDP segment carried over
+// IPv4 with the given addresses. seg includes the UDP header with a zero
+// checksum field.
+func UDPChecksumIPv4(src, dst IPv4Addr, seg []byte) uint16 {
+	sum := pseudoHeaderSumIPv4(src, dst, IPProtoUDP, len(seg))
+	c := finishChecksum(sumBytes(sum, seg))
+	if c == 0 {
+		c = 0xffff // 0 means "no checksum" in UDP
+	}
+	return c
+}
+
+// TCPChecksumIPv4 computes the TCP checksum for a TCP segment carried over
+// IPv4. seg includes the TCP header with a zero checksum field.
+func TCPChecksumIPv4(src, dst IPv4Addr, seg []byte) uint16 {
+	sum := pseudoHeaderSumIPv4(src, dst, IPProtoTCP, len(seg))
+	return finishChecksum(sumBytes(sum, seg))
+}
+
+// ChecksumUpdate16 incrementally updates checksum old when a 16-bit field
+// changes from oldField to newField (RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')).
+// NAT uses it to fix IP and L4 checksums without re-summing the packet.
+func ChecksumUpdate16(old, oldField, newField uint16) uint16 {
+	sum := uint32(^old) + uint32(^oldField) + uint32(newField)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumUpdate32 incrementally updates a checksum when a 32-bit field
+// (e.g. an IPv4 address) changes.
+func ChecksumUpdate32(old uint16, oldField, newField uint32) uint16 {
+	c := ChecksumUpdate16(old, uint16(oldField>>16), uint16(newField>>16))
+	return ChecksumUpdate16(c, uint16(oldField&0xffff), uint16(newField&0xffff))
+}

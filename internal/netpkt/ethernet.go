@@ -1,0 +1,48 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EthernetHeaderLen is the length of an Ethernet II header (no VLAN tag).
+const EthernetHeaderLen = 14
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the address in the canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EthernetHeader is a parsed Ethernet II header.
+type EthernetHeader struct {
+	Dst       MAC
+	Src       MAC
+	EtherType Proto
+}
+
+// ParseEthernet decodes the Ethernet header at the start of b.
+func ParseEthernet(b []byte) (EthernetHeader, error) {
+	var h EthernetHeader
+	if len(b) < EthernetHeaderLen {
+		return h, fmt.Errorf("netpkt: ethernet header needs %d bytes, have %d", EthernetHeaderLen, len(b))
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = Proto(binary.BigEndian.Uint16(b[12:14]))
+	return h, nil
+}
+
+// Marshal writes the header into b, which must be at least
+// EthernetHeaderLen bytes long.
+func (h EthernetHeader) Marshal(b []byte) error {
+	if len(b) < EthernetHeaderLen {
+		return fmt.Errorf("netpkt: buffer too short for ethernet header")
+	}
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], uint16(h.EtherType))
+	return nil
+}

@@ -1,0 +1,58 @@
+package netpkt
+
+import "testing"
+
+// FuzzParse hardens the packet parser against arbitrary wire bytes: it
+// must never panic or set offsets outside the buffer, whatever arrives.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(sampleUDP().Data)
+	f.Add(BuildTCPv4(TCPPacketSpec{SrcIP: 1, DstIP: 2, Payload: []byte("x")}).Data)
+	f.Add(BuildUDPv6(UDPv6PacketSpec{SrcIP: IPv6Addr{Hi: 1}, DstIP: IPv6Addr{Lo: 2}}).Data)
+	// VLAN-tagged seed.
+	tagged := append([]byte{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 2, 0x81, 0x00, 0, 42}, sampleUDP().Data[12:]...)
+	f.Add(tagged)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewPacket(data)
+		err := p.Parse()
+		if err != nil {
+			return
+		}
+		if p.L3Offset < 0 || p.L3Offset > len(data) {
+			t.Fatalf("L3Offset %d outside [0,%d]", p.L3Offset, len(data))
+		}
+		if p.L4Offset != -1 && (p.L4Offset < p.L3Offset || p.L4Offset > len(data)) {
+			t.Fatalf("L4Offset %d invalid (L3 %d, len %d)", p.L4Offset, p.L3Offset, len(data))
+		}
+		// The accessors must stay within bounds too.
+		_ = p.L3()
+		_ = p.L4()
+		_ = p.Payload()
+		_ = p.String()
+	})
+}
+
+// FuzzChecksumIncremental cross-checks the incremental update against a
+// full recomputation for arbitrary word vectors.
+func FuzzChecksumIncremental(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(0), uint16(9))
+	f.Fuzz(func(t *testing.T, raw []byte, idxRaw uint8, newVal uint16) {
+		if len(raw) < 2 {
+			return
+		}
+		buf := append([]byte(nil), raw...)
+		if len(buf)%2 == 1 {
+			buf = buf[:len(buf)-1]
+		}
+		words := len(buf) / 2
+		i := int(idxRaw) % words
+		old := Checksum(buf)
+		oldField := uint16(buf[2*i])<<8 | uint16(buf[2*i+1])
+		updated := ChecksumUpdate16(old, oldField, newVal)
+		buf[2*i], buf[2*i+1] = byte(newVal>>8), byte(newVal)
+		if want := Checksum(buf); updated != want {
+			t.Fatalf("incremental %#04x != full %#04x", updated, want)
+		}
+	})
+}

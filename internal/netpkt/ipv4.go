@@ -1,0 +1,103 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4MinHeaderLen is the length of an IPv4 header without options.
+const IPv4MinHeaderLen = 20
+
+// IPv4Addr is an IPv4 address in host-order uint32 form, the representation
+// used by the longest-prefix-match tries.
+type IPv4Addr uint32
+
+// String renders the address in dotted-quad form.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IPv4FromBytes builds an address from 4 network-order bytes.
+func IPv4FromBytes(b []byte) IPv4Addr {
+	_ = b[3]
+	return IPv4Addr(binary.BigEndian.Uint32(b[:4]))
+}
+
+// PutBytes writes the address into b in network order.
+func (a IPv4Addr) PutBytes(b []byte) { binary.BigEndian.PutUint32(b[:4], uint32(a)) }
+
+// IPv4Header is a parsed IPv4 header (options are preserved opaquely by
+// keeping the IHL; the builder emits option-less headers).
+type IPv4Header struct {
+	IHL      int // header length in bytes
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      uint8
+	Protocol IPProto
+	Checksum uint16
+	Src      IPv4Addr
+	Dst      IPv4Addr
+}
+
+// ParseIPv4 decodes the IPv4 header at the start of b.
+func ParseIPv4(b []byte) (IPv4Header, error) {
+	var h IPv4Header
+	if len(b) < IPv4MinHeaderLen {
+		return h, fmt.Errorf("netpkt: ipv4 header needs %d bytes, have %d", IPv4MinHeaderLen, len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return h, fmt.Errorf("netpkt: not an IPv4 packet (version %d)", v)
+	}
+	h.IHL = int(b[0]&0x0f) * 4
+	if h.IHL < IPv4MinHeaderLen || len(b) < h.IHL {
+		return h, fmt.Errorf("netpkt: bad IHL %d", h.IHL)
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	frag := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(frag >> 13)
+	h.FragOff = frag & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = IPProto(b[9])
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	h.Src = IPv4FromBytes(b[12:16])
+	h.Dst = IPv4FromBytes(b[16:20])
+	return h, nil
+}
+
+// Marshal writes an option-less IPv4 header into b (at least 20 bytes) and
+// computes the header checksum.
+func (h IPv4Header) Marshal(b []byte) error {
+	if len(b) < IPv4MinHeaderLen {
+		return fmt.Errorf("netpkt: buffer too short for ipv4 header")
+	}
+	b[0] = 4<<4 | 5 // version 4, IHL 5 words
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = uint8(h.Protocol)
+	b[10], b[11] = 0, 0
+	h.Src.PutBytes(b[12:16])
+	h.Dst.PutBytes(b[16:20])
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:IPv4MinHeaderLen]))
+	return nil
+}
+
+// IPv4HeaderChecksumOK reports whether the checksum over the header bytes
+// (IHL honoured) verifies.
+func IPv4HeaderChecksumOK(b []byte) bool {
+	if len(b) < IPv4MinHeaderLen {
+		return false
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4MinHeaderLen || len(b) < ihl {
+		return false
+	}
+	return Checksum(b[:ihl]) == 0
+}

@@ -1,0 +1,109 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv6HeaderLen is the length of the fixed IPv6 header.
+const IPv6HeaderLen = 40
+
+// IPv6Addr is a 128-bit IPv6 address. The hi/lo split keeps prefix
+// arithmetic cheap for the longest-prefix-match structures.
+type IPv6Addr struct {
+	Hi, Lo uint64
+}
+
+// IPv6FromBytes builds an address from 16 network-order bytes.
+func IPv6FromBytes(b []byte) IPv6Addr {
+	_ = b[15]
+	return IPv6Addr{
+		Hi: binary.BigEndian.Uint64(b[0:8]),
+		Lo: binary.BigEndian.Uint64(b[8:16]),
+	}
+}
+
+// PutBytes writes the address into b in network order.
+func (a IPv6Addr) PutBytes(b []byte) {
+	binary.BigEndian.PutUint64(b[0:8], a.Hi)
+	binary.BigEndian.PutUint64(b[8:16], a.Lo)
+}
+
+// Bit returns bit i of the address, bit 0 being the most significant.
+func (a IPv6Addr) Bit(i int) uint {
+	if i < 64 {
+		return uint(a.Hi>>(63-i)) & 1
+	}
+	return uint(a.Lo>>(127-i)) & 1
+}
+
+// Mask returns the address masked to its leading plen bits.
+func (a IPv6Addr) Mask(plen int) IPv6Addr {
+	switch {
+	case plen <= 0:
+		return IPv6Addr{}
+	case plen >= 128:
+		return a
+	case plen <= 64:
+		return IPv6Addr{Hi: a.Hi &^ (1<<(64-plen) - 1)}
+	default:
+		return IPv6Addr{Hi: a.Hi, Lo: a.Lo &^ (1<<(128-plen) - 1)}
+	}
+}
+
+// String renders the address as 8 colon-separated hex groups (no zero
+// compression; deterministic output keeps tests simple).
+func (a IPv6Addr) String() string {
+	var b [16]byte
+	a.PutBytes(b[:])
+	return fmt.Sprintf("%x:%x:%x:%x:%x:%x:%x:%x",
+		binary.BigEndian.Uint16(b[0:2]), binary.BigEndian.Uint16(b[2:4]),
+		binary.BigEndian.Uint16(b[4:6]), binary.BigEndian.Uint16(b[6:8]),
+		binary.BigEndian.Uint16(b[8:10]), binary.BigEndian.Uint16(b[10:12]),
+		binary.BigEndian.Uint16(b[12:14]), binary.BigEndian.Uint16(b[14:16]))
+}
+
+// IPv6Header is a parsed fixed IPv6 header.
+type IPv6Header struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	PayloadLen   uint16
+	NextHeader   IPProto
+	HopLimit     uint8
+	Src          IPv6Addr
+	Dst          IPv6Addr
+}
+
+// ParseIPv6 decodes the fixed IPv6 header at the start of b.
+func ParseIPv6(b []byte) (IPv6Header, error) {
+	var h IPv6Header
+	if len(b) < IPv6HeaderLen {
+		return h, fmt.Errorf("netpkt: ipv6 header needs %d bytes, have %d", IPv6HeaderLen, len(b))
+	}
+	if v := b[0] >> 4; v != 6 {
+		return h, fmt.Errorf("netpkt: not an IPv6 packet (version %d)", v)
+	}
+	vtf := binary.BigEndian.Uint32(b[0:4])
+	h.TrafficClass = uint8(vtf >> 20)
+	h.FlowLabel = vtf & 0xfffff
+	h.PayloadLen = binary.BigEndian.Uint16(b[4:6])
+	h.NextHeader = IPProto(b[6])
+	h.HopLimit = b[7]
+	h.Src = IPv6FromBytes(b[8:24])
+	h.Dst = IPv6FromBytes(b[24:40])
+	return h, nil
+}
+
+// Marshal writes the header into b (at least 40 bytes).
+func (h IPv6Header) Marshal(b []byte) error {
+	if len(b) < IPv6HeaderLen {
+		return fmt.Errorf("netpkt: buffer too short for ipv6 header")
+	}
+	binary.BigEndian.PutUint32(b[0:4], 6<<28|uint32(h.TrafficClass)<<20|h.FlowLabel&0xfffff)
+	binary.BigEndian.PutUint16(b[4:6], h.PayloadLen)
+	b[6] = uint8(h.NextHeader)
+	b[7] = h.HopLimit
+	h.Src.PutBytes(b[8:24])
+	h.Dst.PutBytes(b[24:40])
+	return nil
+}

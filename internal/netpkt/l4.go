@@ -1,0 +1,110 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Transport header sizes.
+const (
+	UDPHeaderLen    = 8
+	TCPMinHeaderLen = 20
+)
+
+// UDPHeader is a parsed UDP header.
+type UDPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// ParseUDP decodes the UDP header at the start of b.
+func ParseUDP(b []byte) (UDPHeader, error) {
+	var h UDPHeader
+	if len(b) < UDPHeaderLen {
+		return h, fmt.Errorf("netpkt: udp header needs %d bytes, have %d", UDPHeaderLen, len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+	h.Checksum = binary.BigEndian.Uint16(b[6:8])
+	return h, nil
+}
+
+// Marshal writes the header into b (at least 8 bytes). The checksum field is
+// written as-is; use UDPChecksumIPv4 to compute it.
+func (h UDPHeader) Marshal(b []byte) error {
+	if len(b) < UDPHeaderLen {
+		return fmt.Errorf("netpkt: buffer too short for udp header")
+	}
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], h.Length)
+	binary.BigEndian.PutUint16(b[6:8], h.Checksum)
+	return nil
+}
+
+// TCPFlags holds the TCP flag bits.
+type TCPFlags uint8
+
+// TCP flag bit values.
+const (
+	TCPFin TCPFlags = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// TCPHeader is a parsed TCP header (options preserved via DataOff).
+type TCPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	DataOff  int // header length in bytes
+	Flags    TCPFlags
+	Window   uint16
+	Checksum uint16
+	Urgent   uint16
+}
+
+// ParseTCP decodes the TCP header at the start of b.
+func ParseTCP(b []byte) (TCPHeader, error) {
+	var h TCPHeader
+	if len(b) < TCPMinHeaderLen {
+		return h, fmt.Errorf("netpkt: tcp header needs %d bytes, have %d", TCPMinHeaderLen, len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	h.DataOff = int(b[12]>>4) * 4
+	if h.DataOff < TCPMinHeaderLen || h.DataOff > len(b) {
+		return h, fmt.Errorf("netpkt: bad tcp data offset %d", h.DataOff)
+	}
+	h.Flags = TCPFlags(b[13] & 0x3f)
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	h.Checksum = binary.BigEndian.Uint16(b[16:18])
+	h.Urgent = binary.BigEndian.Uint16(b[18:20])
+	return h, nil
+}
+
+// Marshal writes an option-less TCP header into b (at least 20 bytes).
+func (h TCPHeader) Marshal(b []byte) error {
+	if len(b) < TCPMinHeaderLen {
+		return fmt.Errorf("netpkt: buffer too short for tcp header")
+	}
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	b[12] = 5 << 4 // 20-byte header
+	b[13] = uint8(h.Flags)
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	binary.BigEndian.PutUint16(b[16:18], h.Checksum)
+	binary.BigEndian.PutUint16(b[18:20], h.Urgent)
+	return nil
+}

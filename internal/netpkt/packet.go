@@ -1,0 +1,247 @@
+// Package netpkt provides the packet model used throughout NFCompass:
+// raw packet buffers, Ethernet/IPv4/IPv6/UDP/TCP header parsing and
+// construction, Internet checksums, packet batches, and the ordered-release
+// completion queue used to preserve packet order across parallel
+// (GPU-offloaded) processing.
+//
+// A Packet is a mutable byte buffer plus the metadata annotations that Click
+// style elements attach to packets as they traverse an element graph: the
+// paint annotation used by Paint/CheckPaint elements, a flow identifier, the
+// arrival and departure timestamps (in simulated nanoseconds), and the parsed
+// L3/L4 offsets.
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Proto identifies an L3 protocol carried in an Ethernet frame.
+type Proto uint16
+
+// EtherType values for the protocols the framework parses.
+const (
+	ProtoIPv4 Proto = 0x0800
+	ProtoIPv6 Proto = 0x86DD
+	ProtoARP  Proto = 0x0806
+	ProtoVLAN Proto = 0x8100 // 802.1Q tag
+)
+
+// IPProto identifies an L4 protocol carried in an IP packet.
+type IPProto uint8
+
+// IP protocol numbers used by the network functions.
+const (
+	IPProtoICMP     IPProto = 1
+	IPProtoTCP      IPProto = 6
+	IPProtoUDP      IPProto = 17
+	IPProtoESP      IPProto = 50
+	IPProtoAH       IPProto = 51
+	IPProtoHopByHop IPProto = 0  // IPv6 hop-by-hop options
+	IPProtoRouting  IPProto = 43 // IPv6 routing header
+	IPProtoFragment IPProto = 44 // IPv6 fragment header
+	IPProtoDstOpts  IPProto = 60 // IPv6 destination options
+	IPProtoNoNext   IPProto = 59 // IPv6 no next header
+)
+
+// Packet is a single network packet: the wire bytes plus element metadata.
+//
+// The zero value is an empty packet; most callers construct packets with
+// NewPacket or one of the builders in this package.
+type Packet struct {
+	// Data holds the wire bytes starting at the Ethernet header.
+	Data []byte
+
+	// Arrival is the simulated arrival timestamp in nanoseconds.
+	Arrival int64
+	// Departure is set when the packet leaves the chain (simulated ns).
+	Departure int64
+
+	// FlowID identifies the flow this packet belongs to. Generators assign
+	// it; stateful elements (NAT, IDS stream reassembly) key on it.
+	FlowID uint64
+
+	// Paint is the Click paint annotation (Paint / CheckPaint elements).
+	Paint byte
+
+	// SeqInBatch is the packet's position in its original input batch. The
+	// CompletionQueue uses it to release packets in arrival order.
+	SeqInBatch int
+
+	// L3Offset and L4Offset are byte offsets of the network and transport
+	// headers within Data. They are -1 until Parse locates the headers.
+	L3Offset int
+	L4Offset int
+
+	// L3Proto is the EtherType found by Parse.
+	L3Proto Proto
+	// L4Proto is the IP protocol found by Parse.
+	L4Proto IPProto
+
+	// VLANID is the 802.1Q VLAN identifier (0 when untagged); Parse
+	// fills it when the frame carries a VLAN tag.
+	VLANID uint16
+
+	// Dropped marks the packet as dropped by an element. Dropped packets
+	// stay in their batch slot (so order bookkeeping survives) but are
+	// skipped by subsequent elements.
+	Dropped bool
+
+	// DropReason records which element dropped the packet, for counters.
+	DropReason string
+
+	// UserAnno is a small scratch annotation area available to elements,
+	// mirroring Click's user annotation bytes.
+	UserAnno [16]byte
+}
+
+// NewPacket returns a packet wrapping data. Offsets are unset (-1).
+func NewPacket(data []byte) *Packet {
+	return &Packet{Data: data, L3Offset: -1, L4Offset: -1}
+}
+
+// Clone returns a deep copy of the packet. Parallelized SFC branches operate
+// on clones and the XOR merge reconciles their modifications.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Data = make([]byte, len(p.Data))
+	copy(q.Data, p.Data)
+	return &q
+}
+
+// Len returns the wire length of the packet in bytes.
+func (p *Packet) Len() int { return len(p.Data) }
+
+// Drop marks the packet dropped, recording the responsible element.
+func (p *Packet) Drop(reason string) {
+	p.Dropped = true
+	p.DropReason = reason
+}
+
+// Parse locates the L3 and L4 headers, filling the offset and protocol
+// fields. It returns an error for truncated or unsupported packets; such
+// packets keep offset -1 for the header that could not be located.
+func (p *Packet) Parse() error {
+	p.L3Offset, p.L4Offset = -1, -1
+	p.VLANID = 0
+	if len(p.Data) < EthernetHeaderLen {
+		return fmt.Errorf("netpkt: frame too short: %d bytes", len(p.Data))
+	}
+	p.L3Proto = Proto(binary.BigEndian.Uint16(p.Data[12:14]))
+	p.L3Offset = EthernetHeaderLen
+	if p.L3Proto == ProtoVLAN {
+		// 802.1Q: TCI (2 bytes) + inner EtherType (2 bytes).
+		if len(p.Data) < EthernetHeaderLen+4 {
+			return fmt.Errorf("netpkt: truncated 802.1Q tag")
+		}
+		p.VLANID = binary.BigEndian.Uint16(p.Data[14:16]) & 0x0fff
+		p.L3Proto = Proto(binary.BigEndian.Uint16(p.Data[16:18]))
+		p.L3Offset += 4
+	}
+	switch p.L3Proto {
+	case ProtoIPv4:
+		if len(p.Data) < p.L3Offset+IPv4MinHeaderLen {
+			return fmt.Errorf("netpkt: truncated IPv4 header")
+		}
+		ihl := int(p.Data[p.L3Offset]&0x0f) * 4
+		if ihl < IPv4MinHeaderLen || len(p.Data) < p.L3Offset+ihl {
+			return fmt.Errorf("netpkt: bad IPv4 IHL %d", ihl)
+		}
+		p.L4Proto = IPProto(p.Data[p.L3Offset+9])
+		p.L4Offset = p.L3Offset + ihl
+	case ProtoIPv6:
+		if len(p.Data) < p.L3Offset+IPv6HeaderLen {
+			return fmt.Errorf("netpkt: truncated IPv6 header")
+		}
+		next := IPProto(p.Data[p.L3Offset+6])
+		off := p.L3Offset + IPv6HeaderLen
+		// Walk the extension-header chain to the upper-layer header.
+		for hops := 0; hops < 8; hops++ {
+			switch next {
+			case IPProtoHopByHop, IPProtoRouting, IPProtoDstOpts:
+				if len(p.Data) < off+2 {
+					return fmt.Errorf("netpkt: truncated IPv6 extension header")
+				}
+				hlen := 8 + int(p.Data[off+1])*8
+				if len(p.Data) < off+hlen {
+					return fmt.Errorf("netpkt: truncated IPv6 extension header")
+				}
+				next = IPProto(p.Data[off])
+				off += hlen
+				continue
+			case IPProtoFragment:
+				if len(p.Data) < off+8 {
+					return fmt.Errorf("netpkt: truncated IPv6 fragment header")
+				}
+				next = IPProto(p.Data[off])
+				off += 8
+				continue
+			case IPProtoNoNext:
+				p.L4Proto = next
+				p.L4Offset = -1
+				return nil
+			}
+			break
+		}
+		p.L4Proto = next
+		p.L4Offset = off
+	default:
+		return fmt.Errorf("netpkt: unsupported ethertype %#04x", uint16(p.L3Proto))
+	}
+	return nil
+}
+
+// L3 returns the bytes of the network header and beyond, or nil if the
+// packet has not been parsed.
+func (p *Packet) L3() []byte {
+	if p.L3Offset < 0 || p.L3Offset > len(p.Data) {
+		return nil
+	}
+	return p.Data[p.L3Offset:]
+}
+
+// L4 returns the bytes of the transport header and beyond, or nil if the
+// packet has not been parsed as IP.
+func (p *Packet) L4() []byte {
+	if p.L4Offset < 0 || p.L4Offset > len(p.Data) {
+		return nil
+	}
+	return p.Data[p.L4Offset:]
+}
+
+// Payload returns the application payload bytes (after the L4 header), or
+// nil when offsets are unknown. For TCP the data offset field is honoured.
+func (p *Packet) Payload() []byte {
+	l4 := p.L4()
+	if l4 == nil {
+		return nil
+	}
+	switch p.L4Proto {
+	case IPProtoUDP:
+		if len(l4) < UDPHeaderLen {
+			return nil
+		}
+		return l4[UDPHeaderLen:]
+	case IPProtoTCP:
+		if len(l4) < TCPMinHeaderLen {
+			return nil
+		}
+		off := int(l4[12]>>4) * 4
+		if off < TCPMinHeaderLen || off > len(l4) {
+			return nil
+		}
+		return l4[off:]
+	default:
+		return l4
+	}
+}
+
+// String implements fmt.Stringer with a compact packet summary.
+func (p *Packet) String() string {
+	state := "live"
+	if p.Dropped {
+		state = "dropped(" + p.DropReason + ")"
+	}
+	return fmt.Sprintf("Packet{len=%d flow=%d paint=%d l3=%#04x l4=%d %s}",
+		len(p.Data), p.FlowID, p.Paint, uint16(p.L3Proto), uint8(p.L4Proto), state)
+}

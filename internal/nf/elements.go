@@ -1,0 +1,686 @@
+package nf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nfcompass/internal/ac"
+	"nfcompass/internal/acl"
+	"nfcompass/internal/element"
+	"nfcompass/internal/flowtable"
+	"nfcompass/internal/ipsec"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/redfa"
+	"nfcompass/internal/trie"
+)
+
+// ACLFilter classifies packets against an access-control list using the
+// HiCuts decision tree and drops denied packets. When NeverDrop is set the
+// classification still runs (costing the same work) but denied packets pass
+// — the configuration the paper uses to measure pure throughput ("the rules
+// of firewall are modified to never drop packets").
+type ACLFilter struct {
+	name      string
+	tree      *acl.Tree
+	sig       string
+	NeverDrop bool
+	Denied    uint64
+	// CostAccum sums tree traversal costs, feeding the simulator's
+	// per-packet classification cost.
+	CostAccum uint64
+	canDrop   bool
+}
+
+// NewACLFilter builds the firewall classification element. sig must
+// fingerprint the rule set.
+func NewACLFilter(name, sig string, list *acl.List, neverDrop bool) *ACLFilter {
+	return NewACLFilterTree(name, sig, acl.BuildTree(list, 8), neverDrop)
+}
+
+// NewACLFilterTree builds the element over an already-built classification
+// tree, letting replicated firewall instances share one (read-mostly)
+// tree instead of rebuilding it per instance.
+func NewACLFilterTree(name, sig string, tree *acl.Tree, neverDrop bool) *ACLFilter {
+	return &ACLFilter{
+		name: name, sig: sig,
+		tree:      tree,
+		NeverDrop: neverDrop,
+		canDrop:   !neverDrop,
+	}
+}
+
+// Name implements element.Element.
+func (e *ACLFilter) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *ACLFilter) Traits() element.Traits {
+	return element.Traits{
+		Kind: "ACL", Class: element.ClassClassifier,
+		ReadsHeader: true, CanDrop: e.canDrop, Offloadable: true,
+	}
+}
+
+// NumOutputs implements element.Element.
+func (e *ACLFilter) NumOutputs() int { return 1 }
+
+// Signature implements element.Element.
+func (e *ACLFilter) Signature() string { return "ACL/" + e.sig }
+
+// Process implements element.Element.
+func (e *ACLFilter) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped {
+			continue
+		}
+		k, ok := acl.KeyFromPacket(p)
+		if !ok {
+			p.Drop(e.name)
+			continue
+		}
+		action, _ := e.tree.Match(k)
+		e.CostAccum += uint64(e.tree.LastCost())
+		if action == acl.Deny {
+			e.Denied++
+			if !e.NeverDrop {
+				p.Drop(e.name)
+			}
+		}
+	}
+	return []*netpkt.Batch{b}
+}
+
+// Reset implements element.Resetter.
+func (e *ACLFilter) Reset() { e.Denied, e.CostAccum = 0, 0 }
+
+// TreeStats exposes the classification-tree size (nodes, leaves, depth),
+// the quantity that blows up with large ACLs in Fig. 17.
+func (e *ACLFilter) TreeStats() (nodes, leaves, depth int) {
+	return e.tree.Nodes(), e.tree.Leaves(), e.tree.MaxDepth()
+}
+
+// AhoCorasickMatch scans payloads against a multi-pattern set (the IDS /
+// DPI string-matching stage). Matched packets are dropped when DropOnMatch
+// is set (IDS inline mode) or counted otherwise.
+type AhoCorasickMatch struct {
+	name        string
+	m           *ac.Matcher
+	sig         string
+	DropOnMatch bool
+	Alerts      uint64
+	// DeepStates accumulates automaton states visited off the root — the
+	// DFA memory-pressure statistic distinguishing full-match from
+	// no-match traffic (Fig. 8d/e).
+	DeepStates uint64
+	ScannedB   uint64
+}
+
+// NewAhoCorasickMatch builds the matcher element. sig must fingerprint the
+// pattern set.
+func NewAhoCorasickMatch(name, sig string, m *ac.Matcher, dropOnMatch bool) *AhoCorasickMatch {
+	return &AhoCorasickMatch{name: name, m: m, sig: sig, DropOnMatch: dropOnMatch}
+}
+
+// Name implements element.Element.
+func (e *AhoCorasickMatch) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *AhoCorasickMatch) Traits() element.Traits {
+	return element.Traits{
+		Kind: "AhoCorasick", Class: element.ClassClassifier,
+		ReadsHeader: true, ReadsPayload: true, CanDrop: e.DropOnMatch,
+		Offloadable: true, Stateful: true,
+	}
+}
+
+// NumOutputs implements element.Element.
+func (e *AhoCorasickMatch) NumOutputs() int { return 1 }
+
+// Signature implements element.Element.
+func (e *AhoCorasickMatch) Signature() string { return "AhoCorasick/" + e.sig }
+
+// Process implements element.Element.
+func (e *AhoCorasickMatch) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped {
+			continue
+		}
+		pl := p.Payload()
+		if pl == nil {
+			continue
+		}
+		matches, deep := e.m.ScanStats(pl)
+		e.DeepStates += uint64(deep)
+		e.ScannedB += uint64(len(pl))
+		if matches > 0 {
+			e.Alerts++
+			if e.DropOnMatch {
+				p.Drop(e.name)
+			}
+		}
+	}
+	return []*netpkt.Batch{b}
+}
+
+// Reset implements element.Resetter.
+func (e *AhoCorasickMatch) Reset() { e.Alerts, e.DeepStates, e.ScannedB = 0, 0, 0 }
+
+// RegexMatch scans payloads against a DFA regex set (the DPI regular
+// expression stage).
+type RegexMatch struct {
+	name    string
+	set     *redfa.Set
+	sig     string
+	Matches uint64
+}
+
+// NewRegexMatch builds the regex element. sig must fingerprint the set.
+func NewRegexMatch(name, sig string, set *redfa.Set) *RegexMatch {
+	return &RegexMatch{name: name, set: set, sig: sig}
+}
+
+// Name implements element.Element.
+func (e *RegexMatch) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *RegexMatch) Traits() element.Traits {
+	return element.Traits{
+		Kind: "RegexDFA", Class: element.ClassClassifier,
+		ReadsHeader: true, ReadsPayload: true, Offloadable: true,
+	}
+}
+
+// NumOutputs implements element.Element.
+func (e *RegexMatch) NumOutputs() int { return 1 }
+
+// Signature implements element.Element.
+func (e *RegexMatch) Signature() string { return "RegexDFA/" + e.sig }
+
+// Process implements element.Element.
+func (e *RegexMatch) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped {
+			continue
+		}
+		if pl := p.Payload(); pl != nil {
+			e.Matches += uint64(len(e.set.Match(pl)))
+		}
+	}
+	return []*netpkt.Batch{b}
+}
+
+// Reset implements element.Resetter.
+func (e *RegexMatch) Reset() { e.Matches = 0 }
+
+// IPsecSeal applies ESP encapsulation to the L4 payload-and-beyond region:
+// the packet grows by the ESP overhead and its payload is replaced with
+// ciphertext. (Tunnel-mode framing of the outer headers is kept simple —
+// the original IP header is updated in place with the new total length and
+// ESP protocol.)
+type IPsecSeal struct {
+	name   string
+	sa     *ipsec.SA
+	Sealed uint64
+	Errors uint64
+}
+
+// NewIPsecSeal builds the encryption element over a security association.
+func NewIPsecSeal(name string, sa *ipsec.SA) *IPsecSeal {
+	return &IPsecSeal{name: name, sa: sa}
+}
+
+// Name implements element.Element.
+func (e *IPsecSeal) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *IPsecSeal) Traits() element.Traits {
+	return element.Traits{
+		Kind: "IPsecSeal", Class: element.ClassModifier,
+		ReadsHeader: true, ReadsPayload: true,
+		WritesHeader: true, WritesPayload: true, AddsRemovesBytes: true,
+		Offloadable: true, PreservesHeaderValidity: true,
+	}
+}
+
+// NumOutputs implements element.Element.
+func (e *IPsecSeal) NumOutputs() int { return 1 }
+
+// Signature implements element.Element.
+func (e *IPsecSeal) Signature() string { return fmt.Sprintf("IPsecSeal/%#x", e.sa.SPI) }
+
+// Process implements element.Element.
+func (e *IPsecSeal) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped || p.L3Proto != netpkt.ProtoIPv4 || p.L4Offset < 0 {
+			continue
+		}
+		inner := p.Data[p.L4Offset:]
+		esp, err := e.sa.Seal(inner)
+		if err != nil {
+			e.Errors++
+			p.Drop(e.name)
+			continue
+		}
+		// Rebuild: original bytes up to L4, then the ESP payload.
+		out := make([]byte, p.L4Offset+len(esp))
+		copy(out, p.Data[:p.L4Offset])
+		copy(out[p.L4Offset:], esp)
+		p.Data = out
+		// Fix the IP header: protocol = ESP, total length, checksum.
+		h := p.Data[p.L3Offset:]
+		h[9] = byte(netpkt.IPProtoESP)
+		binary.BigEndian.PutUint16(h[2:4], uint16(len(p.Data)-p.L3Offset))
+		h[10], h[11] = 0, 0
+		sum := netpkt.Checksum(h[:netpkt.IPv4MinHeaderLen])
+		binary.BigEndian.PutUint16(h[10:12], sum)
+		p.L4Proto = netpkt.IPProtoESP
+		e.Sealed++
+	}
+	return []*netpkt.Batch{b}
+}
+
+// Reset implements element.Resetter.
+func (e *IPsecSeal) Reset() { e.Sealed, e.Errors = 0, 0 }
+
+// NATRewrite performs source NAT: it rewrites the source address (and
+// port for TCP/UDP) to a public address, allocating per-flow port mappings
+// and fixing all checksums incrementally.
+type NATRewrite struct {
+	name     string
+	public   netpkt.IPv4Addr
+	nextPort uint16
+	// flows bounds the port-mapping state: under flow churn the oldest
+	// mappings are evicted (their ports may be reused), as a real NAT's
+	// mapping timeout would do.
+	flows     *flowtable.Table[uint16]
+	Rewritten uint64
+}
+
+// natFlowCapacity bounds NAT port mappings (one public address exposes at
+// most ~45k dynamic ports).
+const natFlowCapacity = 45000
+
+// NewNATRewrite builds the NAT element with the given public address.
+func NewNATRewrite(name string, public netpkt.IPv4Addr) *NATRewrite {
+	return &NATRewrite{
+		name: name, public: public, nextPort: 20000,
+		flows: flowtable.New[uint16](natFlowCapacity),
+	}
+}
+
+// Name implements element.Element.
+func (e *NATRewrite) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *NATRewrite) Traits() element.Traits {
+	return element.Traits{
+		Kind: "NATRewrite", Class: element.ClassModifier,
+		ReadsHeader: true, WritesHeader: true, Stateful: true, Offloadable: true,
+		PreservesHeaderValidity: true,
+	}
+}
+
+// NumOutputs implements element.Element.
+func (e *NATRewrite) NumOutputs() int { return 1 }
+
+// Signature implements element.Element.
+func (e *NATRewrite) Signature() string { return fmt.Sprintf("NATRewrite/%v", e.public) }
+
+// Process implements element.Element.
+func (e *NATRewrite) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped || p.L3Proto != netpkt.ProtoIPv4 || p.L4Offset < 0 {
+			continue
+		}
+		h := p.Data[p.L3Offset:]
+		oldSrc := netpkt.IPv4FromBytes(h[12:16])
+		// Rewrite the source address.
+		e.public.PutBytes(h[12:16])
+		oldSum := binary.BigEndian.Uint16(h[10:12])
+		newSum := netpkt.ChecksumUpdate32(oldSum, uint32(oldSrc), uint32(e.public))
+		binary.BigEndian.PutUint16(h[10:12], newSum)
+
+		// Rewrite the source port for TCP/UDP and fix the L4 checksum
+		// (which covers the pseudo-header).
+		l4 := p.Data[p.L4Offset:]
+		switch p.L4Proto {
+		case netpkt.IPProtoUDP, netpkt.IPProtoTCP:
+			if len(l4) < 8 {
+				break
+			}
+			port, ok := e.flows.Get(p.FlowID)
+			if !ok {
+				port = e.nextPort
+				e.nextPort++
+				if e.nextPort == 0 {
+					e.nextPort = 20000
+				}
+				e.flows.Put(p.FlowID, port)
+			}
+			oldPort := binary.BigEndian.Uint16(l4[0:2])
+			binary.BigEndian.PutUint16(l4[0:2], port)
+
+			csumOff := 6 // UDP
+			if p.L4Proto == netpkt.IPProtoTCP {
+				csumOff = 16
+				if len(l4) < 18 {
+					break
+				}
+			}
+			c := binary.BigEndian.Uint16(l4[csumOff : csumOff+2])
+			if c != 0 { // UDP checksum 0 = disabled
+				c = netpkt.ChecksumUpdate32(c, uint32(oldSrc), uint32(e.public))
+				c = netpkt.ChecksumUpdate16(c, oldPort, port)
+				binary.BigEndian.PutUint16(l4[csumOff:csumOff+2], c)
+			}
+		}
+		e.Rewritten++
+	}
+	return []*netpkt.Batch{b}
+}
+
+// Reset implements element.Resetter.
+func (e *NATRewrite) Reset() {
+	e.Rewritten = 0
+	e.flows.Reset()
+	e.nextPort = 20000
+}
+
+// FlowsTracked reports live NAT mappings; FlowEvictions reports mappings
+// dropped to the state bound.
+func (e *NATRewrite) FlowsTracked() int     { return e.flows.Len() }
+func (e *NATRewrite) FlowEvictions() uint64 { return e.flows.Evictions }
+
+// LoadBalance assigns each flow to one of n backends by consistent flow
+// hashing, recording the choice in the paint annotation.
+type LoadBalance struct {
+	name       string
+	backends   int
+	PerBackend []uint64
+}
+
+// NewLoadBalance builds the LB element with n backends.
+func NewLoadBalance(name string, backends int) *LoadBalance {
+	return &LoadBalance{name: name, backends: backends, PerBackend: make([]uint64, backends)}
+}
+
+// Name implements element.Element.
+func (e *LoadBalance) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *LoadBalance) Traits() element.Traits {
+	// LB reads the header and annotates; it does not modify packet bytes.
+	return element.Traits{Kind: "LBHash", Class: element.ClassClassifier,
+		ReadsHeader: true, Offloadable: true}
+}
+
+// NumOutputs implements element.Element.
+func (e *LoadBalance) NumOutputs() int { return 1 }
+
+// Signature implements element.Element.
+func (e *LoadBalance) Signature() string { return fmt.Sprintf("LBHash/%d", e.backends) }
+
+// Process implements element.Element.
+func (e *LoadBalance) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped {
+			continue
+		}
+		h := fnv64(p.FlowID)
+		backend := int(h % uint64(e.backends))
+		p.Paint = byte(backend)
+		e.PerBackend[backend]++
+	}
+	return []*netpkt.Batch{b}
+}
+
+// Reset implements element.Resetter.
+func (e *LoadBalance) Reset() { e.PerBackend = make([]uint64, e.backends) }
+
+func fnv64(x uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h
+}
+
+// V6Lookup performs IPv6 longest-prefix match via the binary-search-on-
+// prefix-lengths hash scheme, annotating the next hop.
+type V6Lookup struct {
+	name    string
+	table   *trie.V6HashLPM
+	sig     string
+	NoRoute uint64
+	// ProbesAccum sums hash probes, the IPv6 memory-access cost metric.
+	ProbesAccum uint64
+}
+
+// NewV6Lookup builds the IPv6 LPM element. sig fingerprints the table.
+func NewV6Lookup(name, sig string, table *trie.V6HashLPM) *V6Lookup {
+	return &V6Lookup{name: name, table: table, sig: sig}
+}
+
+// Name implements element.Element.
+func (e *V6Lookup) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *V6Lookup) Traits() element.Traits {
+	return element.Traits{
+		Kind: "V6Lookup", Class: element.ClassClassifier,
+		ReadsHeader: true, CanDrop: true, Offloadable: true,
+	}
+}
+
+// NumOutputs implements element.Element.
+func (e *V6Lookup) NumOutputs() int { return 1 }
+
+// Signature implements element.Element.
+func (e *V6Lookup) Signature() string { return "V6Lookup/" + e.sig }
+
+// Process implements element.Element.
+func (e *V6Lookup) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped || p.L3Proto != netpkt.ProtoIPv6 || p.L3Offset < 0 {
+			continue
+		}
+		dst := netpkt.IPv6FromBytes(p.Data[p.L3Offset+24 : p.L3Offset+40])
+		hop := e.table.Lookup(dst)
+		e.ProbesAccum += uint64(e.table.LastProbes())
+		if hop == 0 {
+			p.Drop(e.name)
+			e.NoRoute++
+			continue
+		}
+		p.UserAnno[0] = byte(hop)
+		p.UserAnno[1] = byte(hop >> 8)
+	}
+	return []*netpkt.Batch{b}
+}
+
+// Reset implements element.Resetter.
+func (e *V6Lookup) Reset() { e.NoRoute, e.ProbesAccum = 0, 0 }
+
+// PayloadRewrite models the proxy NF's payload modification: it overwrites
+// a token at the start of the payload (e.g. header injection) without
+// changing the packet length.
+type PayloadRewrite struct {
+	name  string
+	token []byte
+	Count uint64
+}
+
+// NewPayloadRewrite builds the proxy rewrite element.
+func NewPayloadRewrite(name string, token []byte) *PayloadRewrite {
+	return &PayloadRewrite{name: name, token: token}
+}
+
+// Name implements element.Element.
+func (e *PayloadRewrite) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *PayloadRewrite) Traits() element.Traits {
+	return element.Traits{
+		Kind: "PayloadRewrite", Class: element.ClassModifier,
+		ReadsHeader: true, ReadsPayload: true, WritesPayload: true,
+		Offloadable: true, Stateful: true,
+	}
+}
+
+// NumOutputs implements element.Element.
+func (e *PayloadRewrite) NumOutputs() int { return 1 }
+
+// Signature implements element.Element.
+func (e *PayloadRewrite) Signature() string { return fmt.Sprintf("PayloadRewrite/%x", e.token) }
+
+// Process implements element.Element.
+func (e *PayloadRewrite) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped {
+			continue
+		}
+		pl := p.Payload()
+		if pl == nil || len(pl) == 0 {
+			continue
+		}
+		n := copy(pl, e.token)
+		_ = n
+		e.Count++
+	}
+	return []*netpkt.Batch{b}
+}
+
+// Reset implements element.Resetter.
+func (e *PayloadRewrite) Reset() { e.Count = 0 }
+
+// WANCompress models the WAN optimizer: run-length compression of the
+// payload (shrinking the packet) and redundancy elimination (dropping
+// packets whose payload was already seen on the flow).
+type WANCompress struct {
+	name       string
+	seen       map[uint64]struct{}
+	Compressed uint64
+	Deduped    uint64
+	SavedBytes uint64
+}
+
+// NewWANCompress builds the WAN optimization element.
+func NewWANCompress(name string) *WANCompress {
+	return &WANCompress{name: name, seen: make(map[uint64]struct{})}
+}
+
+// Name implements element.Element.
+func (e *WANCompress) Name() string { return e.name }
+
+// Traits implements element.Element.
+func (e *WANCompress) Traits() element.Traits {
+	return element.Traits{
+		Kind: "WANCompress", Class: element.ClassModifier,
+		ReadsHeader: true, ReadsPayload: true,
+		WritesHeader: true, WritesPayload: true,
+		AddsRemovesBytes: true, CanDrop: true, Stateful: true,
+		PreservesHeaderValidity: true,
+	}
+}
+
+// NumOutputs implements element.Element.
+func (e *WANCompress) NumOutputs() int { return 1 }
+
+// Signature implements element.Element.
+func (e *WANCompress) Signature() string { return "WANCompress" }
+
+// Process implements element.Element.
+func (e *WANCompress) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped || p.L4Offset < 0 {
+			continue
+		}
+		pl := p.Payload()
+		if len(pl) == 0 {
+			continue
+		}
+		// Redundancy elimination: hash(flow, payload).
+		h := fnv64(p.FlowID)
+		for _, c := range pl {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+		if _, dup := e.seen[h]; dup {
+			e.Deduped++
+			p.Drop(e.name)
+			continue
+		}
+		e.seen[h] = struct{}{}
+
+		// Run-length encode the payload in place when it helps.
+		rle := rleEncode(pl)
+		if len(rle) < len(pl) {
+			plOff := len(p.Data) - len(pl)
+			copy(p.Data[plOff:], rle)
+			e.SavedBytes += uint64(len(pl) - len(rle))
+			p.Data = p.Data[:plOff+len(rle)]
+			// Fix IPv4 total length + checksum if applicable.
+			if p.L3Proto == netpkt.ProtoIPv4 && p.L3Offset >= 0 {
+				hdr := p.Data[p.L3Offset:]
+				binary.BigEndian.PutUint16(hdr[2:4], uint16(len(p.Data)-p.L3Offset))
+				hdr[10], hdr[11] = 0, 0
+				sum := netpkt.Checksum(hdr[:netpkt.IPv4MinHeaderLen])
+				binary.BigEndian.PutUint16(hdr[10:12], sum)
+			}
+			e.Compressed++
+		}
+	}
+	return []*netpkt.Batch{b}
+}
+
+// Reset implements element.Resetter.
+func (e *WANCompress) Reset() {
+	e.seen = make(map[uint64]struct{})
+	e.Compressed, e.Deduped, e.SavedBytes = 0, 0, 0
+}
+
+// rleEncode is a byte-level run-length encoding: (count, byte) pairs.
+func rleEncode(in []byte) []byte {
+	out := make([]byte, 0, len(in))
+	for i := 0; i < len(in); {
+		j := i
+		for j < len(in) && in[j] == in[i] && j-i < 255 {
+			j++
+		}
+		out = append(out, byte(j-i), in[i])
+		i = j
+	}
+	return out
+}
+
+// MemAccesses reports the cumulative exact classification-tree probes
+// (hetsim.MemProber).
+func (e *ACLFilter) MemAccesses() uint64 { return e.CostAccum }
+
+// MemAccesses reports the cumulative DFA states visited off the root
+// (hetsim.MemProber) — the statistic separating full-match from no-match
+// traffic.
+func (e *AhoCorasickMatch) MemAccesses() uint64 { return e.DeepStates }
+
+// MemAccesses reports the cumulative LPM hash probes (hetsim.MemProber).
+func (e *V6Lookup) MemAccesses() uint64 { return e.ProbesAccum }
+
+// FootprintBytes reports the classification tree's real working-set size
+// (hetsim.Footprinter): tree nodes plus the rule array.
+func (e *ACLFilter) FootprintBytes() float64 {
+	nodes, leaves, _ := e.TreeStats()
+	return float64(nodes)*64 + float64(leaves)*8*8 // nodes + leaf rule buckets
+}
+
+// FootprintBytes reports the dense DFA transition table size
+// (hetsim.Footprinter): 256 int32 entries per state plus outputs.
+func (e *AhoCorasickMatch) FootprintBytes() float64 {
+	return float64(e.m.NumStates()) * (256*4 + 16)
+}
+
+// FootprintBytes reports the regex DFA bank's table size
+// (hetsim.Footprinter).
+func (e *RegexMatch) FootprintBytes() float64 {
+	return float64(e.set.TotalStates()) * (256*4 + 1)
+}

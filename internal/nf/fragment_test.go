@@ -1,0 +1,173 @@
+package nf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nfcompass/internal/netpkt"
+)
+
+func bigUDP(payload int, flow uint64) *netpkt.Packet {
+	pl := make([]byte, payload)
+	rng := rand.New(rand.NewSource(int64(flow)))
+	for i := range pl {
+		pl[i] = byte(rng.Intn(256))
+	}
+	return netpkt.BuildUDPv4(netpkt.UDPPacketSpec{
+		SrcIP: 0x0a000001, DstIP: 0x0b000002,
+		SrcPort: 7, DstPort: 9, Payload: pl, FlowID: flow,
+	})
+}
+
+func TestFragmentThenReassembleRoundTrip(t *testing.T) {
+	orig := bigUDP(3000, 1)
+	origData := append([]byte(nil), orig.Data...)
+
+	frag := NewIPFragmenter("frag", 576)
+	out := frag.Process(netpkt.NewBatch(0, []*netpkt.Packet{orig}))[0]
+	if frag.Fragmented != 1 {
+		t.Fatalf("Fragmented = %d", frag.Fragmented)
+	}
+	if out.Len() < 5 {
+		t.Fatalf("fragments = %d, expected several for 3000B at MTU 576", out.Len())
+	}
+	for i, f := range out.Packets {
+		if f.Len()-f.L3Offset > 576 {
+			t.Fatalf("fragment %d exceeds MTU: %d", i, f.Len()-f.L3Offset)
+		}
+		if !netpkt.IPv4HeaderChecksumOK(f.L3()) {
+			t.Fatalf("fragment %d checksum invalid", i)
+		}
+	}
+
+	// Reassemble — in shuffled order to exercise the hole logic.
+	defrag := NewIPDefragmenter("defrag")
+	frags := append([]*netpkt.Packet(nil), out.Packets...)
+	rand.New(rand.NewSource(2)).Shuffle(len(frags), func(i, j int) {
+		frags[i], frags[j] = frags[j], frags[i]
+	})
+	res := defrag.Process(netpkt.NewBatch(1, frags))[0]
+	if defrag.Reassembled != 1 {
+		t.Fatalf("Reassembled = %d", defrag.Reassembled)
+	}
+	var whole *netpkt.Packet
+	for _, p := range res.Packets {
+		if !p.Dropped && p.Len() > 1000 {
+			whole = p
+		}
+	}
+	if whole == nil {
+		t.Fatal("no reassembled packet emitted")
+	}
+	if !bytes.Equal(whole.Data, origData) {
+		t.Fatal("reassembled packet differs from the original")
+	}
+}
+
+func TestFragmenterPassesSmallAndDF(t *testing.T) {
+	frag := NewIPFragmenter("frag", 576)
+	small := bigUDP(100, 3)
+	out := frag.Process(netpkt.NewBatch(0, []*netpkt.Packet{small}))[0]
+	if out.Len() != 1 || out.Packets[0] != small {
+		t.Error("small packet not passed through")
+	}
+
+	df := bigUDP(2000, 4)
+	// Set the DF bit and fix the checksum.
+	h := df.Data[df.L3Offset:]
+	h[6] |= 0x40
+	h[10], h[11] = 0, 0
+	sum := netpkt.Checksum(h[:20])
+	h[10], h[11] = byte(sum>>8), byte(sum)
+	out = frag.Process(netpkt.NewBatch(1, []*netpkt.Packet{df}))[0]
+	if !out.Packets[0].Dropped {
+		t.Error("oversized DF packet not dropped")
+	}
+}
+
+func TestDefragmenterInterleavedDatagrams(t *testing.T) {
+	fragA := NewIPFragmenter("f", 576)
+	a := bigUDP(2000, 10)
+	b := bigUDP(2000, 11)
+	// Give them distinct IP IDs so the keys differ (BuildUDPv4 uses ID 0;
+	// rewrite b's).
+	hb := b.Data[b.L3Offset:]
+	hb[4], hb[5] = 0, 7
+	hb[10], hb[11] = 0, 0
+	sum := netpkt.Checksum(hb[:20])
+	hb[10], hb[11] = byte(sum>>8), byte(sum)
+	// Also distinct src so the key differs even with equal IDs.
+	fa := fragA.Process(netpkt.NewBatch(0, []*netpkt.Packet{a}))[0].Packets
+	fb := fragA.Process(netpkt.NewBatch(1, []*netpkt.Packet{b}))[0].Packets
+
+	// Interleave.
+	var mixed []*netpkt.Packet
+	for i := 0; i < len(fa) || i < len(fb); i++ {
+		if i < len(fa) {
+			mixed = append(mixed, fa[i])
+		}
+		if i < len(fb) {
+			mixed = append(mixed, fb[i])
+		}
+	}
+	defrag := NewIPDefragmenter("d")
+	out := defrag.Process(netpkt.NewBatch(2, mixed))[0]
+	if defrag.Reassembled != 2 {
+		t.Fatalf("Reassembled = %d, want 2", defrag.Reassembled)
+	}
+	whole := 0
+	for _, p := range out.Packets {
+		if !p.Dropped && p.Len() > 1500 {
+			whole++
+		}
+	}
+	if whole != 2 {
+		t.Errorf("whole packets = %d", whole)
+	}
+}
+
+func TestDefragmenterPassesUnfragmented(t *testing.T) {
+	defrag := NewIPDefragmenter("d")
+	p := bigUDP(100, 5)
+	out := defrag.Process(netpkt.NewBatch(0, []*netpkt.Packet{p}))[0]
+	if out.Len() != 1 || out.Packets[0] != p {
+		t.Error("unfragmented packet not passed through")
+	}
+}
+
+func TestDefragmenterIncompleteHeld(t *testing.T) {
+	frag := NewIPFragmenter("f", 576)
+	p := bigUDP(2000, 6)
+	frags := frag.Process(netpkt.NewBatch(0, []*netpkt.Packet{p}))[0].Packets
+	defrag := NewIPDefragmenter("d")
+	// Withhold the last fragment.
+	out := defrag.Process(netpkt.NewBatch(1, frags[:len(frags)-1]))[0]
+	if defrag.Reassembled != 0 {
+		t.Error("reassembled without all fragments")
+	}
+	for _, q := range out.Packets {
+		if !q.Dropped && q.Len() > 1500 {
+			t.Error("partial datagram leaked")
+		}
+	}
+	// Delivering the last completes it.
+	out2 := defrag.Process(netpkt.NewBatch(2, frags[len(frags)-1:]))[0]
+	if defrag.Reassembled != 1 {
+		t.Error("late fragment did not complete the datagram")
+	}
+	_ = out2
+}
+
+func TestFragmentElementsResettable(t *testing.T) {
+	frag := NewIPFragmenter("f", 576)
+	defrag := NewIPDefragmenter("d")
+	p := bigUDP(2000, 7)
+	fs := frag.Process(netpkt.NewBatch(0, []*netpkt.Packet{p}))[0].Packets
+	defrag.Process(netpkt.NewBatch(1, fs[:1]))
+	frag.Reset()
+	defrag.Reset()
+	if frag.Fragmented != 0 || defrag.Reassembled != 0 {
+		t.Error("counters not reset")
+	}
+}

@@ -1,0 +1,75 @@
+// Package nf implements the network functions the paper characterizes and
+// evaluates — firewall, IPv4/IPv6 forwarding, IPsec gateway, IDS/DPI, NAT,
+// load balancer, probe, proxy, and WAN optimizer — each as a Click element
+// graph fragment with a packet-action profile (the paper's Table II). The
+// profiles drive the SFC orchestrator's parallelization analysis; the
+// fragments are what the NF synthesizer merges and the task allocator maps.
+package nf
+
+// Kind identifies an NF type.
+type Kind string
+
+// The NF types used across the paper's characterization and evaluation.
+const (
+	KindProbe    Kind = "Probe"
+	KindIDS      Kind = "IDS"
+	KindDPI      Kind = "DPI"
+	KindFirewall Kind = "Firewall"
+	KindNAT      Kind = "NAT"
+	KindLB       Kind = "LB"
+	KindWANOpt   Kind = "WANOptimization"
+	KindProxy    Kind = "Proxy"
+	KindIPv4     Kind = "IPv4Router"
+	KindIPv6     Kind = "IPv6Router"
+	KindIPsec    Kind = "IPsec"
+)
+
+// ActionProfile is a row of the paper's Table II: the externally visible
+// packet actions of an NF. The orchestrator's hazard analysis (Table III)
+// is computed over these fields.
+type ActionProfile struct {
+	ReadsHeader   bool
+	ReadsPayload  bool
+	WritesHeader  bool
+	WritesPayload bool
+	AddRmBits     bool
+	Drop          bool
+}
+
+// TableII reproduces the paper's Table II verbatim: the action profiles of
+// the seven surveyed NF types. (The evaluation additionally modifies the
+// firewall to never drop; instances may carry custom profiles.)
+var TableII = map[Kind]ActionProfile{
+	KindProbe:    {ReadsHeader: true},
+	KindIDS:      {ReadsHeader: true, ReadsPayload: true, Drop: true},
+	KindFirewall: {ReadsHeader: true},
+	KindNAT:      {ReadsHeader: true, WritesHeader: true},
+	KindLB:       {ReadsHeader: true},
+	KindWANOpt:   {ReadsHeader: true, ReadsPayload: true, WritesHeader: true, WritesPayload: true, AddRmBits: true, Drop: true},
+	KindProxy:    {ReadsHeader: true, ReadsPayload: true, WritesPayload: true},
+}
+
+// DefaultProfile returns the action profile for a kind: the Table II row if
+// the kind is surveyed there, otherwise the profile of the concrete
+// implementation in this package.
+func DefaultProfile(k Kind) ActionProfile {
+	if p, ok := TableII[k]; ok {
+		return p
+	}
+	switch k {
+	case KindIPv4, KindIPv6:
+		// Forwarders rewrite the header (TTL, MACs) and drop on no-route
+		// or expired TTL.
+		return ActionProfile{ReadsHeader: true, WritesHeader: true, Drop: true}
+	case KindIPsec:
+		// ESP encapsulation rewrites and grows the packet.
+		return ActionProfile{ReadsHeader: true, ReadsPayload: true,
+			WritesHeader: true, WritesPayload: true, AddRmBits: true}
+	case KindDPI:
+		return ActionProfile{ReadsHeader: true, ReadsPayload: true, Drop: true}
+	default:
+		// Unknown kinds get the most conservative profile.
+		return ActionProfile{ReadsHeader: true, ReadsPayload: true,
+			WritesHeader: true, WritesPayload: true, AddRmBits: true, Drop: true}
+	}
+}

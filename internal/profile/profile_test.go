@@ -1,0 +1,128 @@
+package profile
+
+import (
+	"testing"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/nf"
+	"nfcompass/internal/traffic"
+	"nfcompass/internal/trie"
+)
+
+func testChain() *element.Graph {
+	var tr trie.IPv4Trie
+	_ = tr.Insert(0, 0, 1)
+	g, _, _ := nf.BuildChain([]*nf.NF{
+		nf.NewIPv4Router("r", trie.BuildDir24_8(&tr), "d"),
+		nf.NewIPsecGateway("gw", 1, []byte("0123456789abcdef"), []byte("a")),
+		nf.NewIDS("ids", []string{"attack", "evil"}, false),
+	})
+	return g
+}
+
+func TestDictionaryPutLookup(t *testing.T) {
+	d := NewDictionary()
+	if _, err := d.Lookup("X", 64); err == nil {
+		t.Error("empty dictionary lookup succeeded")
+	}
+	d.Put("IPLookup", 64, Entry{CPUNsPerPkt: 10})
+	d.Put("IPLookup", 1500, Entry{CPUNsPerPkt: 30})
+	e, err := d.Lookup("IPLookup", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CPUNsPerPkt != 10 {
+		t.Errorf("nearest bucket wrong: %+v", e)
+	}
+	e, _ = d.Lookup("IPLookup", 1400)
+	if e.CPUNsPerPkt != 30 {
+		t.Errorf("nearest bucket wrong: %+v", e)
+	}
+	if _, err := d.Lookup("Unknown", 64); err == nil {
+		t.Error("unknown kind lookup succeeded")
+	}
+	if kinds := d.Kinds(); len(kinds) != 1 || kinds[0] != "IPLookup" {
+		t.Errorf("Kinds = %v", kinds)
+	}
+}
+
+func TestOfflineProfileChain(t *testing.T) {
+	g := testChain()
+	p := hetsim.DefaultPlatform()
+	cfg := OfflineConfig{PacketSizes: []int{64, 512}, Batches: 4, Seed: 1}
+	d, err := OfflineProfile(p, nil, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := d.Kinds()
+	if len(kinds) < 4 {
+		t.Fatalf("too few kinds profiled: %v", kinds)
+	}
+	// IPsec must be profiled as compute-heavy and byte-scaled.
+	small, err := d.Lookup("IPsecSeal", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := d.Lookup("IPsecSeal", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.CPUNsPerPkt <= small.CPUNsPerPkt {
+		t.Errorf("IPsec cost should grow with packet size: %v vs %v",
+			small.CPUNsPerPkt, large.CPUNsPerPkt)
+	}
+	if small.GPUFixedNsPerBatch <= 0 {
+		t.Error("no fixed kernel overhead profiled")
+	}
+	if small.CPUNsPerPkt <= 0 || small.GPUNsPerPkt < 0 {
+		t.Errorf("bad entry: %+v", small)
+	}
+	// The light DecTTL element must profile cheaper than IPsec.
+	ttl, err := d.Lookup("DecTTL", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttl.CPUNsPerPkt >= small.CPUNsPerPkt {
+		t.Errorf("DecTTL (%v) should be cheaper than IPsec (%v)",
+			ttl.CPUNsPerPkt, small.CPUNsPerPkt)
+	}
+}
+
+func TestSampleIntensities(t *testing.T) {
+	g := testChain()
+	gen := traffic.NewGenerator(traffic.Config{Size: traffic.Fixed(128), Seed: 2})
+	in, err := SampleIntensities(g, gen.Batches(4, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.AvgPktBytes != 128 {
+		t.Errorf("AvgPktBytes = %v", in.AvgPktBytes)
+	}
+	// Source node sees all packets.
+	srcSeen := false
+	for id, frac := range in.Node {
+		if g.Node(id).Traits().Kind == "FromDevice" {
+			srcSeen = true
+			if frac != 1.0 {
+				t.Errorf("source intensity = %v", frac)
+			}
+		}
+		if frac < 0 || frac > 1.0001 {
+			t.Errorf("node %d intensity %v out of range", id, frac)
+		}
+	}
+	if !srcSeen {
+		t.Error("source node not sampled")
+	}
+	if len(in.Edge) == 0 {
+		t.Error("no edge intensities")
+	}
+}
+
+func TestSampleIntensitiesEmpty(t *testing.T) {
+	g := testChain()
+	if _, err := SampleIntensities(g, nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+}

@@ -1,0 +1,353 @@
+// Package redfa compiles a regular-expression subset into a Deterministic
+// Finite Automaton, the representation the paper's DPI uses for regular
+// expression matching ("For the regular expression we use a Deterministic
+// Finite Automata (DFA) implementation"). The pipeline is the classic one:
+// parser -> Thompson NFA -> subset-construction DFA -> Hopcroft-style
+// minimization.
+//
+// Supported syntax: literals, '.', character classes [a-z0-9] and negated
+// classes [^...], escapes (\d \w \s \n \t \r \\ \. etc.), grouping (...),
+// alternation |, and the quantifiers *, +, ?.
+package redfa
+
+import (
+	"fmt"
+)
+
+// node is a regex syntax-tree node.
+type node struct {
+	op       opKind
+	children []*node
+	class    *byteClass // for opClass
+}
+
+type opKind int
+
+const (
+	opEmpty opKind = iota // matches the empty string
+	opClass               // matches one byte from class
+	opConcat
+	opAlternate
+	opStar
+	opPlus
+	opOptional
+)
+
+// byteClass is a set of bytes.
+type byteClass struct {
+	bits [4]uint64
+}
+
+func (c *byteClass) add(b byte)      { c.bits[b>>6] |= 1 << (b & 63) }
+func (c *byteClass) has(b byte) bool { return c.bits[b>>6]&(1<<(b&63)) != 0 }
+
+func (c *byteClass) addRange(lo, hi byte) {
+	for b := int(lo); b <= int(hi); b++ {
+		c.add(byte(b))
+	}
+}
+
+func (c *byteClass) negate() {
+	for i := range c.bits {
+		c.bits[i] = ^c.bits[i]
+	}
+}
+
+// parser holds the recursive-descent state.
+type parser struct {
+	src []byte
+	pos int
+}
+
+// Parse compiles pattern text into a syntax tree.
+func parse(pattern string) (*node, error) {
+	p := &parser{src: []byte(pattern)}
+	n, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("redfa: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	return n, nil
+}
+
+func (p *parser) alternation() (*node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	alts := []*node{first}
+	for p.pos < len(p.src) && p.src[p.pos] == '|' {
+		p.pos++
+		n, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, n)
+	}
+	if len(alts) == 1 {
+		return first, nil
+	}
+	return &node{op: opAlternate, children: alts}, nil
+}
+
+func (p *parser) concat() (*node, error) {
+	var parts []*node
+	for p.pos < len(p.src) && p.src[p.pos] != '|' && p.src[p.pos] != ')' {
+		n, err := p.repeat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	switch len(parts) {
+	case 0:
+		return &node{op: opEmpty}, nil
+	case 1:
+		return parts[0], nil
+	default:
+		return &node{op: opConcat, children: parts}, nil
+	}
+}
+
+func (p *parser) repeat() (*node, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '*':
+			n = &node{op: opStar, children: []*node{n}}
+		case '+':
+			n = &node{op: opPlus, children: []*node{n}}
+		case '?':
+			n = &node{op: opOptional, children: []*node{n}}
+		case '{':
+			rep, err := p.bounds(n)
+			if err != nil {
+				return nil, err
+			}
+			n = rep
+			continue // bounds consumed through '}'
+		default:
+			return n, nil
+		}
+		p.pos++
+	}
+	return n, nil
+}
+
+// bounds parses {m}, {m,}, or {m,n} after an atom and expands it into
+// concatenations/optionals (DFA-safe: bounded repetition unrolls).
+func (p *parser) bounds(atom *node) (*node, error) {
+	start := p.pos
+	p.pos++ // consume '{'
+	readInt := func() (int, bool) {
+		v, any := 0, false
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			v = v*10 + int(p.src[p.pos]-'0')
+			p.pos++
+			any = true
+			if v > 256 {
+				return 0, false // unrolling bound
+			}
+		}
+		return v, any
+	}
+	m, okM := readInt()
+	if !okM {
+		return nil, fmt.Errorf("redfa: bad repetition at %d", start)
+	}
+	unbounded := false
+	n := m
+	if p.pos < len(p.src) && p.src[p.pos] == ',' {
+		p.pos++
+		if v, ok := readInt(); ok {
+			n = v
+		} else {
+			unbounded = true
+		}
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != '}' {
+		return nil, fmt.Errorf("redfa: missing '}' in repetition at %d", start)
+	}
+	p.pos++
+	if !unbounded && n < m {
+		return nil, fmt.Errorf("redfa: inverted repetition {%d,%d}", m, n)
+	}
+
+	// Expand: m required copies, then (n-m) optionals or a trailing star.
+	var parts []*node
+	for i := 0; i < m; i++ {
+		parts = append(parts, cloneNode(atom))
+	}
+	if unbounded {
+		parts = append(parts, &node{op: opStar, children: []*node{cloneNode(atom)}})
+	} else {
+		for i := m; i < n; i++ {
+			parts = append(parts, &node{op: opOptional, children: []*node{cloneNode(atom)}})
+		}
+	}
+	switch len(parts) {
+	case 0:
+		return &node{op: opEmpty}, nil
+	case 1:
+		return parts[0], nil
+	default:
+		return &node{op: opConcat, children: parts}, nil
+	}
+}
+
+// cloneNode deep-copies a syntax tree (bounded repetition reuses atoms).
+func cloneNode(n *node) *node {
+	c := &node{op: n.op, class: n.class}
+	for _, ch := range n.children {
+		c.children = append(c.children, cloneNode(ch))
+	}
+	return c
+}
+
+func (p *parser) atom() (*node, error) {
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("redfa: unexpected end of pattern")
+	}
+	c := p.src[p.pos]
+	switch c {
+	case '(':
+		p.pos++
+		n, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("redfa: missing ')'")
+		}
+		p.pos++
+		return n, nil
+	case '[':
+		return p.charClass()
+	case '.':
+		p.pos++
+		cl := &byteClass{}
+		cl.negate() // all bytes
+		return &node{op: opClass, class: cl}, nil
+	case '\\':
+		p.pos++
+		return p.escape()
+	case '*', '+', '?':
+		return nil, fmt.Errorf("redfa: dangling quantifier %q at %d", c, p.pos)
+	case ')':
+		return nil, fmt.Errorf("redfa: unmatched ')' at %d", p.pos)
+	default:
+		p.pos++
+		cl := &byteClass{}
+		cl.add(c)
+		return &node{op: opClass, class: cl}, nil
+	}
+}
+
+func (p *parser) escape() (*node, error) {
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("redfa: trailing backslash")
+	}
+	c := p.src[p.pos]
+	p.pos++
+	cl := &byteClass{}
+	switch c {
+	case 'd':
+		cl.addRange('0', '9')
+	case 'w':
+		cl.addRange('a', 'z')
+		cl.addRange('A', 'Z')
+		cl.addRange('0', '9')
+		cl.add('_')
+	case 's':
+		for _, b := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
+			cl.add(b)
+		}
+	case 'n':
+		cl.add('\n')
+	case 't':
+		cl.add('\t')
+	case 'r':
+		cl.add('\r')
+	case 'x':
+		if p.pos+1 >= len(p.src) {
+			return nil, fmt.Errorf("redfa: truncated \\x escape")
+		}
+		hi, err1 := unhex(p.src[p.pos])
+		lo, err2 := unhex(p.src[p.pos+1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("redfa: bad \\x escape")
+		}
+		p.pos += 2
+		cl.add(hi<<4 | lo)
+	default:
+		cl.add(c) // \\, \., \[, \(, etc.
+	}
+	return &node{op: opClass, class: cl}, nil
+}
+
+func unhex(c byte) (byte, error) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', nil
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, nil
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, nil
+	}
+	return 0, fmt.Errorf("redfa: bad hex digit %q", c)
+}
+
+func (p *parser) charClass() (*node, error) {
+	p.pos++ // consume '['
+	cl := &byteClass{}
+	negate := false
+	if p.pos < len(p.src) && p.src[p.pos] == '^' {
+		negate = true
+		p.pos++
+	}
+	first := true
+	for {
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("redfa: missing ']'")
+		}
+		c := p.src[p.pos]
+		if c == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		if c == '\\' {
+			p.pos++
+			esc, err := p.escape()
+			if err != nil {
+				return nil, err
+			}
+			for b := 0; b < 256; b++ {
+				if esc.class.has(byte(b)) {
+					cl.add(byte(b))
+				}
+			}
+			continue
+		}
+		p.pos++
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '-' && p.src[p.pos+1] != ']' {
+			hi := p.src[p.pos+1]
+			p.pos += 2
+			if hi < c {
+				return nil, fmt.Errorf("redfa: inverted range %c-%c", c, hi)
+			}
+			cl.addRange(c, hi)
+		} else {
+			cl.add(c)
+		}
+	}
+	if negate {
+		cl.negate()
+	}
+	return &node{op: opClass, class: cl}, nil
+}

@@ -1,0 +1,131 @@
+// Package spec parses the textual service-chain notation used by the
+// command-line tools and configuration files: a comma-separated list of
+// NF names with optional colon-separated arguments, e.g.
+//
+//	firewall:1000,ipv4,nat,ids
+//	probe,ipsec:0x2001,streamids
+//
+// Every NF is constructed with deterministic default tables (routing
+// tables with a default route, generated ACLs, benchmark pattern sets) so
+// a spec alone fully determines a runnable chain.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nfcompass/internal/acl"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/nf"
+	"nfcompass/internal/trie"
+)
+
+// DefaultPatterns is the pattern set spec-built IDS/DPI NFs match.
+var DefaultPatterns = []string{
+	"attack", "malware", "exploit", "overflow", "shellcode",
+	"cmd.exe", "/etc/passwd", "DROP TABLE",
+}
+
+// DefaultRegexes is the regex set spec-built DPI NFs match.
+var DefaultRegexes = []string{`[0-9]+\.exe`, `(select|union)[a-z ]*from`}
+
+// Names lists the NF names the parser accepts.
+func Names() []string {
+	return []string{
+		"firewall[:rules]", "ipv4", "ipv6", "ipsec[:spi]", "ids",
+		"streamids", "dpi", "nat", "lb[:backends]", "probe", "proxy", "wanopt",
+	}
+}
+
+// Parse builds the NF chain for a spec string. seed makes generated
+// tables (ACLs) deterministic.
+func Parse(s string, seed int64) ([]*nf.NF, error) {
+	var chain []*nf.NF
+	for i, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return nil, fmt.Errorf("spec: empty NF at position %d", i)
+		}
+		name, arg, _ := strings.Cut(tok, ":")
+		f, err := build(name, arg, fmt.Sprintf("%s%d", name, i), seed)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %q: %w", tok, err)
+		}
+		chain = append(chain, f)
+	}
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("spec: empty chain")
+	}
+	return chain, nil
+}
+
+func build(name, arg, label string, seed int64) (*nf.NF, error) {
+	switch name {
+	case "firewall", "fw":
+		rules := 200
+		if arg != "" {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("bad rule count %q", arg)
+			}
+			rules = n
+		}
+		list := acl.Generate(acl.DefaultGenConfig(rules, seed+7))
+		return nf.NewFirewall(label, list, true), nil
+	case "ipv4", "router":
+		return nf.NewIPv4Router(label, defaultV4Table(), "spec"), nil
+	case "ipv6":
+		return nf.NewIPv6Router(label, defaultV6Table(), "spec6"), nil
+	case "ipsec":
+		spi := uint32(0x1000)
+		if arg != "" {
+			v, err := strconv.ParseUint(strings.TrimPrefix(arg, "0x"), 16, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad SPI %q", arg)
+			}
+			spi = uint32(v)
+		}
+		return nf.NewIPsecGateway(label, spi,
+			[]byte("0123456789abcdef"), []byte("spec-auth")), nil
+	case "ids":
+		return nf.NewIDS(label, DefaultPatterns, false), nil
+	case "streamids":
+		return nf.NewStreamIDS(label, DefaultPatterns, false), nil
+	case "dpi":
+		return nf.NewDPI(label, DefaultPatterns, DefaultRegexes), nil
+	case "nat":
+		return nf.NewNAT(label, 0x01020304), nil
+	case "lb":
+		backends := 4
+		if arg != "" {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("bad backend count %q", arg)
+			}
+			backends = n
+		}
+		return nf.NewLoadBalancer(label, backends), nil
+	case "probe":
+		return nf.NewProbe(label), nil
+	case "proxy":
+		return nf.NewProxy(label, []byte("VIA")), nil
+	case "wanopt":
+		return nf.NewWANOptimizer(label), nil
+	default:
+		return nil, fmt.Errorf("unknown NF (known: %s)", strings.Join(Names(), " "))
+	}
+}
+
+func defaultV4Table() *trie.Dir24_8 {
+	var tr trie.IPv4Trie
+	_ = tr.Insert(0, 0, 1)
+	_ = tr.Insert(0xc0a80000, 16, 2)
+	return trie.BuildDir24_8(&tr)
+}
+
+func defaultV6Table() *trie.V6HashLPM {
+	var tr trie.IPv6Trie
+	_ = tr.Insert(netpkt.IPv6Addr{}, 0, 1)
+	return trie.BuildV6HashLPM(&tr)
+}

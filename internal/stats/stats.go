@@ -1,0 +1,177 @@
+// Package stats provides the measurement primitives the benchmark harness
+// reports: throughput meters, streaming latency histograms with percentile
+// queries, and variance — the metrics of the paper's evaluation (average
+// and variance latency, Gbps/Mpps throughput).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Throughput summarizes packets and bytes moved over a duration.
+type Throughput struct {
+	Packets uint64
+	Bytes   uint64
+	// Nanos is the elapsed (simulated or wall) time in nanoseconds.
+	Nanos int64
+}
+
+// Gbps returns throughput in gigabits per second.
+func (t Throughput) Gbps() float64 {
+	if t.Nanos <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) * 8 / float64(t.Nanos)
+}
+
+// Mpps returns throughput in millions of packets per second.
+func (t Throughput) Mpps() float64 {
+	if t.Nanos <= 0 {
+		return 0
+	}
+	return float64(t.Packets) * 1e3 / float64(t.Nanos)
+}
+
+// String implements fmt.Stringer.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.2f Gbps (%.2f Mpps)", t.Gbps(), t.Mpps())
+}
+
+// LatencySample collects latency observations (nanoseconds) and answers
+// mean / percentile / variance queries. It stores raw samples; experiment
+// scales here are small enough that exactness beats approximation.
+type LatencySample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation in nanoseconds.
+func (l *LatencySample) Add(ns float64) {
+	l.xs = append(l.xs, ns)
+	l.sorted = false
+}
+
+// N returns the number of observations.
+func (l *LatencySample) N() int { return len(l.xs) }
+
+// Mean returns the average, or 0 with no samples.
+func (l *LatencySample) Mean() float64 {
+	if len(l.xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range l.xs {
+		s += x
+	}
+	return s / float64(len(l.xs))
+}
+
+// Variance returns the population variance.
+func (l *LatencySample) Variance() float64 {
+	n := len(l.xs)
+	if n == 0 {
+		return 0
+	}
+	m := l.Mean()
+	s := 0.0
+	for _, x := range l.xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// StdDev returns the population standard deviation.
+func (l *LatencySample) StdDev() float64 { return math.Sqrt(l.Variance()) }
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank, or 0 with no samples.
+func (l *LatencySample) Percentile(p float64) float64 {
+	if len(l.xs) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.xs)
+		l.sorted = true
+	}
+	if p <= 0 {
+		return l.xs[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(l.xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(l.xs) {
+		rank = len(l.xs)
+	}
+	return l.xs[rank-1]
+}
+
+// Min returns the smallest sample, or 0 with none.
+func (l *LatencySample) Min() float64 { return l.Percentile(0) }
+
+// Max returns the largest sample, or 0 with none.
+func (l *LatencySample) Max() float64 { return l.Percentile(100) }
+
+// Reset discards all samples.
+func (l *LatencySample) Reset() { l.xs, l.sorted = l.xs[:0], false }
+
+// Summary is a rendered latency report.
+type Summary struct {
+	N             int
+	MeanUs, P50Us float64
+	P99Us, MaxUs  float64
+	StdDevUs      float64
+}
+
+// Summarize converts the sample (ns) into microsecond summary form.
+func (l *LatencySample) Summarize() Summary {
+	return Summary{
+		N:        l.N(),
+		MeanUs:   l.Mean() / 1e3,
+		P50Us:    l.Percentile(50) / 1e3,
+		P99Us:    l.Percentile(99) / 1e3,
+		MaxUs:    l.Max() / 1e3,
+		StdDevUs: l.StdDev() / 1e3,
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus sd=%.1fus",
+		s.N, s.MeanUs, s.P50Us, s.P99Us, s.MaxUs, s.StdDevUs)
+}
+
+// Histogram is a fixed-bucket counter for coarse distribution displays.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; final bucket is +inf
+	counts []uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+}
+
+// Counts returns the per-bucket counts (last bucket is overflow).
+func (h *Histogram) Counts() []uint64 { return append([]uint64(nil), h.counts...) }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, c := range h.counts {
+		t += c
+	}
+	return t
+}

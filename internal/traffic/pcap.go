@@ -1,0 +1,154 @@
+package traffic
+
+// Minimal pcap (libpcap classic format) reader/writer so generated traces
+// interoperate with standard tooling (tcpdump -r, Wireshark) and captured
+// traces can drive the framework. Only the Ethernet link type is handled —
+// everything this module generates or consumes.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nfcompass/internal/netpkt"
+)
+
+const (
+	pcapMagicLE    = 0xa1b2c3d4 // microsecond timestamps, our byte order
+	pcapMagicBE    = 0xd4c3b2a1
+	pcapVersionMaj = 2
+	pcapVersionMin = 4
+	pcapLinkEther  = 1
+	pcapSnapLen    = 65535
+)
+
+// WritePcap writes packets as a classic little-endian pcap stream. Packet
+// timestamps come from the Arrival field (simulated nanoseconds).
+func WritePcap(w io.Writer, pkts []*netpkt.Packet) error {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagicLE)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMin)
+	// thiszone, sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], pcapLinkEther)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+
+	rec := make([]byte, 16)
+	for i, p := range pkts {
+		ns := p.Arrival
+		if ns < 0 {
+			ns = 0
+		}
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(ns/1e9))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(ns%1e9/1e3))
+		n := len(p.Data)
+		if n > pcapSnapLen {
+			n = pcapSnapLen
+		}
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(n))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(p.Data)))
+		if _, err := w.Write(rec); err != nil {
+			return fmt.Errorf("traffic: pcap record %d: %w", i, err)
+		}
+		if _, err := w.Write(p.Data[:n]); err != nil {
+			return fmt.Errorf("traffic: pcap record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadPcap parses a classic pcap stream (either byte order, microsecond
+// timestamps) into packets. Each packet is Parsed so offsets are set;
+// unparsable payloads are kept with offsets unset.
+func ReadPcap(r io.Reader) ([]*netpkt.Packet, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("traffic: pcap header: %w", err)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[0:4]) {
+	case pcapMagicLE:
+		order = binary.LittleEndian
+	case pcapMagicBE:
+		order = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("traffic: not a pcap stream (magic %#x)",
+			binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	if lt := order.Uint32(hdr[20:24]); lt != pcapLinkEther {
+		return nil, fmt.Errorf("traffic: unsupported link type %d", lt)
+	}
+
+	var pkts []*netpkt.Packet
+	rec := make([]byte, 16)
+	for {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			if err == io.EOF {
+				return pkts, nil
+			}
+			return nil, fmt.Errorf("traffic: pcap record header: %w", err)
+		}
+		sec := order.Uint32(rec[0:4])
+		usec := order.Uint32(rec[4:8])
+		incl := order.Uint32(rec[8:12])
+		if incl > pcapSnapLen {
+			return nil, fmt.Errorf("traffic: oversized pcap record (%d bytes)", incl)
+		}
+		data := make([]byte, incl)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("traffic: pcap record body: %w", err)
+		}
+		p := netpkt.NewPacket(data)
+		p.Arrival = int64(sec)*1e9 + int64(usec)*1e3
+		_ = p.Parse() // best effort; offsets stay unset for non-IP
+		pkts = append(pkts, p)
+	}
+}
+
+// BatchesFromPcap slices a parsed capture into batches of batchSize for
+// replay through the framework. Flow IDs are synthesized by hashing the
+// 5-tuple so stateful elements see consistent flows.
+func BatchesFromPcap(r io.Reader, batchSize int) ([]*netpkt.Batch, error) {
+	pkts, err := ReadPcap(r)
+	if err != nil {
+		return nil, err
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	for _, p := range pkts {
+		p.FlowID = flowHash(p)
+	}
+	var out []*netpkt.Batch
+	for i := 0; i < len(pkts); i += batchSize {
+		j := i + batchSize
+		if j > len(pkts) {
+			j = len(pkts)
+		}
+		out = append(out, netpkt.NewBatch(uint64(len(out)), pkts[i:j]))
+	}
+	return out, nil
+}
+
+// flowHash derives a flow id from the packet's addresses and ports (FNV-1a
+// over the 5-tuple bytes), so replayed captures exercise per-flow state.
+func flowHash(p *netpkt.Packet) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+	}
+	if p.L3Offset >= 0 && p.L3Proto == netpkt.ProtoIPv4 && len(p.L3()) >= 20 {
+		mix(p.L3()[12:20]) // src+dst addresses
+		mix([]byte{byte(p.L4Proto)})
+	}
+	if l4 := p.L4(); len(l4) >= 4 {
+		mix(l4[0:4]) // ports
+	}
+	return h
+}

@@ -1,0 +1,148 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"nfcompass/internal/netpkt"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	gen := NewGenerator(Config{Size: Fixed(128), Seed: 1})
+	orig := make([]*netpkt.Packet, 25)
+	for i := range orig {
+		orig[i] = gen.NextPacket()
+		orig[i].Arrival = int64(i) * 1_000_000 // 1 ms apart
+	}
+
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("packets = %d, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if !bytes.Equal(back[i].Data, orig[i].Data) {
+			t.Fatalf("packet %d bytes differ", i)
+		}
+		// Timestamps survive at microsecond resolution.
+		if back[i].Arrival != orig[i].Arrival {
+			t.Fatalf("packet %d arrival %d != %d", i, back[i].Arrival, orig[i].Arrival)
+		}
+		if back[i].L3Proto != netpkt.ProtoIPv4 {
+			t.Fatalf("packet %d not re-parsed", i)
+		}
+	}
+}
+
+func TestPcapHeaderLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()
+	if len(hdr) != 24 {
+		t.Fatalf("header len = %d", len(hdr))
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != 0xa1b2c3d4 {
+		t.Errorf("magic = %#x", binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	if binary.LittleEndian.Uint16(hdr[4:6]) != 2 || binary.LittleEndian.Uint16(hdr[6:8]) != 4 {
+		t.Error("version != 2.4")
+	}
+	if binary.LittleEndian.Uint32(hdr[20:24]) != 1 {
+		t.Error("linktype != Ethernet")
+	}
+}
+
+func TestPcapReadBigEndian(t *testing.T) {
+	// Hand-build a big-endian capture with one 4-byte packet.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], 0xa1b2c3d4)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], 1)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], 10)  // sec
+	binary.BigEndian.PutUint32(rec[4:8], 500) // usec
+	binary.BigEndian.PutUint32(rec[8:12], 4)
+	binary.BigEndian.PutUint32(rec[12:16], 4)
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3, 4})
+
+	pkts, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || len(pkts[0].Data) != 4 {
+		t.Fatalf("pkts = %v", pkts)
+	}
+	if pkts[0].Arrival != 10*1e9+500*1e3 {
+		t.Errorf("arrival = %d", pkts[0].Arrival)
+	}
+}
+
+func TestPcapRejectsGarbage(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte("not a pcap file at all....."))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadPcap(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestPcapTruncatedRecord(t *testing.T) {
+	gen := NewGenerator(Config{Size: Fixed(64), Seed: 2})
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, []*netpkt.Packet{gen.NextPacket()}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadPcap(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestBatchesFromPcap(t *testing.T) {
+	gen := NewGenerator(Config{Size: Fixed(128), Seed: 3, Flows: 8})
+	var buf bytes.Buffer
+	pkts := make([]*netpkt.Packet, 100)
+	for i := range pkts {
+		pkts[i] = gen.NextPacket()
+	}
+	if err := WritePcap(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	batches, err := BatchesFromPcap(&buf, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 4 { // 32+32+32+4
+		t.Fatalf("batches = %d", len(batches))
+	}
+	if batches[3].Len() != 4 {
+		t.Errorf("tail batch = %d", batches[3].Len())
+	}
+	// Same 5-tuple -> same flow id; different -> (almost surely) different.
+	seen := map[uint64]int{}
+	for _, b := range batches {
+		for _, p := range b.Packets {
+			if p.FlowID == 0 {
+				t.Fatal("flow id not synthesized")
+			}
+			seen[p.FlowID]++
+		}
+	}
+	if len(seen) < 2 {
+		t.Errorf("flow hashing collapsed to %d flows", len(seen))
+	}
+}
