@@ -17,11 +17,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"nfcompass/internal/core"
+	"nfcompass/internal/dataplane"
 	"nfcompass/internal/element"
 	"nfcompass/internal/hetsim"
 	"nfcompass/internal/netpkt"
@@ -39,6 +41,8 @@ func main() {
 	noGTA := flag.Bool("no-gta", false, "disable graph-partition task allocation")
 	algo := flag.String("algo", "multilevel", "partitioner: multilevel|kl|agglomerative|stone")
 	pcapIn := flag.String("pcap", "", "replay this pcap capture instead of synthetic traffic")
+	metrics := flag.Bool("metrics", false,
+		"run the deployed graph on the live dataplane with per-element metrics and print the snapshot plus a Prometheus-text dump")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nfcompass [flags] <chain>\n"+
 			"e.g.: nfcompass -pkt 256 \"firewall:1000,ipv4,nat,ids\"\n")
@@ -143,6 +147,23 @@ func main() {
 		}
 		fmt.Printf("%-10s  %10.2f  %10.1fus\n", r.name,
 			res.Throughput.Gbps(), res.Latency.Percentile(50)/1e3)
+		resetAll(d)
+	}
+
+	// Live observability run: execute the deployment graph for real on the
+	// concurrent dataplane with the per-element metrics layer on, then dump
+	// the typed snapshot and its Prometheus-text form.
+	if *metrics {
+		resetAll(d)
+		_, pl, err := dataplane.RunBatches(context.Background(), d.Graph,
+			dataplane.Config{PreserveOrder: true, Metrics: true}, mkBatches(3000))
+		if err != nil {
+			fatal(err)
+		}
+		rep := pl.Snapshot()
+		fmt.Printf("\nlive dataplane metrics:\n%s", rep)
+		fmt.Printf("\n# Prometheus text exposition\n")
+		rep.WritePrometheus(os.Stdout)
 		resetAll(d)
 	}
 }

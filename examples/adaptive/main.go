@@ -67,11 +67,13 @@ func main() {
 	show("after dynamic adaptation:")
 
 	// Run the adapted deployment functionally on the concurrent dataplane.
-	outs, stats, err := dataplane.RunBatches(context.Background(), d.Graph,
-		dataplane.Config{PreserveOrder: true}, mk(traffic.PayloadFullMatch, 5, 20))
+	outs, pl, err := dataplane.RunBatches(context.Background(), d.Graph,
+		dataplane.Config{PreserveOrder: true, Metrics: true},
+		mk(traffic.PayloadFullMatch, 5, 20))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("dataplane: %d batches in, %d out, %d packets processed concurrently\n",
-		stats.InBatches.Load(), len(outs), stats.OutPackets.Load())
+		pl.Stats.InBatches.Load(), len(outs), pl.Stats.OutPackets.Load())
+	fmt.Print(pl.Snapshot())
 }

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"nfcompass/internal/dataplane"
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/profile"
+	"nfcompass/internal/stats"
+)
+
+// LiveProfile is a per-element profile measured by actually running the
+// graph on the concurrent dataplane (Config.Metrics on) instead of the
+// hetsim-calibrated offline sweep. It is the runtime half of the paper's
+// two-source profiling, sourced from the deployment artifact itself: the
+// Report carries per-element timings and queue behaviour, Intensities the
+// per-node/per-edge traffic fractions the allocator weights edges with.
+type LiveProfile struct {
+	Report      *dataplane.Report
+	Intensities *profile.Intensities
+	// Throughput is wall-clock packet rate over the drain (host-machine
+	// speed, not simulated Gbps — comparable only across live runs).
+	Throughput stats.Throughput
+}
+
+// MeasureLive drains batches through g on the live dataplane with metrics
+// enabled and returns the per-element profile. The graph's elements are
+// mutated (packets are processed for real); pass a dedicated graph and
+// traffic, as with profile.SampleIntensities.
+func MeasureLive(g *element.Graph, cfg dataplane.Config,
+	batches []*netpkt.Batch) (*LiveProfile, error) {
+	cfg.Metrics = true
+	_, p, err := dataplane.RunBatches(context.Background(), g, cfg, batches)
+	if err != nil {
+		return nil, fmt.Errorf("bench: live run: %w", err)
+	}
+	rep := p.Snapshot()
+	in, err := rep.Intensities()
+	if err != nil {
+		return nil, err
+	}
+	return &LiveProfile{
+		Report:      rep,
+		Intensities: in,
+		Throughput: stats.Throughput{
+			Packets: rep.OutPackets,
+			Bytes:   rep.InBytes,
+			Nanos:   rep.ElapsedNs,
+		},
+	}, nil
+}
+
+// Refresh folds the live CPU timings into an offline dictionary (keeping
+// its GPU profile) and returns the allocator-ready pair. This is the bridge
+// the GTA allocator uses to re-weight its partitioning graph from the
+// running pipeline instead of a fresh offline sweep.
+func (lp *LiveProfile) Refresh(dict *profile.Dictionary) (*profile.Dictionary, *profile.Intensities, int) {
+	updated := lp.Report.ApplyCPUTimings(dict)
+	return dict, lp.Intensities, updated
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"testing"
+
+	"nfcompass/internal/core"
+	"nfcompass/internal/dataplane"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/nf"
+	"nfcompass/internal/profile"
+	"nfcompass/internal/traffic"
+	"nfcompass/internal/trie"
+)
+
+func liveTestChain() []*nf.NF {
+	var tr trie.IPv4Trie
+	_ = tr.Insert(0, 0, 1)
+	return []*nf.NF{
+		nf.NewIPv4Router("r", trie.BuildDir24_8(&tr), "dp"),
+		nf.NewNAT("nat", 0x01020304),
+	}
+}
+
+func liveTraffic(seed int64, n int) []*netpkt.Batch {
+	gen := traffic.NewGenerator(traffic.Config{
+		Size: traffic.Fixed(256), Seed: seed, Flows: 64,
+	})
+	return gen.Batches(n, 32)
+}
+
+func TestMeasureLive(t *testing.T) {
+	g, _, _ := nf.BuildChain(liveTestChain())
+	lp, err := MeasureLive(g, dataplane.Config{PreserveOrder: true}, liveTraffic(1, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Report == nil || !lp.Report.MetricsEnabled {
+		t.Fatal("live profile must carry a metrics-enabled report")
+	}
+	if lp.Report.InPackets != 20*32 {
+		t.Fatalf("in packets = %d", lp.Report.InPackets)
+	}
+	if lp.Intensities.AvgPktBytes != 256 {
+		t.Fatalf("avg pkt bytes = %g", lp.Intensities.AvgPktBytes)
+	}
+	if lp.Throughput.Packets == 0 || lp.Throughput.Nanos <= 0 {
+		t.Fatalf("throughput not derived: %+v", lp.Throughput)
+	}
+	// Linear chain: every node sees every live packet.
+	for id, frac := range lp.Intensities.Node {
+		if frac != 1.0 {
+			t.Errorf("node %d intensity = %g", id, frac)
+		}
+	}
+}
+
+// The end-to-end bridge: live-measured profile feeds the GTA allocator in
+// place of the offline sweep.
+func TestLiveProfileFeedsAllocator(t *testing.T) {
+	p := hetsim.DefaultPlatform()
+
+	// Offline dictionary for the GPU side (a live CPU run cannot see it).
+	offG, _, _ := nf.BuildChain(liveTestChain())
+	dict, err := profile.OfflineProfile(p, nil, offG, profile.OfflineConfig{
+		PacketSizes: []int{64, 1024},
+		BatchSize:   32,
+		Batches:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live run on a fresh graph (elements are stateful).
+	liveG, _, _ := nf.BuildChain(liveTestChain())
+	lp, err := MeasureLive(liveG, dataplane.Config{}, liveTraffic(2, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refreshed, in, updated := lp.Refresh(dict)
+	if updated == 0 {
+		t.Fatal("refresh must override at least one CPU timing")
+	}
+
+	// The refreshed dictionary's CPU numbers are the measured ones.
+	timings := lp.Report.CPUTimings()
+	e, err := refreshed.Lookup("NATRewrite", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CPUNsPerPkt != timings["NATRewrite"] {
+		t.Fatalf("NAT cpu ns/pkt = %g, want live %g", e.CPUNsPerPkt, timings["NATRewrite"])
+	}
+
+	// Allocate straight from the live profile.
+	allocG, _, _ := nf.BuildChain(liveTestChain())
+	assign, rep, err := core.Allocate(allocG, refreshed, in, p, nil,
+		32, 0.25, core.AlgoMultilevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign == nil || rep == nil {
+		t.Fatal("allocator returned nothing")
+	}
+}

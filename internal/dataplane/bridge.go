@@ -1,0 +1,76 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/profile"
+)
+
+// This file bridges live pipeline snapshots into the profiling types the
+// task allocator consumes (core.Allocate takes a *profile.Dictionary and a
+// *profile.Intensities). It makes the running dataplane an alternative
+// profile source to internal/profile's offline sweep: traffic intensities
+// come straight from the per-node/per-edge counters, and measured CPU
+// timings can overwrite the dictionary's offline CPU costs while the
+// offline GPU-side numbers (which a CPU-host run cannot observe) are kept.
+
+// Intensities converts the report's per-element and per-edge packet counts
+// into the runtime traffic statistics of paper §IV-C-2, normalized by the
+// injected live packet count. It fails when the pipeline ran without
+// Config.Metrics or saw no traffic.
+func (r *Report) Intensities() (*profile.Intensities, error) {
+	if !r.MetricsEnabled {
+		return nil, fmt.Errorf("dataplane: pipeline ran without Config.Metrics")
+	}
+	if r.InPackets == 0 {
+		return nil, fmt.Errorf("dataplane: no packets observed")
+	}
+	in := float64(r.InPackets)
+	res := &profile.Intensities{
+		Node:        make(map[element.NodeID]float64, len(r.Elements)),
+		Edge:        make(map[element.EdgeKey]float64, len(r.Edges)),
+		AvgPktBytes: float64(r.InBytes) / in,
+	}
+	for _, e := range r.Elements {
+		res.Node[e.Node] = float64(e.PktsIn) / in
+	}
+	for _, ed := range r.Edges {
+		res.Edge[ed.EdgeKey] = float64(ed.Packets) / in
+	}
+	return res, nil
+}
+
+// CPUTimings aggregates measured mean CPU nanoseconds per live packet by
+// element kind (instances of the same kind are pooled). Endpoint kinds
+// (FromDevice/ToDevice) are included; callers that feed a Dictionary
+// usually skip them, matching the offline profiler.
+func (r *Report) CPUTimings() map[string]float64 {
+	sumNs := make(map[string]float64)
+	pkts := make(map[string]uint64)
+	for _, e := range r.Elements {
+		sumNs[e.Kind] += e.Proc.Sum
+		pkts[e.Kind] += e.ProcPkts
+	}
+	out := make(map[string]float64, len(sumNs))
+	for kind, ns := range sumNs {
+		if pkts[kind] > 0 {
+			out[kind] = ns / float64(pkts[kind])
+		}
+	}
+	return out
+}
+
+// ApplyCPUTimings overwrites d's CPU cost for every kind this report
+// measured, leaving GPU-side entries (unobservable from a live CPU run)
+// untouched. Returns the number of dictionary entries updated.
+func (r *Report) ApplyCPUTimings(d *profile.Dictionary) int {
+	updated := 0
+	for kind, ns := range r.CPUTimings() {
+		if kind == "FromDevice" || kind == "ToDevice" {
+			continue
+		}
+		updated += d.OverrideCPU(kind, ns)
+	}
+	return updated
+}

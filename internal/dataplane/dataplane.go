@@ -9,6 +9,12 @@
 // run on the paper's CPU+GPU server"; the dataplane answers "run it now,
 // concurrently, on this machine" — it is the deployment artifact a user
 // of the library would actually operate.
+//
+// With Config.Metrics on, the pipeline keeps a per-element registry
+// (packets, drops, processing-time histogram, queue depth, send-wait) and
+// per-edge traffic counters, snapshotted live via Pipeline.Snapshot; the
+// bridge in this package converts a snapshot into the allocator's profile
+// inputs. Config.Trace additionally emits per-batch lifecycle events.
 package dataplane
 
 import (
@@ -16,9 +22,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nfcompass/internal/element"
 	"nfcompass/internal/netpkt"
+	"nfcompass/internal/stats"
 )
 
 // Config tunes the pipeline.
@@ -31,6 +39,22 @@ type Config struct {
 	// using a completion queue (default true behaviour is OFF to keep
 	// the zero value cheap; the paper's stateful NFs need it ON).
 	PreserveOrder bool
+	// Metrics enables the per-element observability layer: packet/drop
+	// counters, processing-time histograms, send-wait accounting, and
+	// per-edge traffic counts, all readable live through Snapshot. Off by
+	// default; the overhead when on is a few timestamps per batch per
+	// element (see BenchmarkPipelineMetricsOverhead).
+	Metrics bool
+	// Trace, when non-nil, receives batch lifecycle events (inject,
+	// per-element enter/exit, sink release). The per-event cost when nil
+	// is a single pointer check.
+	Trace TraceSink
+	// TimingSample records the processing-time histogram for 1 in N
+	// Process calls per element (default 1 = every call). Packet, drop,
+	// and edge counters stay exact regardless; only the wall-clock
+	// histogram is sampled. Raise it to shrink the two-timestamps-per-call
+	// cost on graphs of very cheap elements.
+	TimingSample int
 }
 
 // Stats counts pipeline activity with atomics (safe to read live).
@@ -40,6 +64,9 @@ type Stats struct {
 	InPackets   atomic.Uint64
 	OutPackets  atomic.Uint64
 	DropPackets atomic.Uint64
+	// InBytes counts live wire bytes injected (for mean-packet-size and
+	// Gbps derivation from snapshots).
+	InBytes atomic.Uint64
 }
 
 // Pipeline is a running dataplane for one element graph.
@@ -47,6 +74,15 @@ type Pipeline struct {
 	g     *element.Graph
 	cfg   Config
 	Stats Stats
+
+	// metrics is the per-element registry (nil when Config.Metrics is
+	// off); edgeCtr maps each graph edge to its traffic counter.
+	metrics []nodeMetrics
+	edgeCtr map[element.EdgeKey]*stats.Counter
+	// inbox holds each element's input channel; Snapshot samples queue
+	// depths from it.
+	inbox []chan stageMsg
+	epoch time.Time
 
 	in      chan *netpkt.Batch
 	out     chan *netpkt.Batch
@@ -56,9 +92,12 @@ type Pipeline struct {
 	errOnce sync.Once
 }
 
-// stageMsg carries a batch between stages.
+// stageMsg carries a batch between stages. live is the batch's live packet
+// count as counted by the sender, so each hop counts a batch once instead
+// of every stage re-scanning it (meaningful only when metrics are on).
 type stageMsg struct {
-	b *netpkt.Batch
+	b    *netpkt.Batch
+	live int
 }
 
 // New validates the graph and constructs a stopped pipeline.
@@ -72,13 +111,51 @@ func New(g *element.Graph, cfg Config) (*Pipeline, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
-	return &Pipeline{
-		g:    g,
-		cfg:  cfg,
-		in:   make(chan *netpkt.Batch, cfg.QueueDepth),
-		out:  make(chan *netpkt.Batch, cfg.QueueDepth),
-		done: make(chan struct{}),
-	}, nil
+	if cfg.TimingSample <= 0 {
+		cfg.TimingSample = 1
+	}
+	n := g.Len()
+	p := &Pipeline{
+		g:     g,
+		cfg:   cfg,
+		inbox: make([]chan stageMsg, n),
+		epoch: time.Now(),
+		in:    make(chan *netpkt.Batch, cfg.QueueDepth),
+		out:   make(chan *netpkt.Batch, cfg.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	for i := range p.inbox {
+		p.inbox[i] = make(chan stageMsg, cfg.QueueDepth)
+	}
+	if cfg.Metrics {
+		p.metrics = make([]nodeMetrics, n)
+		for i := range p.metrics {
+			p.metrics[i].proc = stats.NewConcurrentHistogram(stats.DefaultLatencyBoundsNs())
+		}
+		p.edgeCtr = make(map[element.EdgeKey]*stats.Counter)
+		for _, e := range g.Edges() {
+			k := element.EdgeKey{From: e.From, Port: e.Port, To: e.To}
+			if p.edgeCtr[k] == nil {
+				p.edgeCtr[k] = new(stats.Counter)
+			}
+		}
+	}
+	return p, nil
+}
+
+// clock returns monotonic time since pipeline construction.
+func (p *Pipeline) clock() time.Duration { return time.Since(p.epoch) }
+
+// trace emits an event if a sink is configured; the nil check is the whole
+// disabled-path cost.
+func (p *Pipeline) trace(kind TraceKind, node element.NodeID, b *netpkt.Batch) {
+	if p.cfg.Trace == nil {
+		return
+	}
+	p.cfg.Trace.Emit(TraceEvent{
+		Kind: kind, Node: node, Batch: b.ID, Packets: b.Live(),
+		NanosSinceStart: p.clock().Nanoseconds(),
+	})
 }
 
 // Start launches one goroutine per element plus the sink collector. The
@@ -88,11 +165,7 @@ func (p *Pipeline) Start(ctx context.Context) {
 	ctx, p.cancel = context.WithCancel(ctx)
 
 	n := p.g.Len()
-	// One input channel per node; fan-in edges share it.
-	inbox := make([]chan stageMsg, n)
-	for i := range inbox {
-		inbox[i] = make(chan stageMsg, p.cfg.QueueDepth)
-	}
+	inbox := p.inbox
 	// Writer counts per node, so each inbox closes when all its
 	// upstreams finish.
 	writers := make([]atomic.Int32, n)
@@ -116,6 +189,22 @@ func (p *Pipeline) Start(ctx context.Context) {
 		if isSink {
 			sinkWriters.Add(1)
 		}
+
+		var m *nodeMetrics
+		var edgeCtr [][]*stats.Counter
+		if p.metrics != nil {
+			m = &p.metrics[i]
+			// Per-port edge counters aligned with succ, so the send loop
+			// indexes instead of hashing.
+			edgeCtr = make([][]*stats.Counter, len(succ))
+			for port, targets := range succ {
+				edgeCtr[port] = make([]*stats.Counter, len(targets))
+				for t, to := range targets {
+					edgeCtr[port][t] = p.edgeCtr[element.EdgeKey{From: id, Port: port, To: to}]
+				}
+			}
+		}
+
 		wg.Add(1)
 		go func(id element.NodeID, el element.Element, succ [][]element.NodeID, isSink bool) {
 			defer wg.Done()
@@ -135,12 +224,42 @@ func (p *Pipeline) Start(ctx context.Context) {
 					}
 				}
 			}()
+			// Metrics are accounted inline rather than through
+			// element.Instrument: the sender's live count rides in on the
+			// stageMsg and each output batch is scanned exactly once, so
+			// a batch costs one scan per hop instead of three.
+			sampleN := p.cfg.TimingSample
+			tick := 0
 			for msg := range inbox[id] {
+				p.trace(TraceEnter, id, msg.b)
+				var t0 time.Time
+				timed := false
+				if m != nil {
+					m.batches.Inc()
+					m.pktsIn.Add(uint64(msg.live))
+					if tick == 0 {
+						timed = true
+						t0 = time.Now()
+					}
+					if tick++; tick == sampleN {
+						tick = 0
+					}
+				}
 				outs := el.Process(msg.b)
+				if timed {
+					m.proc.Add(float64(time.Since(t0).Nanoseconds()))
+					m.procPkts.Add(uint64(msg.live))
+				}
+				p.trace(TraceExit, id, msg.b)
 				if isSink {
-					select {
-					case sinkOut <- msg.b:
-					case <-ctx.Done():
+					if m != nil {
+						live := msg.b.Live()
+						m.pktsOut.Add(uint64(live))
+						if live < msg.live {
+							m.drops.Add(uint64(msg.live - live))
+						}
+					}
+					if !p.send(ctx, m, sinkOut, msg.b) {
 						return
 					}
 					continue
@@ -150,17 +269,29 @@ func (p *Pipeline) Start(ctx context.Context) {
 						el.Name(), len(outs), el.NumOutputs()))
 					return
 				}
+				totalOut := 0
 				for port, ob := range outs {
 					if ob == nil || len(ob.Packets) == 0 {
 						continue
 					}
-					for _, to := range succ[port] {
-						select {
-						case inbox[to] <- stageMsg{b: ob}:
-						case <-ctx.Done():
+					live := 0
+					if m != nil {
+						live = ob.Live()
+						totalOut += live
+						m.pktsOut.Add(uint64(live))
+					}
+					for t, to := range succ[port] {
+						if m != nil {
+							edgeCtr[port][t].Add(uint64(live))
+						}
+						if !p.sendStage(ctx, m, inbox[to], stageMsg{b: ob, live: live}) {
 							return
 						}
 					}
+				}
+				// Cloning elements emit more than they take in; clamp.
+				if m != nil && msg.live > totalOut {
+					m.drops.Add(uint64(msg.live - totalOut))
 				}
 			}
 		}(id, el, succ, isSink)
@@ -178,11 +309,14 @@ func (p *Pipeline) Start(ctx context.Context) {
 			}
 		}()
 		for b := range p.in {
+			live := b.Live()
 			p.Stats.InBatches.Add(1)
-			p.Stats.InPackets.Add(uint64(b.Live()))
+			p.Stats.InPackets.Add(uint64(live))
+			p.Stats.InBytes.Add(uint64(b.Bytes()))
+			p.trace(TraceInject, -1, b)
 			for _, s := range sources {
 				select {
-				case inbox[s] <- stageMsg{b: b}:
+				case inbox[s] <- stageMsg{b: b, live: live}:
 				case <-ctx.Done():
 					return
 				}
@@ -203,6 +337,7 @@ func (p *Pipeline) Start(ctx context.Context) {
 			live := uint64(b.Live())
 			p.Stats.OutPackets.Add(live)
 			p.Stats.DropPackets.Add(uint64(b.Len()) - live)
+			p.trace(TraceRelease, -1, b)
 			select {
 			case p.out <- b:
 				return true
@@ -233,6 +368,62 @@ func (p *Pipeline) Start(ctx context.Context) {
 	}()
 }
 
+// send pushes a sink's batch to the collector, accounting send-wait time
+// when metrics are on. Returns false when the context was cancelled. The
+// non-blocking first attempt keeps the uncontended path free of clock
+// reads: send-wait only pays for timestamps when it actually waits.
+func (p *Pipeline) send(ctx context.Context, m *nodeMetrics,
+	sinkOut chan<- *netpkt.Batch, b *netpkt.Batch) bool {
+	select {
+	case sinkOut <- b:
+		return true
+	default:
+	}
+	if m == nil {
+		select {
+		case sinkOut <- b:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	t0 := time.Now()
+	select {
+	case sinkOut <- b:
+		m.sendWaitNs.Add(uint64(time.Since(t0).Nanoseconds()))
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// sendStage is send for element-to-element hops, with the same
+// fast-path-first send-wait accounting.
+func (p *Pipeline) sendStage(ctx context.Context, m *nodeMetrics,
+	ch chan<- stageMsg, msg stageMsg) bool {
+	select {
+	case ch <- msg:
+		return true
+	default:
+	}
+	if m == nil {
+		select {
+		case ch <- msg:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	t0 := time.Now()
+	select {
+	case ch <- msg:
+		m.sendWaitNs.Add(uint64(time.Since(t0).Nanoseconds()))
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // fail records the first pipeline error and cancels the run.
 func (p *Pipeline) fail(err error) {
 	p.errOnce.Do(func() {
@@ -259,9 +450,10 @@ func (p *Pipeline) Wait() error {
 }
 
 // RunBatches is the convenience one-shot: start, inject everything, drain,
-// and return the collected output batches in completion order.
+// and return the collected output batches in completion order plus the
+// pipeline itself (for Stats and, with Config.Metrics, Snapshot).
 func RunBatches(ctx context.Context, g *element.Graph, cfg Config,
-	batches []*netpkt.Batch) ([]*netpkt.Batch, *Stats, error) {
+	batches []*netpkt.Batch) ([]*netpkt.Batch, *Pipeline, error) {
 	p, err := New(g, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -283,13 +475,13 @@ func RunBatches(ctx context.Context, g *element.Graph, cfg Config,
 		case <-ctx.Done():
 			p.CloseInput()
 			<-collectDone
-			return outs, &p.Stats, ctx.Err()
+			return outs, p, ctx.Err()
 		}
 	}
 	p.CloseInput()
 	<-collectDone
 	if err := p.Wait(); err != nil {
-		return outs, &p.Stats, err
+		return outs, p, err
 	}
-	return outs, &p.Stats, nil
+	return outs, p, nil
 }

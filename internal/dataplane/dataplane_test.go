@@ -31,16 +31,16 @@ func genBatches(n, size int, seed int64) []*netpkt.Batch {
 
 func TestRunBatchesBasic(t *testing.T) {
 	g := testChainGraph()
-	outs, stats, err := RunBatches(context.Background(), g, Config{}, genBatches(20, 32, 1))
+	outs, p, err := RunBatches(context.Background(), g, Config{}, genBatches(20, 32, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(outs) != 20 {
 		t.Fatalf("out batches = %d", len(outs))
 	}
-	if stats.InPackets.Load() != 640 || stats.OutPackets.Load() != 640 {
+	if p.Stats.InPackets.Load() != 640 || p.Stats.OutPackets.Load() != 640 {
 		t.Errorf("packets in/out = %d/%d",
-			stats.InPackets.Load(), stats.OutPackets.Load())
+			p.Stats.InPackets.Load(), p.Stats.OutPackets.Load())
 	}
 }
 
@@ -119,7 +119,7 @@ func TestParallelDiamondConcurrent(t *testing.T) {
 	dst := g.Add(element.NewToDevice("dst"))
 	g.MustConnect(mergeID, 0, dst)
 
-	outs, stats, err := RunBatches(context.Background(), g,
+	outs, p, err := RunBatches(context.Background(), g,
 		Config{PreserveOrder: true}, genBatches(25, 16, 4))
 	if err != nil {
 		t.Fatal(err)
@@ -127,8 +127,8 @@ func TestParallelDiamondConcurrent(t *testing.T) {
 	if len(outs) != 25 {
 		t.Fatalf("out = %d", len(outs))
 	}
-	if stats.OutPackets.Load() != 25*16 {
-		t.Errorf("out packets = %d", stats.OutPackets.Load())
+	if p.Stats.OutPackets.Load() != 25*16 {
+		t.Errorf("out packets = %d", p.Stats.OutPackets.Load())
 	}
 	// NAT's header writes must have survived the merge.
 	for _, b := range outs {

@@ -1,0 +1,225 @@
+package dataplane
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/stats"
+)
+
+// nodeMetrics is the per-element metric registry slot. Each element runs on
+// exactly one goroutine, so every field is single-writer; atomics make them
+// safe for concurrent Snapshot readers. Counters are cache-line padded so
+// neighbouring elements' hot counters do not false-share.
+type nodeMetrics struct {
+	batches stats.Counter
+	pktsIn  stats.Counter
+	pktsOut stats.Counter
+	drops   stats.Counter
+	// sendWaitNs accumulates time spent blocked in downstream channel
+	// sends — the back-pressure signal that locates the bottleneck stage.
+	sendWaitNs stats.Counter
+	// proc is the per-batch Process wall-time distribution; procPkts
+	// counts the live input packets of the timed batches (equal to pktsIn
+	// at Config.TimingSample 1), the denominator for ns/pkt.
+	proc     *stats.ConcurrentHistogram
+	procPkts stats.Counter
+}
+
+// ElementStats is one element's row in a pipeline report.
+type ElementStats struct {
+	Node element.NodeID
+	Name string
+	Kind string
+	// Batches is the number of Process calls; PktsIn/PktsOut are live
+	// packets entering/leaving; Drops is max(0, in-out) per call summed.
+	Batches, PktsIn, PktsOut, Drops uint64
+	// SendWaitNs is cumulative time spent blocked on a full downstream
+	// queue (uncontended sends cost nothing here); growth under load
+	// means back-pressure from the next stage.
+	SendWaitNs uint64
+	// QueueLen is the element's inbox depth at snapshot time, QueueCap its
+	// capacity.
+	QueueLen, QueueCap int
+	// Proc is the per-batch processing-time distribution in nanoseconds;
+	// ProcPkts is the live input packet count of the timed batches (all
+	// batches unless Config.TimingSample > 1).
+	Proc     stats.HistSnapshot
+	ProcPkts uint64
+}
+
+// NsPerPkt returns the mean processing cost per live input packet over the
+// timed batches.
+func (e ElementStats) NsPerPkt() float64 {
+	if e.ProcPkts == 0 {
+		return 0
+	}
+	return e.Proc.Sum / float64(e.ProcPkts)
+}
+
+// EdgeStats is one graph edge's traffic in a pipeline report.
+type EdgeStats struct {
+	element.EdgeKey
+	// Packets counts live packets sent across the edge.
+	Packets uint64
+}
+
+// Report is a typed point-in-time snapshot of a running (or drained)
+// pipeline: the live counterpart of the offline profiler's output, and the
+// input the Intensities/ApplyCPUTimings bridge converts for the allocator.
+type Report struct {
+	Elements []ElementStats
+	Edges    []EdgeStats
+	// Pipeline-boundary totals (mirrors Stats).
+	InBatches, OutBatches   uint64
+	InPackets, OutPackets   uint64
+	DropPackets, InBytes    uint64
+	// ElapsedNs is time since pipeline construction, for rate derivation.
+	ElapsedNs int64
+	// MetricsEnabled records whether per-element instrumentation was on;
+	// when false only boundary totals and queue depths are meaningful.
+	MetricsEnabled bool
+}
+
+// Snapshot captures per-element and per-edge statistics. It is safe to call
+// while the pipeline runs (counters are atomic; the histogram snapshot is
+// not a single consistent cut but every value is valid) and any time after
+// New.
+func (p *Pipeline) Snapshot() *Report {
+	r := &Report{
+		InBatches:      p.Stats.InBatches.Load(),
+		OutBatches:     p.Stats.OutBatches.Load(),
+		InPackets:      p.Stats.InPackets.Load(),
+		OutPackets:     p.Stats.OutPackets.Load(),
+		DropPackets:    p.Stats.DropPackets.Load(),
+		InBytes:        p.Stats.InBytes.Load(),
+		ElapsedNs:      p.clock().Nanoseconds(),
+		MetricsEnabled: p.metrics != nil,
+	}
+	for i := 0; i < p.g.Len(); i++ {
+		id := element.NodeID(i)
+		el := p.g.Node(id)
+		es := ElementStats{
+			Node:     id,
+			Name:     el.Name(),
+			Kind:     el.Traits().Kind,
+			QueueLen: len(p.inbox[i]),
+			QueueCap: cap(p.inbox[i]),
+		}
+		if p.metrics != nil {
+			m := &p.metrics[i]
+			es.Batches = m.batches.Load()
+			es.PktsIn = m.pktsIn.Load()
+			es.PktsOut = m.pktsOut.Load()
+			es.Drops = m.drops.Load()
+			es.SendWaitNs = m.sendWaitNs.Load()
+			es.Proc = m.proc.Snapshot()
+			es.ProcPkts = m.procPkts.Load()
+		}
+		r.Elements = append(r.Elements, es)
+	}
+	if p.metrics != nil {
+		for _, e := range p.g.Edges() {
+			ek := element.EdgeKey{From: e.From, Port: e.Port, To: e.To}
+			if c := p.edgeCtr[ek]; c != nil {
+				r.Edges = append(r.Edges, EdgeStats{EdgeKey: ek, Packets: c.Load()})
+			}
+		}
+		sort.Slice(r.Edges, func(i, j int) bool {
+			a, b := r.Edges[i].EdgeKey, r.Edges[j].EdgeKey
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.Port != b.Port {
+				return a.Port < b.Port
+			}
+			return a.To < b.To
+		})
+	}
+	return r
+}
+
+// String renders the report as a fixed-width per-element table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pipeline: in=%d/%d out=%d/%d drop=%d (batches/pkts) elapsed=%.1fms\n",
+		r.InBatches, r.InPackets, r.OutBatches, r.OutPackets, r.DropPackets,
+		float64(r.ElapsedNs)/1e6)
+	if !r.MetricsEnabled {
+		sb.WriteString("(per-element metrics disabled; set Config.Metrics)\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-3s %-22s %-14s %9s %9s %7s %6s %9s %9s %9s %9s\n",
+		"id", "element", "kind", "pkts-in", "pkts-out", "drops", "queue",
+		"ns/pkt", "p50-ns", "p99-ns", "wait-ms")
+	for _, e := range r.Elements {
+		fmt.Fprintf(&sb, "%-3d %-22s %-14s %9d %9d %7d %3d/%-3d %9.0f %9.0f %9.0f %9.2f\n",
+			e.Node, e.Name, e.Kind, e.PktsIn, e.PktsOut, e.Drops,
+			e.QueueLen, e.QueueCap, e.NsPerPkt(),
+			e.Proc.Percentile(50), e.Proc.Percentile(99),
+			float64(e.SendWaitNs)/1e6)
+	}
+	for _, ed := range r.Edges {
+		fmt.Fprintf(&sb, "edge %d[%d]->%d: %d pkts\n", ed.From, ed.Port, ed.To, ed.Packets)
+	}
+	return sb.String()
+}
+
+// WritePrometheus dumps the report in Prometheus text exposition format.
+// Metric names are prefixed nfcompass_dataplane_.
+func (r *Report) WritePrometheus(w io.Writer) {
+	const p = "nfcompass_dataplane_"
+	stats.PromHeader(w, p+"in_packets_total", "counter", "live packets injected")
+	stats.PromCounter(w, p+"in_packets_total", nil, r.InPackets)
+	stats.PromHeader(w, p+"out_packets_total", "counter", "live packets released at sinks")
+	stats.PromCounter(w, p+"out_packets_total", nil, r.OutPackets)
+	stats.PromHeader(w, p+"drop_packets_total", "counter", "packets dropped in the pipeline")
+	stats.PromCounter(w, p+"drop_packets_total", nil, r.DropPackets)
+	stats.PromHeader(w, p+"in_bytes_total", "counter", "live bytes injected")
+	stats.PromCounter(w, p+"in_bytes_total", nil, r.InBytes)
+	if !r.MetricsEnabled {
+		return
+	}
+
+	stats.PromHeader(w, p+"element_packets_total", "counter",
+		"live packets through each element, by direction")
+	for _, e := range r.Elements {
+		l := stats.Labels{"element": e.Name, "kind": e.Kind}
+		l["dir"] = "in"
+		stats.PromCounter(w, p+"element_packets_total", l, e.PktsIn)
+		l = stats.Labels{"element": e.Name, "kind": e.Kind, "dir": "out"}
+		stats.PromCounter(w, p+"element_packets_total", l, e.PktsOut)
+	}
+	stats.PromHeader(w, p+"element_drops_total", "counter", "packets dropped per element")
+	for _, e := range r.Elements {
+		stats.PromCounter(w, p+"element_drops_total",
+			stats.Labels{"element": e.Name, "kind": e.Kind}, e.Drops)
+	}
+	stats.PromHeader(w, p+"element_queue_depth", "gauge", "inbox depth at snapshot time")
+	for _, e := range r.Elements {
+		stats.PromGauge(w, p+"element_queue_depth",
+			stats.Labels{"element": e.Name}, float64(e.QueueLen))
+	}
+	stats.PromHeader(w, p+"element_send_wait_ns_total", "counter",
+		"time blocked sending downstream")
+	for _, e := range r.Elements {
+		stats.PromCounter(w, p+"element_send_wait_ns_total",
+			stats.Labels{"element": e.Name}, e.SendWaitNs)
+	}
+	stats.PromHeader(w, p+"element_process_ns", "histogram",
+		"per-batch Process wall time in nanoseconds")
+	for _, e := range r.Elements {
+		stats.PromHistogram(w, p+"element_process_ns",
+			stats.Labels{"element": e.Name, "kind": e.Kind}, e.Proc)
+	}
+	stats.PromHeader(w, p+"edge_packets_total", "counter", "live packets per graph edge")
+	for _, ed := range r.Edges {
+		stats.PromCounter(w, p+"edge_packets_total", stats.Labels{
+			"from": fmt.Sprint(ed.From), "port": fmt.Sprint(ed.Port),
+			"to": fmt.Sprint(ed.To),
+		}, ed.Packets)
+	}
+}

@@ -1,0 +1,167 @@
+package dataplane
+
+// Stress for PreserveOrder: tiny queues, a fan-out/fan-in diamond whose
+// branches race, several pipelines running at once, and hundreds of
+// batches. Run with -race in CI; any completion-queue or inbox
+// synchronization bug shows up as out-of-order IDs, a deadlock (test
+// timeout), or a race report.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"nfcompass/internal/core"
+	"nfcompass/internal/element"
+	"nfcompass/internal/nf"
+)
+
+// jitterGraph builds a diamond whose two branches do very different
+// amounts of work per batch, so merged batches complete out of submission
+// order and the completion queue must re-sequence aggressively.
+func jitterGraph() *element.Graph {
+	g := element.NewGraph()
+	src := g.Add(element.NewFromDevice("src"))
+	dup := core.NewDuplicator("dup", 2)
+	dupID := g.Add(dup)
+	merge := core.NewXORMerge("merge", dup)
+	mergeID := g.Add(merge)
+	g.MustConnect(src, 0, dupID)
+
+	// Branch 0: nearly free.
+	probe := nf.NewProbe("probe")
+	e1, x1 := probe.Build(g, "b0")
+	// Branch 1: deliberately heavy (IDS-style DFA scan over the payload).
+	ids := nf.NewIDS("ids", []string{"needle", "haystack", "stress"}, false)
+	e2, x2 := ids.Build(g, "b1")
+
+	g.MustConnect(dupID, 0, e1)
+	g.MustConnect(dupID, 1, e2)
+	g.MustConnect(x1, 0, mergeID)
+	g.MustConnect(x2, 0, mergeID)
+	dst := g.Add(element.NewToDevice("dst"))
+	g.MustConnect(mergeID, 0, dst)
+	return g
+}
+
+func TestPreserveOrderStress(t *testing.T) {
+	const (
+		pipelines = 4
+		batches   = 300
+		perBatch  = 4
+	)
+	var wg sync.WaitGroup
+	for pi := 0; pi < pipelines; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			// QueueDepth 1 maximizes backpressure: every stage blocks on
+			// its successor almost every batch.
+			outs, p, err := RunBatches(context.Background(), jitterGraph(),
+				Config{PreserveOrder: true, Metrics: true, QueueDepth: 1},
+				genBatches(batches, perBatch, int64(40+pi)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(outs) != batches {
+				t.Errorf("pipeline %d: %d batches out, want %d", pi, len(outs), batches)
+				return
+			}
+			for i, b := range outs {
+				if b.ID != uint64(i) {
+					t.Errorf("pipeline %d: batch %d surfaced at position %d", pi, b.ID, i)
+					return
+				}
+			}
+			rep := p.Snapshot()
+			if rep.OutPackets != batches*perBatch {
+				t.Errorf("pipeline %d: out packets = %d", pi, rep.OutPackets)
+			}
+		}(pi)
+	}
+	wg.Wait()
+}
+
+// Interleaved injection from several goroutines into ONE pipeline: order
+// is defined by arrival at the inject channel, and the completion queue
+// must still release strictly by ID.
+func TestPreserveOrderConcurrentReaders(t *testing.T) {
+	const batches = 200
+	p, err := New(jitterGraph(), Config{PreserveOrder: true, Metrics: true, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start(context.Background())
+
+	go func() {
+		for _, b := range genBatches(batches, 4, 99) {
+			p.In() <- b
+		}
+		p.CloseInput()
+	}()
+
+	// Concurrent snapshotters hammer the metrics while batches flow.
+	stop := make(chan struct{})
+	var sg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		sg.Add(1)
+		go func() {
+			defer sg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = p.Snapshot().String()
+				}
+			}
+		}()
+	}
+
+	want := uint64(0)
+	for b := range p.Out() {
+		if b.ID != want {
+			t.Fatalf("batch %d released before %d", b.ID, want)
+		}
+		want++
+	}
+	close(stop)
+	sg.Wait()
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if want != batches {
+		t.Fatalf("released %d batches, want %d", want, batches)
+	}
+}
+
+func TestPreserveOrderManyShapes(t *testing.T) {
+	// Sweep queue depths over linear and diamond shapes; each must release
+	// IDs in strict ascending order.
+	for _, depth := range []int{1, 2, 7} {
+		for _, shape := range []struct {
+			name  string
+			build func(int64) *element.Graph
+		}{
+			{"linear", buildLinearRand},
+			{"diamond", buildDiamondRand},
+		} {
+			t.Run(fmt.Sprintf("%s/depth%d", shape.name, depth), func(t *testing.T) {
+				t.Parallel()
+				outs, _, err := RunBatches(context.Background(), shape.build(int64(depth)),
+					Config{PreserveOrder: true, QueueDepth: depth},
+					genBatches(120, 4, int64(depth)*17))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, b := range outs {
+					if b.ID != uint64(i) {
+						t.Fatalf("batch %d surfaced at position %d", b.ID, i)
+					}
+				}
+			})
+		}
+	}
+}

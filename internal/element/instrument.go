@@ -1,0 +1,90 @@
+package element
+
+import (
+	"time"
+
+	"nfcompass/internal/netpkt"
+)
+
+// ProcessSample is one observation of an element Process call, delivered to
+// an Observer by the Instrument wrapper. It carries the quantities the
+// runtime profiler needs (paper §IV-C-2): wall time and live packet flow
+// through the element.
+type ProcessSample struct {
+	// ElapsedNs is the wall-clock duration of the Process call.
+	ElapsedNs int64
+	// LiveIn is the number of live packets entering the call.
+	LiveIn int
+	// LiveOut is the number of live packets leaving: summed across output
+	// batches for interior elements, or remaining live in the input batch
+	// for sinks. LiveIn-LiveOut (when positive) is the drop count; a
+	// negative difference means the element cloned packets (Tee).
+	LiveOut int
+	// In is the processed batch, Outs the element's return value.
+	In   *netpkt.Batch
+	Outs []*netpkt.Batch
+}
+
+// Observer receives one ProcessSample per Process call. It runs on the
+// executing goroutine, so it must be cheap and, when the element runs in a
+// concurrent pipeline, safe for that pipeline's concurrency (the dataplane
+// gives every element its own goroutine and per-element observer state).
+type Observer func(ProcessSample)
+
+// instrumented decorates an element with per-call timing. It forwards every
+// Element method to the wrapped instance and also forwards Reset, so
+// stateful elements stay resettable through the wrapper.
+type instrumented struct {
+	Element
+	obs Observer
+}
+
+// Instrument wraps el so every Process call is timed and reported to obs.
+// The wrapper is transparent: Name, Traits, Signature, NumOutputs, and
+// Reset all delegate to el.
+func Instrument(el Element, obs Observer) Element {
+	return &instrumented{Element: el, obs: obs}
+}
+
+// Unwrap returns the element inside an Instrument wrapper, or el itself.
+func Unwrap(el Element) Element {
+	if w, ok := el.(*instrumented); ok {
+		return w.Element
+	}
+	return el
+}
+
+// Process implements Element.
+func (w *instrumented) Process(b *netpkt.Batch) []*netpkt.Batch {
+	liveIn := b.Live()
+	start := time.Now()
+	outs := w.Element.Process(b)
+	elapsed := time.Since(start).Nanoseconds()
+
+	liveOut := 0
+	if w.Element.NumOutputs() == 0 {
+		liveOut = b.Live()
+	} else {
+		for _, ob := range outs {
+			if ob != nil {
+				liveOut += ob.Live()
+			}
+		}
+	}
+	w.obs(ProcessSample{
+		ElapsedNs: elapsed,
+		LiveIn:    liveIn,
+		LiveOut:   liveOut,
+		In:        b,
+		Outs:      outs,
+	})
+	return outs
+}
+
+// Reset implements Resetter by delegating when the wrapped element is
+// resettable (embedding alone would not satisfy the type assertion).
+func (w *instrumented) Reset() {
+	if r, ok := w.Element.(Resetter); ok {
+		r.Reset()
+	}
+}

@@ -1,0 +1,102 @@
+package element
+
+import (
+	"testing"
+
+	"nfcompass/internal/netpkt"
+)
+
+// dropHalf drops every second live packet.
+type dropHalf struct {
+	n       int
+	resets  int
+	dropped uint64
+}
+
+func (d *dropHalf) Name() string      { return "drophalf" }
+func (d *dropHalf) Traits() Traits    { return Traits{Kind: "DropHalf", CanDrop: true} }
+func (d *dropHalf) NumOutputs() int   { return 1 }
+func (d *dropHalf) Signature() string { return "DropHalf" }
+func (d *dropHalf) Process(b *netpkt.Batch) []*netpkt.Batch {
+	for _, p := range b.Packets {
+		if p.Dropped {
+			continue
+		}
+		if d.n++; d.n%2 == 0 {
+			p.Drop("half")
+			d.dropped++
+		}
+	}
+	return single(b)
+}
+func (d *dropHalf) Reset() { d.resets++ }
+
+func mkBatch(n int) *netpkt.Batch {
+	pkts := make([]*netpkt.Packet, n)
+	for i := range pkts {
+		pkts[i] = &netpkt.Packet{Data: []byte{1, 2, 3}}
+	}
+	return netpkt.NewBatch(0, pkts)
+}
+
+func TestInstrumentObservesProcess(t *testing.T) {
+	inner := &dropHalf{}
+	var samples []ProcessSample
+	el := Instrument(inner, func(s ProcessSample) { samples = append(samples, s) })
+
+	if el.Name() != "drophalf" || el.Traits().Kind != "DropHalf" ||
+		el.NumOutputs() != 1 || el.Signature() != "DropHalf" {
+		t.Fatal("wrapper must delegate identity methods")
+	}
+
+	outs := el.Process(mkBatch(4))
+	if len(outs) != 1 {
+		t.Fatalf("outs = %d", len(outs))
+	}
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	s := samples[0]
+	if s.LiveIn != 4 || s.LiveOut != 2 {
+		t.Fatalf("live in/out = %d/%d, want 4/2", s.LiveIn, s.LiveOut)
+	}
+	if s.ElapsedNs < 0 {
+		t.Fatalf("elapsed = %d", s.ElapsedNs)
+	}
+	if s.In == nil || len(s.Outs) != 1 {
+		t.Fatal("sample must carry batches")
+	}
+}
+
+func TestInstrumentForwardsReset(t *testing.T) {
+	inner := &dropHalf{}
+	el := Instrument(inner, func(ProcessSample) {})
+	r, ok := el.(Resetter)
+	if !ok {
+		t.Fatal("wrapper of a Resetter must be a Resetter")
+	}
+	r.Reset()
+	if inner.resets != 1 {
+		t.Fatalf("resets = %d", inner.resets)
+	}
+	if Unwrap(el) != Element(inner) {
+		t.Fatal("Unwrap must return the inner element")
+	}
+	plain := NewFromDevice("x")
+	if Unwrap(plain) != Element(plain) {
+		t.Fatal("Unwrap of unwrapped element must be identity")
+	}
+}
+
+func TestInstrumentSinkLiveOut(t *testing.T) {
+	sink := NewToDevice("dst")
+	var got ProcessSample
+	el := Instrument(sink, func(s ProcessSample) { got = s })
+	b := mkBatch(3)
+	b.Packets[0].Drop("x")
+	el.Process(b)
+	// Sinks return nil outs; LiveOut is what stayed live in the batch.
+	if got.LiveIn != 2 || got.LiveOut != 2 {
+		t.Fatalf("sink live in/out = %d/%d, want 2/2", got.LiveIn, got.LiveOut)
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-exposition encoding for the concurrent metric types, so a
+// live pipeline snapshot can be dumped or scraped without external
+// dependencies. Only the subset of the format the dataplane needs is
+// implemented: counter and gauge samples with labels, and cumulative
+// histogram series (`_bucket{le=...}`, `_sum`, `_count`).
+
+// Labels is an ordered-on-render label set.
+type Labels map[string]string
+
+// render formats the label set as {k="v",...} with sorted keys (empty string
+// for no labels), escaping backslash, quote, and newline in values.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, l[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// PromCounter writes one counter sample.
+func PromCounter(w io.Writer, name string, labels Labels, v uint64) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels.render(), v)
+}
+
+// PromGauge writes one gauge sample.
+func PromGauge(w io.Writer, name string, labels Labels, v float64) {
+	fmt.Fprintf(w, "%s%s %g\n", name, labels.render(), v)
+}
+
+// PromHeader writes the HELP/TYPE preamble for a metric family. typ is
+// "counter", "gauge", or "histogram".
+func PromHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// PromHistogram writes a histogram snapshot as cumulative buckets plus
+// _sum and _count, with the standard trailing le="+Inf" bucket.
+func PromHistogram(w io.Writer, name string, labels Labels, s HistSnapshot) {
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = fmt.Sprintf("%g", s.Bounds[i])
+		}
+		withLe := make(Labels, len(labels)+1)
+		for k, v := range labels {
+			withLe[k] = v
+		}
+		withLe["le"] = le
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLe.render(), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels.render(), s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels.render(), s.Count)
+}
