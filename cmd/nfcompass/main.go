@@ -43,6 +43,8 @@ func main() {
 	pcapIn := flag.String("pcap", "", "replay this pcap capture instead of synthetic traffic")
 	metrics := flag.Bool("metrics", false,
 		"run the deployed graph on the live dataplane with per-element metrics and print the snapshot plus a Prometheus-text dump")
+	shards := flag.Int("shards", 1,
+		"dataplane replicas for the -metrics run: packets are dispatched by flow affinity and the snapshot aggregates across shards (0 = one per CPU)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nfcompass [flags] <chain>\n"+
 			"e.g.: nfcompass -pkt 256 \"firewall:1000,ipv4,nat,ids\"\n")
@@ -155,12 +157,45 @@ func main() {
 	// the typed snapshot and its Prometheus-text form.
 	if *metrics {
 		resetAll(d)
-		_, pl, err := dataplane.RunBatches(context.Background(), d.Graph,
-			dataplane.Config{PreserveOrder: true, Metrics: true}, mkBatches(3000))
-		if err != nil {
-			fatal(err)
+		var rep *dataplane.Report
+		if *shards == 1 {
+			_, pl, err := dataplane.RunBatches(context.Background(), d.Graph,
+				dataplane.Config{PreserveOrder: true, Metrics: true}, mkBatches(3000))
+			if err != nil {
+				fatal(err)
+			}
+			rep = pl.Snapshot()
+		} else {
+			// Each shard needs its own element instances: shard 0 reuses the
+			// deployment we already have, the rest re-run the (deterministic)
+			// pipeline to produce structurally identical replicas.
+			build := func(shard int) (*element.Graph, error) {
+				if shard == 0 {
+					return d.Graph, nil
+				}
+				var s []*netpkt.Batch
+				if opt.GTA {
+					s = mkBatches(1000)
+				}
+				di, err := core.Deploy(chain, p, s, opt)
+				if err != nil {
+					return nil, err
+				}
+				return di.Graph, nil
+			}
+			_, sp, err := dataplane.RunBatchesSharded(context.Background(), build,
+				dataplane.ShardedConfig{
+					Config:  dataplane.Config{Metrics: true},
+					Shards:  *shards,
+					Ordered: true,
+				}, mkBatches(3000))
+			if err != nil {
+				fatal(err)
+			}
+			rep = sp.Snapshot()
+			fmt.Printf("\nsharded dataplane: %d flow-affinity replicas, aggregated snapshot\n",
+				sp.NumShards())
 		}
-		rep := pl.Snapshot()
 		fmt.Printf("\nlive dataplane metrics:\n%s", rep)
 		fmt.Printf("\n# Prometheus text exposition\n")
 		rep.WritePrometheus(os.Stdout)

@@ -14,4 +14,26 @@
 // and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The root-level benchmarks (go test -bench .) regenerate each figure;
 // cmd/nfbench does the same from the command line at full scale.
+//
+// A pointer map from code to the design document:
+//
+//   - internal/element, internal/nf — Click-style element framework and
+//     the functional NFs built from it (DESIGN.md §3).
+//   - internal/core — the NFCompass techniques: parallelization,
+//     synthesis, expansion, GTA allocation (DESIGN.md §1, §3).
+//   - internal/hetsim, internal/profile — the deterministic heterogeneous
+//     platform simulator and the cost dictionary that calibrates it
+//     (DESIGN.md §2, §5).
+//   - internal/dataplane — the live concurrent execution engine, its
+//     observability layer (DESIGN.md §7), and the sharded multi-core
+//     layer with memory pooling (DESIGN.md §8).
+//   - internal/netpkt — packets, batches, parsing/building, the pooled
+//     buffer arena and flow hashing (DESIGN.md §8).
+//   - internal/stats — benchmark and live metric primitives (DESIGN.md
+//     §7).
+//   - internal/traffic — deterministic traffic generation for tests and
+//     benchmarks.
+//   - internal/acl, internal/trie, internal/ac, internal/redfa,
+//     internal/ipsec — the packet-processing substrates (classifiers,
+//     LPM, string/regex matching, ESP crypto) the NFs are made of.
 package nfcompass

@@ -15,12 +15,12 @@ import (
 //
 // When the orchestrator marks branches as read-only (writers flags), the
 // element implements the optimized packet/memory management the paper
-// leaves as future work: read-only branches logically share the original
-// buffers, so only writer branches pay copy costs. Functionally every
-// branch still gets its own clone (isolation is cheap insurance in Go);
-// the *cost* accounting — CopiedBytes, consumed by the simulator through
-// the MemProber interface — counts only the copies the optimized scheme
-// would actually make.
+// leaves as future work: read-only branches receive shallow clones that
+// share the original wire bytes (private annotations, shared Data — a RAR
+// branch per Table III never writes packet bytes, so sharing is hazard-free
+// by construction), and only writer branches pay for deep copies. The cost
+// accounting — CopiedBytes, consumed by the simulator through the
+// MemProber interface — counts exactly the copies actually made.
 type Duplicator struct {
 	name     string
 	branches int
@@ -71,9 +71,10 @@ func (e *Duplicator) Signature() string {
 	return fmt.Sprintf("Duplicator/%s/%d", e.name, e.branches)
 }
 
-// Process implements element.Element: it stores a pristine clone and
-// emits one copy per branch, accounting copy bytes only for writer
-// branches (the optimized memory-management scheme).
+// Process implements element.Element: it stores a pristine reference and
+// emits one copy per branch — deep copies for writer branches, shallow
+// (shared-bytes) clones for branches hazard analysis proved read-only.
+// CopiedBytes counts only the deep copies.
 func (e *Duplicator) Process(b *netpkt.Batch) []*netpkt.Batch {
 	bytes := uint64(b.Bytes())
 	anyWriter := false
@@ -88,7 +89,18 @@ func (e *Duplicator) Process(b *netpkt.Batch) []*netpkt.Batch {
 		// modify packets.
 		e.CopiedBytes += bytes
 	}
-	pristine := b.Clone()
+	// Pristine reference for the paired merge. Deep only when branch 0
+	// (which processes b itself) writes packet bytes; otherwise b's
+	// buffers stay bit-identical through branch 0, so sharing them is
+	// free. Every reader of the shared bytes (read-only branch elements,
+	// the merge's diff) runs before or positionally after branch 0's
+	// read-only traversal — no write ever touches them.
+	var pristine *netpkt.Batch
+	if e.writers[0] {
+		pristine = b.Clone()
+	} else {
+		pristine = b.ShallowClone()
+	}
 	e.mu.Lock()
 	e.originals[b.ID] = pristine.Packets
 	e.mu.Unlock()
@@ -96,7 +108,11 @@ func (e *Duplicator) Process(b *netpkt.Batch) []*netpkt.Batch {
 	out[0] = b
 	b.Branch = 0
 	for i := 1; i < e.branches; i++ {
-		out[i] = pristine.Clone()
+		if e.writers[i] {
+			out[i] = pristine.Clone()
+		} else {
+			out[i] = pristine.ShallowClone()
+		}
 		out[i].Branch = i
 	}
 	return out
@@ -142,6 +158,12 @@ type XORMerge struct {
 	// writer branches need diffing (read-only copies are bit-identical
 	// to the original by construction).
 	DiffedBytes uint64
+
+	// scratch is the reusable per-packet XOR aggregation buffer. An
+	// element instance is processed by exactly one goroutine (one per
+	// element in the dataplane, one total in the sequential executor), so
+	// reuse is race-free and saves one allocation per merged packet.
+	scratch []byte
 }
 
 // NewXORMerge creates the merge element paired with dup.
@@ -188,8 +210,8 @@ func (e *XORMerge) Process(b *netpkt.Batch) []*netpkt.Batch {
 
 // mergeParts applies the XOR/OR merge across branch copies.
 func (e *XORMerge) mergeParts(orig []*netpkt.Packet, parts []*netpkt.Batch) *netpkt.Batch {
-	out := &netpkt.Batch{ID: parts[0].ID}
 	n := len(orig)
+	out := &netpkt.Batch{ID: parts[0].ID, Packets: make([]*netpkt.Packet, 0, n)}
 	for i := 0; i < n; i++ {
 		op := orig[i]
 		final := op.Clone()
@@ -199,7 +221,16 @@ func (e *XORMerge) mergeParts(orig []*netpkt.Packet, parts []*netpkt.Batch) *net
 		dropped := false
 		var lengthChanged *netpkt.Packet
 		lengthChanges := 0
-		agg := make([]byte, len(op.Data))
+		agg := e.scratch
+		if cap(agg) < len(op.Data) {
+			agg = make([]byte, len(op.Data))
+		} else {
+			agg = agg[:len(op.Data)]
+			for j := range agg {
+				agg[j] = 0
+			}
+		}
+		e.scratch = agg
 		for _, part := range parts {
 			if i >= len(part.Packets) {
 				continue

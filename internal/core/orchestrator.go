@@ -1,11 +1,3 @@
-// Package core implements NFCompass itself (paper §IV): the SFC
-// orchestrator that parallelizes hazard-free NFs (Tables II/III), the
-// XOR-based parallel-branch merge (Fig. 10), the NF synthesizer that
-// de-duplicates and re-orders Click elements across chained NFs (Figs.
-// 10–11), the fine-grained element expansion that exposes offload ratios
-// to graph partitioning (Fig. 12), and the graph-partition-based task
-// allocator (GTA) that maps the synthesized element graph onto the
-// CPU/GPU platform.
 package core
 
 import "nfcompass/internal/nf"

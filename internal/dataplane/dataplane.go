@@ -1,20 +1,3 @@
-// Package dataplane executes element graphs as a real concurrent
-// pipeline: every element runs on its own goroutine, batches flow through
-// channels along the graph's edges, and an ordered-release completion
-// queue restores batch order at the sink — the runtime shape of the
-// paper's Figure 3 (I/O threads feeding processing elements feeding
-// offload threads), with goroutines standing in for pinned cores.
-//
-// The platform *simulator* (internal/hetsim) answers "how fast would this
-// run on the paper's CPU+GPU server"; the dataplane answers "run it now,
-// concurrently, on this machine" — it is the deployment artifact a user
-// of the library would actually operate.
-//
-// With Config.Metrics on, the pipeline keeps a per-element registry
-// (packets, drops, processing-time histogram, queue depth, send-wait) and
-// per-edge traffic counters, snapshotted live via Pipeline.Snapshot; the
-// bridge in this package converts a snapshot into the allocator's profile
-// inputs. Config.Trace additionally emits per-batch lifecycle events.
 package dataplane
 
 import (
@@ -230,6 +213,15 @@ func (p *Pipeline) Start(ctx context.Context) {
 			// a batch costs one scan per hop instead of three.
 			sampleN := p.cfg.TimingSample
 			tick := 0
+			// One-output elements implementing SingleOut skip the
+			// per-call output-slice allocation: the batch lands in a
+			// goroutine-local scratch array instead. This is what keeps a
+			// linear chain at zero allocations per batch in steady state.
+			var fastPath element.SingleOut
+			if s, ok := el.(element.SingleOut); ok && el.NumOutputs() == 1 {
+				fastPath = s
+			}
+			var outScratch [1]*netpkt.Batch
 			for msg := range inbox[id] {
 				p.trace(TraceEnter, id, msg.b)
 				var t0 time.Time
@@ -245,7 +237,13 @@ func (p *Pipeline) Start(ctx context.Context) {
 						tick = 0
 					}
 				}
-				outs := el.Process(msg.b)
+				var outs []*netpkt.Batch
+				if fastPath != nil {
+					outScratch[0] = fastPath.ProcessSingle(msg.b)
+					outs = outScratch[:]
+				} else {
+					outs = el.Process(msg.b)
+				}
 				if timed {
 					m.proc.Add(float64(time.Since(t0).Nanoseconds()))
 					m.procPkts.Add(uint64(msg.live))

@@ -1,0 +1,49 @@
+// Package dataplane executes element graphs as a real concurrent
+// pipeline: every element runs on its own goroutine, batches flow through
+// channels along the graph's edges, and an ordered-release completion
+// queue restores batch order at the sink — the runtime shape of the
+// paper's Figure 3 (I/O threads feeding processing elements feeding
+// offload threads), with goroutines standing in for pinned cores.
+//
+// The platform *simulator* (internal/hetsim) answers "how fast would this
+// run on the paper's CPU+GPU server"; the dataplane answers "run it now,
+// concurrently, on this machine" — it is the deployment artifact a user
+// of the library would actually operate.
+//
+// # Execution engines
+//
+// Three engines run the same element graphs with the same semantics:
+//
+//   - element.Executor (internal/element): sequential, one batch at a
+//     time — the reference implementation the differential tests compare
+//     everything against.
+//   - Pipeline: one goroutine per element, scaling with the number of
+//     *stages*. Config.PreserveOrder re-sequences output batches in
+//     injection order.
+//   - ShardedPipeline (sharded.go): N replicas of the graph behind a
+//     flow-affinity dispatcher, additionally scaling with the number of
+//     *cores*. Packets are routed by netpkt.Packet.FlowKey, so every flow
+//     sees exactly one replica and stateful NFs keep their per-flow
+//     semantics; ShardedConfig.Ordered restores global batch order at the
+//     merged output. See DESIGN.md §8.
+//
+// # Hot path and memory pooling
+//
+// With metrics off, the per-batch steady state allocates nothing: batches
+// travel between stages as by-value stageMsgs, one-output elements
+// implementing element.SingleOut bypass the output-slice allocation, and
+// arena-backed batches (netpkt.GetBatch/ClonePooled) are recycled with an
+// explicit Release at the sink. TestPooledHotPathAllocs guards the
+// 0 allocs/op property in CI; BenchmarkPipelineHotPath measures it.
+//
+// # Observability
+//
+// With Config.Metrics on, the pipeline keeps a per-element registry
+// (packets, drops, processing-time histogram, queue depth, send-wait) and
+// per-edge traffic counters, snapshotted live via Pipeline.Snapshot; the
+// bridge in this package converts a snapshot into the allocator's profile
+// inputs. ShardedPipeline.Snapshot aggregates per-replica reports into the
+// same Report shape (AggregateReports), so the allocator bridge works
+// identically for sharded deployments. Config.Trace additionally emits
+// per-batch lifecycle events.
+package dataplane

@@ -142,6 +142,65 @@ func (p *Pipeline) Snapshot() *Report {
 	return r
 }
 
+// AggregateReports sums per-element and per-edge statistics across the
+// reports of structurally identical pipelines (the shards of a
+// ShardedPipeline): counters and histograms add, queue depths/capacities
+// add, boundary totals add, elapsed time takes the maximum (the shards ran
+// concurrently, not back to back). Reports must describe the same graph
+// shape; element rows are matched by node ID.
+func AggregateReports(reps []*Report) *Report {
+	agg := &Report{}
+	edges := make(map[element.EdgeKey]uint64)
+	for _, r := range reps {
+		if r == nil {
+			continue
+		}
+		agg.InBatches += r.InBatches
+		agg.OutBatches += r.OutBatches
+		agg.InPackets += r.InPackets
+		agg.OutPackets += r.OutPackets
+		agg.DropPackets += r.DropPackets
+		agg.InBytes += r.InBytes
+		if r.ElapsedNs > agg.ElapsedNs {
+			agg.ElapsedNs = r.ElapsedNs
+		}
+		agg.MetricsEnabled = agg.MetricsEnabled || r.MetricsEnabled
+		for i, e := range r.Elements {
+			if i >= len(agg.Elements) {
+				agg.Elements = append(agg.Elements, e)
+				continue
+			}
+			a := &agg.Elements[i]
+			a.Batches += e.Batches
+			a.PktsIn += e.PktsIn
+			a.PktsOut += e.PktsOut
+			a.Drops += e.Drops
+			a.SendWaitNs += e.SendWaitNs
+			a.QueueLen += e.QueueLen
+			a.QueueCap += e.QueueCap
+			a.Proc = a.Proc.Merge(e.Proc)
+			a.ProcPkts += e.ProcPkts
+		}
+		for _, ed := range r.Edges {
+			edges[ed.EdgeKey] += ed.Packets
+		}
+	}
+	for k, v := range edges {
+		agg.Edges = append(agg.Edges, EdgeStats{EdgeKey: k, Packets: v})
+	}
+	sort.Slice(agg.Edges, func(i, j int) bool {
+		a, b := agg.Edges[i].EdgeKey, agg.Edges[j].EdgeKey
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		return a.To < b.To
+	})
+	return agg
+}
+
 // String renders the report as a fixed-width per-element table.
 func (r *Report) String() string {
 	var sb strings.Builder

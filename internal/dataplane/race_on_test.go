@@ -1,0 +1,8 @@
+//go:build race
+
+package dataplane
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under it (the detector itself
+// allocates on the instrumented paths).
+const raceEnabled = true

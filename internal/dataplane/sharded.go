@@ -1,0 +1,476 @@
+package dataplane
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+)
+
+// This file implements the sharded execution layer: N replicas of one
+// element graph running as independent pipelines, fed by a flow-affinity
+// dispatcher and drained through a merger that can restore global batch
+// order. It is the "consolidated instances in parallel" scaling step of
+// CoCo/NF-parallelism follow-up work layered on top of the paper's
+// per-chain pipeline: one Pipeline scales with the number of *stages*, a
+// ShardedPipeline additionally scales with the number of *cores*.
+//
+// Flow affinity: every packet is dispatched by Packet.FlowKey, so all
+// packets of a flow traverse the same replica. Stateful NFs (NAT mappings,
+// flowtable entries, IDS stream reassembly) therefore observe each flow
+// exactly as the single pipeline would. Cross-flow shared state is
+// shard-local — e.g. each replica's NAT allocates ports from its own range
+// — the same semantics RSS gives multi-queue NIC deployments.
+
+// ShardedConfig tunes a ShardedPipeline. The embedded Config applies to
+// every shard's inner pipeline.
+type ShardedConfig struct {
+	Config
+	// Shards is the replica count; <= 0 selects DefaultShards().
+	Shards int
+	// Ordered enables global ordered release: output batches are merged
+	// back per injected batch ID and released in injection order through a
+	// completion queue, exactly like Config.PreserveOrder but across
+	// shards. Requires the same graph shape PreserveOrder does: single
+	// sink, one output batch per input batch, consecutive ascending batch
+	// IDs.
+	Ordered bool
+}
+
+// DefaultShards derives the shard count from the machine: one replica per
+// CPU, capped so a large machine does not multiply per-replica queue memory
+// past any plausible benefit.
+func DefaultShards() int {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// ShardedPipeline runs N replicas of one element graph behind a
+// flow-affinity dispatcher. The external surface mirrors Pipeline: In/Out
+// channels, CloseInput, Wait, Stats, Snapshot.
+type ShardedPipeline struct {
+	cfg    ShardedConfig
+	shards []*Pipeline
+	epoch  time.Time
+
+	// Stats counts batches/packets at the sharded boundary: In* at
+	// dispatch (before splitting), Out* at release (after merging).
+	Stats Stats
+
+	in     chan *netpkt.Batch
+	out    chan *netpkt.Batch
+	done   chan struct{}
+	cancel context.CancelFunc
+
+	// mu guards parts and firstID: the dispatcher registers how many
+	// shard-local sub-batches each injected batch ID was split into
+	// *before* sending any of them, so the merger can never observe an
+	// unregistered completion.
+	mu      sync.Mutex
+	parts   map[uint64]int
+	firstID uint64
+	gotID   bool
+
+	runErr  error
+	errOnce sync.Once
+}
+
+// NewSharded builds a stopped sharded pipeline. build is called once per
+// shard and must return a structurally identical graph each time (same
+// element count, same per-node signatures) — elements are stateful, so
+// replicas cannot share one graph. cfg.Shards <= 0 selects DefaultShards().
+func NewSharded(build func(shard int) (*element.Graph, error), cfg ShardedConfig) (*ShardedPipeline, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards()
+	}
+	sp := &ShardedPipeline{
+		cfg:    cfg,
+		shards: make([]*Pipeline, cfg.Shards),
+		epoch:  time.Now(),
+		in:     make(chan *netpkt.Batch, maxInt(cfg.QueueDepth, 16)),
+		out:    make(chan *netpkt.Batch, maxInt(cfg.QueueDepth, 16)),
+		done:   make(chan struct{}),
+		parts:  make(map[uint64]int),
+	}
+	var ref *element.Graph
+	for i := range sp.shards {
+		g, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: shard %d graph: %w", i, err)
+		}
+		if ref == nil {
+			ref = g
+		} else if err := sameShape(ref, g); err != nil {
+			return nil, fmt.Errorf("dataplane: shard %d graph differs from shard 0: %w", i, err)
+		}
+		p, err := New(g, cfg.Config)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: shard %d: %w", i, err)
+		}
+		sp.shards[i] = p
+	}
+	return sp, nil
+}
+
+// sameShape verifies two graphs are replicas: equal node counts and
+// pairwise-equal element signatures. Shard aggregation (Snapshot) sums
+// counters by node ID, which is only meaningful across identical shapes.
+func sameShape(a, b *element.Graph) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("node count %d vs %d", b.Len(), a.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		id := element.NodeID(i)
+		sa, sb := a.Node(id).Signature(), b.Node(id).Signature()
+		if sa != sb {
+			return fmt.Errorf("node %d signature %q vs %q", i, sb, sa)
+		}
+	}
+	return nil
+}
+
+// Start launches every shard plus the dispatcher and merger goroutines.
+func (sp *ShardedPipeline) Start(ctx context.Context) {
+	ctx, sp.cancel = context.WithCancel(ctx)
+	for _, s := range sp.shards {
+		s.Start(ctx)
+	}
+	// Propagate the first shard failure: cancel the shared context so the
+	// dispatcher and the other shards unwind instead of deadlocking on a
+	// dead replica's full input queue.
+	for _, s := range sp.shards {
+		go func(p *Pipeline) {
+			if err := p.Wait(); err != nil {
+				sp.fail(err)
+			}
+		}(s)
+	}
+
+	go sp.dispatch(ctx)
+
+	// Fan the shard outputs into one channel for the merger.
+	merged := make(chan *netpkt.Batch, cap(sp.out))
+	var fanWG sync.WaitGroup
+	for _, s := range sp.shards {
+		fanWG.Add(1)
+		go func(p *Pipeline) {
+			defer fanWG.Done()
+			for b := range p.Out() {
+				select {
+				case merged <- b:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(s)
+	}
+	go func() {
+		fanWG.Wait()
+		close(merged)
+	}()
+
+	go sp.merge(ctx, merged)
+}
+
+// dispatch partitions each injected batch across shards by flow affinity.
+// A batch whose packets all map to one shard is forwarded as-is (the common
+// case once upstream batching is flow-aware); mixed batches are split into
+// per-shard sub-batches that preserve SeqInBatch, so an Ordered merge can
+// reconstruct the exact original packet order.
+func (sp *ShardedPipeline) dispatch(ctx context.Context) {
+	n := len(sp.shards)
+	defer func() {
+		for _, s := range sp.shards {
+			s.CloseInput()
+		}
+	}()
+	// byShard is reused across batches; only the per-sub-batch packet
+	// slices are allocated when a batch actually splits.
+	byShard := make([][]*netpkt.Packet, n)
+	for b := range sp.in {
+		sp.Stats.InBatches.Add(1)
+		sp.Stats.InPackets.Add(uint64(b.Live()))
+		sp.Stats.InBytes.Add(uint64(b.Bytes()))
+		sp.mu.Lock()
+		if !sp.gotID {
+			sp.gotID = true
+			sp.firstID = b.ID
+		}
+		sp.mu.Unlock()
+
+		if n == 1 {
+			sp.register(b.ID, 1)
+			if !sp.sendShard(ctx, 0, b) {
+				return
+			}
+			continue
+		}
+		for i := range byShard {
+			byShard[i] = byShard[i][:0]
+		}
+		first, mixed := -1, false
+		for _, p := range b.Packets {
+			s := int(p.FlowKey() % uint64(n))
+			if first == -1 {
+				first = s
+			} else if s != first {
+				mixed = true
+			}
+			byShard[s] = append(byShard[s], p)
+		}
+		if !mixed {
+			// Zero or one distinct shard: forward the original batch
+			// (empty batches ride to shard 0 so Ordered IDs stay dense).
+			if first == -1 {
+				first = 0
+			}
+			sp.register(b.ID, 1)
+			if !sp.sendShard(ctx, first, b) {
+				return
+			}
+			continue
+		}
+		nparts := 0
+		for _, pkts := range byShard {
+			if len(pkts) > 0 {
+				nparts++
+			}
+		}
+		sp.register(b.ID, nparts)
+		for s, pkts := range byShard {
+			if len(pkts) == 0 {
+				continue
+			}
+			sub := &netpkt.Batch{
+				Packets: append(make([]*netpkt.Packet, 0, len(pkts)), pkts...),
+				ID:      b.ID,
+				Branch:  b.Branch,
+			}
+			if !sp.sendShard(ctx, s, sub) {
+				return
+			}
+		}
+	}
+}
+
+// register records the expected sub-batch count for an in-flight batch ID
+// (consulted by the Ordered merger).
+func (sp *ShardedPipeline) register(id uint64, parts int) {
+	if !sp.cfg.Ordered {
+		return
+	}
+	sp.mu.Lock()
+	sp.parts[id] = parts
+	sp.mu.Unlock()
+}
+
+func (sp *ShardedPipeline) sendShard(ctx context.Context, shard int, b *netpkt.Batch) bool {
+	select {
+	case sp.shards[shard].In() <- b:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// merge drains the fan-in of shard outputs. In unordered mode it is a pass
+// through (like a multi-sink single pipeline, callers see sub-batches as
+// they complete). In Ordered mode it regroups sub-batches per injected
+// batch ID, merges them back into the original packet order, and releases
+// whole batches in injection order through a CompletionQueue — the same
+// machinery the single pipeline's PreserveOrder sink uses.
+func (sp *ShardedPipeline) merge(ctx context.Context, merged <-chan *netpkt.Batch) {
+	defer close(sp.done)
+	defer close(sp.out)
+	emit := func(b *netpkt.Batch) bool {
+		sp.Stats.OutBatches.Add(1)
+		live := uint64(b.Live())
+		sp.Stats.OutPackets.Add(live)
+		sp.Stats.DropPackets.Add(uint64(b.Len()) - live)
+		select {
+		case sp.out <- b:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	if !sp.cfg.Ordered {
+		for b := range merged {
+			if !emit(b) {
+				return
+			}
+		}
+		return
+	}
+
+	var cq *netpkt.CompletionQueue
+	buf := make(map[uint64][]*netpkt.Batch)
+	for b := range merged {
+		sp.mu.Lock()
+		want := sp.parts[b.ID]
+		first := sp.firstID
+		sp.mu.Unlock()
+		if want == 0 {
+			want = 1 // unregistered (graph emitted extra batches): pass through
+		}
+		buf[b.ID] = append(buf[b.ID], b)
+		if len(buf[b.ID]) < want {
+			continue
+		}
+		parts := buf[b.ID]
+		delete(buf, b.ID)
+		sp.mu.Lock()
+		delete(sp.parts, b.ID)
+		sp.mu.Unlock()
+		whole := parts[0]
+		if len(parts) > 1 {
+			whole = netpkt.Merge(b.ID, parts)
+		}
+		if cq == nil {
+			cq = netpkt.NewCompletionQueue(first)
+		}
+		cq.Submit(whole, 1)
+		cq.Complete(whole.ID)
+		for {
+			ready := cq.Pop()
+			if ready == nil {
+				break
+			}
+			if !emit(ready) {
+				return
+			}
+		}
+	}
+	// Input exhausted: flush incomplete stragglers (possible only when the
+	// graph broke the one-batch-per-ID contract) in ascending ID order so
+	// nothing is silently dropped.
+	for len(buf) > 0 {
+		var minID uint64
+		found := false
+		for id := range buf {
+			if !found || id < minID {
+				minID, found = id, true
+			}
+		}
+		parts := buf[minID]
+		delete(buf, minID)
+		whole := parts[0]
+		if len(parts) > 1 {
+			whole = netpkt.Merge(minID, parts)
+		}
+		if !emit(whole) {
+			return
+		}
+	}
+}
+
+// fail records the first error and cancels every shard.
+func (sp *ShardedPipeline) fail(err error) {
+	sp.errOnce.Do(func() {
+		sp.runErr = err
+		sp.cancel()
+	})
+}
+
+// In returns the injection channel (close via CloseInput to drain).
+func (sp *ShardedPipeline) In() chan<- *netpkt.Batch { return sp.in }
+
+// Out returns the channel of completed batches.
+func (sp *ShardedPipeline) Out() <-chan *netpkt.Batch { return sp.out }
+
+// CloseInput signals that no more batches will be injected.
+func (sp *ShardedPipeline) CloseInput() { close(sp.in) }
+
+// Wait blocks until every shard has drained and the merger has released
+// everything, returning the first shard error, if any.
+func (sp *ShardedPipeline) Wait() error {
+	<-sp.done
+	for _, s := range sp.shards {
+		if err := s.Wait(); err != nil {
+			return err
+		}
+	}
+	return sp.runErr
+}
+
+// NumShards returns the replica count.
+func (sp *ShardedPipeline) NumShards() int { return len(sp.shards) }
+
+// ShardSnapshot returns shard i's own report (see Pipeline.Snapshot).
+func (sp *ShardedPipeline) ShardSnapshot(i int) *Report { return sp.shards[i].Snapshot() }
+
+// Snapshot aggregates every shard's report into one Report with the same
+// shape a single pipeline would produce: per-element counters and
+// histograms summed across replicas by node ID, per-edge traffic summed,
+// boundary totals taken from the sharded dispatcher/merger. The result
+// feeds Intensities/ApplyCPUTimings unchanged, so the allocator's
+// live-profile bridge works identically for sharded deployments.
+func (sp *ShardedPipeline) Snapshot() *Report {
+	reps := make([]*Report, len(sp.shards))
+	for i, s := range sp.shards {
+		reps[i] = s.Snapshot()
+	}
+	agg := AggregateReports(reps)
+	agg.InBatches = sp.Stats.InBatches.Load()
+	agg.OutBatches = sp.Stats.OutBatches.Load()
+	agg.InPackets = sp.Stats.InPackets.Load()
+	agg.OutPackets = sp.Stats.OutPackets.Load()
+	agg.DropPackets = sp.Stats.DropPackets.Load()
+	agg.InBytes = sp.Stats.InBytes.Load()
+	agg.ElapsedNs = time.Since(sp.epoch).Nanoseconds()
+	return agg
+}
+
+// RunBatchesSharded is the sharded counterpart of RunBatches: construct,
+// start, inject everything, drain, and return the collected outputs plus
+// the pipeline (for Stats and Snapshot).
+func RunBatchesSharded(ctx context.Context, build func(shard int) (*element.Graph, error),
+	cfg ShardedConfig, batches []*netpkt.Batch) ([]*netpkt.Batch, *ShardedPipeline, error) {
+	sp, err := NewSharded(build, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp.Start(ctx)
+
+	var outs []*netpkt.Batch
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for b := range sp.Out() {
+			outs = append(outs, b)
+		}
+	}()
+
+	for _, b := range batches {
+		select {
+		case sp.In() <- b:
+		case <-ctx.Done():
+			sp.CloseInput()
+			<-collectDone
+			return outs, sp, ctx.Err()
+		}
+	}
+	sp.CloseInput()
+	<-collectDone
+	if err := sp.Wait(); err != nil {
+		return outs, sp, err
+	}
+	return outs, sp, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

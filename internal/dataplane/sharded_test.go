@@ -1,0 +1,297 @@
+package dataplane
+
+// Sharded differential harness: the sharded pipeline must be functionally
+// indistinguishable from the single pipeline (and hence from the
+// sequential executor) on flow-independent element graphs — same multiset
+// of per-packet outcomes, and with Ordered on, the exact same batch/packet
+// order. Graphs are the randomized shapes of differential_test.go, which
+// only use elements whose per-packet outcome depends on packet content
+// alone, so shard-local state cannot diverge from the single-instance run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nfcompass/internal/core"
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+)
+
+// buildShardDiamondRand wraps a Duplicator/XORMerge diamond with random
+// linear segments, like buildDiamondRand but with flow-independent branches
+// (DecTTL writes the header, Paint writes an annotation). The NAT of
+// buildDiamondRand is deliberately absent: its port allocator is cross-flow
+// arrival-order dependent, so shard-local NAT instances legitimately assign
+// different ports than one global instance would (the same semantics RSS
+// gives multi-queue NICs) — per-flow behaviour matches, bytes do not, and a
+// byte-level differential would report that as a failure.
+func buildShardDiamondRand(seed int64) *element.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := element.NewGraph()
+	prev := g.Add(element.NewFromDevice("src"))
+	prev = chainSegment(g, rng, prev, 0)
+
+	dup := core.NewDuplicator("dup", 2)
+	dupID := g.Add(dup)
+	merge := core.NewXORMerge("merge", dup)
+	mergeID := g.Add(merge)
+	g.MustConnect(prev, 0, dupID)
+	b0 := g.Add(element.NewDecTTL("b0"))
+	b1 := g.Add(element.NewPaint("b1", byte(rng.Intn(256))))
+	g.MustConnect(dupID, 0, b0)
+	g.MustConnect(dupID, 1, b1)
+	g.MustConnect(b0, 0, mergeID)
+	g.MustConnect(b1, 0, mergeID)
+
+	tail := chainSegment(g, rng, mergeID, 1)
+	dst := g.Add(element.NewToDevice("dst"))
+	g.MustConnect(tail, 0, dst)
+	return g
+}
+
+// TestShardedDifferentialMultiset: for random graphs, traffic, and shard
+// counts, the sharded pipeline must emit exactly the sequential executor's
+// multiset of per-packet outcomes.
+func TestShardedDifferentialMultiset(t *testing.T) {
+	builders := map[string]func(int64) *element.Graph{
+		"linear":  buildLinearRand,
+		"diamond": buildShardDiamondRand,
+		"fanout":  buildFanoutRand,
+	}
+	for name, build := range builders {
+		for trial := int64(0); trial < 6; trial++ {
+			seed := 100*trial + 31
+			shards := 1 + int(trial%4) // 1..4
+			t.Run(fmt.Sprintf("%s/%d/shards=%d", name, trial, shards), func(t *testing.T) {
+				seqOut := runSequential(t, build(seed), diffTraffic(seed, 24, 16))
+				conOut, _, err := RunBatchesSharded(context.Background(),
+					func(int) (*element.Graph, error) { return build(seed), nil },
+					ShardedConfig{
+						Config: Config{QueueDepth: 1 + int(trial%3)},
+						Shards: shards,
+					}, diffTraffic(seed, 24, 16))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, got := multiset(flatten(seqOut)), multiset(conOut)
+				if len(want) != len(got) {
+					t.Fatalf("distinct outcomes differ: seq=%d sharded=%d", len(want), len(got))
+				}
+				for k, n := range want {
+					if got[k] != n {
+						t.Fatalf("outcome %.40q: seq=%d sharded=%d", k, n, got[k])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedOrderedExact: with Ordered on, single-sink one-batch-per-batch
+// graphs must reproduce the sequential executor's output exactly across any
+// shard count — batch IDs in injection order, packets in original order,
+// byte-identical payloads. This is the cross-shard extension of
+// TestDifferentialExactOrder.
+func TestShardedOrderedExact(t *testing.T) {
+	builders := map[string]func(int64) *element.Graph{
+		"linear":  buildLinearRand,
+		"diamond": buildShardDiamondRand,
+	}
+	for name, build := range builders {
+		for trial := int64(0); trial < 6; trial++ {
+			seed := 100*trial + 53
+			shards := 2 + int(trial%3) // 2..4
+			t.Run(fmt.Sprintf("%s/%d/shards=%d", name, trial, shards), func(t *testing.T) {
+				seqOut := runSequential(t, build(seed), diffTraffic(seed, 30, 8))
+				conOut, _, err := RunBatchesSharded(context.Background(),
+					func(int) (*element.Graph, error) { return build(seed), nil },
+					ShardedConfig{
+						Config:  Config{QueueDepth: 2, Metrics: true},
+						Shards:  shards,
+						Ordered: true,
+					}, diffTraffic(seed, 30, 8))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(conOut) != 30 {
+					t.Fatalf("sharded emitted %d batches, want 30", len(conOut))
+				}
+				for i, cb := range conOut {
+					if cb.ID != uint64(i) {
+						t.Fatalf("batch %d surfaced at position %d", cb.ID, i)
+					}
+					sbs := seqOut[cb.ID]
+					if len(sbs) != 1 {
+						t.Fatalf("sequential emitted %d batches for id %d", len(sbs), cb.ID)
+					}
+					sb := sbs[0]
+					if len(cb.Packets) != len(sb.Packets) {
+						t.Fatalf("batch %d: packet count %d vs %d", cb.ID, len(cb.Packets), len(sb.Packets))
+					}
+					for j := range cb.Packets {
+						cp, sp := cb.Packets[j], sb.Packets[j]
+						if cp.Dropped != sp.Dropped {
+							t.Fatalf("batch %d pkt %d: drop flag %v vs %v", cb.ID, j, cp.Dropped, sp.Dropped)
+						}
+						if !cp.Dropped && !bytes.Equal(cp.Data, sp.Data) {
+							t.Fatalf("batch %d pkt %d: payload differs", cb.ID, j)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// seqTraffic builds batches where every packet carries its flow and a
+// per-flow sequence number in the payload, mixing flows within each batch
+// so dispatch is forced to split.
+func seqTraffic(flows, batches, perBatch int) []*netpkt.Batch {
+	next := make([]uint32, flows)
+	out := make([]*netpkt.Batch, batches)
+	for i := range out {
+		pkts := make([]*netpkt.Packet, perBatch)
+		for j := range pkts {
+			f := (i*perBatch + j) % flows
+			payload := make([]byte, 8)
+			binary.BigEndian.PutUint32(payload[0:4], uint32(f))
+			binary.BigEndian.PutUint32(payload[4:8], next[f])
+			next[f]++
+			p := netpkt.BuildUDPv4(netpkt.UDPPacketSpec{
+				SrcMAC: netpkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: netpkt.MAC{2, 0, 0, 0, 0, 2},
+				SrcIP: netpkt.IPv4Addr(0x0a000000 | uint32(f)), DstIP: netpkt.IPv4Addr(0x0a000001),
+				SrcPort: uint16(1000 + f), DstPort: 80,
+				Payload: payload,
+				FlowID:  uint64(f + 1),
+			})
+			pkts[j] = p
+		}
+		out[i] = netpkt.NewBatch(uint64(i), pkts)
+	}
+	return out
+}
+
+// TestShardedPerFlowOrder: under sharding (any mode), packets of one flow
+// must surface in their injection order — the flow-affinity guarantee that
+// keeps stateful NFs correct.
+func TestShardedPerFlowOrder(t *testing.T) {
+	for _, ordered := range []bool{false, true} {
+		t.Run(fmt.Sprintf("ordered=%v", ordered), func(t *testing.T) {
+			build := func(int) (*element.Graph, error) {
+				g := element.NewGraph()
+				src := g.Add(element.NewFromDevice("src"))
+				chk := g.Add(element.NewCheckIPHeader("chk"))
+				ttl := g.Add(element.NewDecTTL("ttl"))
+				dst := g.Add(element.NewToDevice("dst"))
+				g.MustConnect(src, 0, chk)
+				g.MustConnect(chk, 0, ttl)
+				g.MustConnect(ttl, 0, dst)
+				return g, nil
+			}
+			const flows = 13
+			outs, _, err := RunBatchesSharded(context.Background(), build,
+				ShardedConfig{Shards: 4, Ordered: ordered, Config: Config{QueueDepth: 2}},
+				seqTraffic(flows, 40, 16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lastSeq := make(map[uint32]int64)
+			seen := 0
+			for _, b := range outs {
+				for _, p := range b.Packets {
+					if p.Dropped {
+						t.Fatalf("unexpected drop: %v", p)
+					}
+					payload := p.Payload()
+					f := binary.BigEndian.Uint32(payload[0:4])
+					seq := int64(binary.BigEndian.Uint32(payload[4:8]))
+					if prev, ok := lastSeq[f]; ok && seq <= prev {
+						t.Fatalf("flow %d: seq %d after %d (per-flow order violated)", f, seq, prev)
+					}
+					lastSeq[f] = seq
+					seen++
+				}
+			}
+			if seen != 40*16 {
+				t.Fatalf("saw %d packets, want %d", seen, 40*16)
+			}
+		})
+	}
+}
+
+// TestShardedSnapshotAggregation: the aggregated report must conserve
+// packets (per-element pkts-in equals total injected on a linear chain) and
+// still convert into allocator inputs via Intensities.
+func TestShardedSnapshotAggregation(t *testing.T) {
+	build := func(int) (*element.Graph, error) {
+		g := element.NewGraph()
+		src := g.Add(element.NewFromDevice("src"))
+		cnt := g.Add(element.NewCounter("cnt"))
+		dst := g.Add(element.NewToDevice("dst"))
+		g.MustConnect(src, 0, cnt)
+		g.MustConnect(cnt, 0, dst)
+		return g, nil
+	}
+	const nBatches, perBatch = 32, 16
+	_, sp, err := RunBatchesSharded(context.Background(), build,
+		ShardedConfig{Shards: 3, Config: Config{Metrics: true}},
+		seqTraffic(7, nBatches, perBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sp.Snapshot()
+	want := uint64(nBatches * perBatch)
+	if rep.InPackets != want || rep.OutPackets != want {
+		t.Fatalf("boundary totals: in=%d out=%d want %d", rep.InPackets, rep.OutPackets, want)
+	}
+	if len(rep.Elements) != 3 {
+		t.Fatalf("aggregated %d element rows, want 3", len(rep.Elements))
+	}
+	for _, e := range rep.Elements {
+		if e.PktsIn != want {
+			t.Fatalf("element %s aggregated pkts-in %d, want %d", e.Name, e.PktsIn, want)
+		}
+	}
+	intens, err := rep.Intensities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, v := range intens.Node {
+		if v != 1.0 {
+			t.Fatalf("node %d intensity %v, want 1.0 on a linear chain", node, v)
+		}
+	}
+	// Per-shard reports must sum to the aggregate.
+	var sum uint64
+	for i := 0; i < sp.NumShards(); i++ {
+		sum += sp.ShardSnapshot(i).Elements[1].PktsIn
+	}
+	if sum != want {
+		t.Fatalf("per-shard pkts-in sum %d, want %d", sum, want)
+	}
+}
+
+// TestShardedGraphShapeMismatch: replica factories that disagree must be
+// rejected at construction, not fail silently during aggregation.
+func TestShardedGraphShapeMismatch(t *testing.T) {
+	build := func(shard int) (*element.Graph, error) {
+		g := element.NewGraph()
+		src := g.Add(element.NewFromDevice("src"))
+		prev := src
+		if shard == 1 { // extra node on shard 1 only
+			mid := g.Add(element.NewDecTTL("ttl"))
+			g.MustConnect(prev, 0, mid)
+			prev = mid
+		}
+		dst := g.Add(element.NewToDevice("dst"))
+		g.MustConnect(prev, 0, dst)
+		return g, nil
+	}
+	if _, err := NewSharded(build, ShardedConfig{Shards: 2}); err == nil {
+		t.Fatal("mismatched shard graphs accepted")
+	}
+}

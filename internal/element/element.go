@@ -104,6 +104,16 @@ type Element interface {
 	Signature() string
 }
 
+// SingleOut is an optional fast-path interface for one-output elements.
+// Process must allocate a fresh one-element slice per call (the interface
+// contract lets callers retain it); ProcessSingle returns the output batch
+// directly so an execution engine can keep the hot path allocation-free.
+// Engines may use it only when NumOutputs() == 1, and implementations must
+// behave identically to Process.
+type SingleOut interface {
+	ProcessSingle(b *netpkt.Batch) *netpkt.Batch
+}
+
 // Resetter is implemented by stateful elements that can be reset between
 // experiment runs.
 type Resetter interface {

@@ -31,10 +31,13 @@ func (e *FromDevice) NumOutputs() int { return 1 }
 func (e *FromDevice) Signature() string { return "FromDevice/" + e.name }
 
 // Process implements Element.
-func (e *FromDevice) Process(b *netpkt.Batch) []*netpkt.Batch {
+func (e *FromDevice) Process(b *netpkt.Batch) []*netpkt.Batch { return single(e.ProcessSingle(b)) }
+
+// ProcessSingle implements SingleOut.
+func (e *FromDevice) ProcessSingle(b *netpkt.Batch) *netpkt.Batch {
 	e.Packets += uint64(b.Live())
 	e.Bytes += uint64(b.Bytes())
-	return single(b)
+	return b
 }
 
 // Reset implements Resetter.
@@ -100,7 +103,10 @@ func (e *CheckIPHeader) NumOutputs() int { return 1 }
 func (e *CheckIPHeader) Signature() string { return "CheckIPHeader" }
 
 // Process implements Element.
-func (e *CheckIPHeader) Process(b *netpkt.Batch) []*netpkt.Batch {
+func (e *CheckIPHeader) Process(b *netpkt.Batch) []*netpkt.Batch { return single(e.ProcessSingle(b)) }
+
+// ProcessSingle implements SingleOut.
+func (e *CheckIPHeader) ProcessSingle(b *netpkt.Batch) *netpkt.Batch {
 	for _, p := range b.Packets {
 		if p.Dropped {
 			continue
@@ -111,7 +117,7 @@ func (e *CheckIPHeader) Process(b *netpkt.Batch) []*netpkt.Batch {
 			e.Dropped++
 		}
 	}
-	return single(b)
+	return b
 }
 
 // Reset implements Resetter.
@@ -216,7 +222,10 @@ func (e *IPLookup) NumOutputs() int { return 1 }
 func (e *IPLookup) Signature() string { return "IPLookup/" + e.sig }
 
 // Process implements Element.
-func (e *IPLookup) Process(b *netpkt.Batch) []*netpkt.Batch {
+func (e *IPLookup) Process(b *netpkt.Batch) []*netpkt.Batch { return single(e.ProcessSingle(b)) }
+
+// ProcessSingle implements SingleOut.
+func (e *IPLookup) ProcessSingle(b *netpkt.Batch) *netpkt.Batch {
 	for _, p := range b.Packets {
 		if p.Dropped || p.L3Proto != netpkt.ProtoIPv4 || p.L3Offset < 0 {
 			continue
@@ -232,7 +241,7 @@ func (e *IPLookup) Process(b *netpkt.Batch) []*netpkt.Batch {
 		p.UserAnno[0] = byte(hop)
 		p.UserAnno[1] = byte(hop >> 8)
 	}
-	return single(b)
+	return b
 }
 
 // Reset implements Resetter.
@@ -267,7 +276,10 @@ func (e *DecTTL) NumOutputs() int { return 1 }
 func (e *DecTTL) Signature() string { return "DecTTL" }
 
 // Process implements Element.
-func (e *DecTTL) Process(b *netpkt.Batch) []*netpkt.Batch {
+func (e *DecTTL) Process(b *netpkt.Batch) []*netpkt.Batch { return single(e.ProcessSingle(b)) }
+
+// ProcessSingle implements SingleOut.
+func (e *DecTTL) ProcessSingle(b *netpkt.Batch) *netpkt.Batch {
 	for _, p := range b.Packets {
 		if p.Dropped || p.L3Proto != netpkt.ProtoIPv4 || p.L3Offset < 0 {
 			continue
@@ -285,7 +297,7 @@ func (e *DecTTL) Process(b *netpkt.Batch) []*netpkt.Batch {
 		newSum := netpkt.ChecksumUpdate16(oldSum, oldWord, newWord)
 		h[10], h[11] = byte(newSum>>8), byte(newSum)
 	}
-	return single(b)
+	return b
 }
 
 // Reset implements Resetter.
@@ -316,13 +328,16 @@ func (e *Paint) NumOutputs() int { return 1 }
 func (e *Paint) Signature() string { return fmt.Sprintf("Paint/%d", e.color) }
 
 // Process implements Element.
-func (e *Paint) Process(b *netpkt.Batch) []*netpkt.Batch {
+func (e *Paint) Process(b *netpkt.Batch) []*netpkt.Batch { return single(e.ProcessSingle(b)) }
+
+// ProcessSingle implements SingleOut.
+func (e *Paint) ProcessSingle(b *netpkt.Batch) *netpkt.Batch {
 	for _, p := range b.Packets {
 		if !p.Dropped {
 			p.Paint = e.color
 		}
 	}
-	return single(b)
+	return b
 }
 
 // Tee duplicates the batch to n outputs, like Click's Tee. It is the
@@ -383,10 +398,13 @@ func (e *Counter) NumOutputs() int { return 1 }
 func (e *Counter) Signature() string { return "Counter/" + e.name }
 
 // Process implements Element.
-func (e *Counter) Process(b *netpkt.Batch) []*netpkt.Batch {
+func (e *Counter) Process(b *netpkt.Batch) []*netpkt.Batch { return single(e.ProcessSingle(b)) }
+
+// ProcessSingle implements SingleOut.
+func (e *Counter) ProcessSingle(b *netpkt.Batch) *netpkt.Batch {
 	e.Packets += uint64(b.Live())
 	e.Bytes += uint64(b.Bytes())
-	return single(b)
+	return b
 }
 
 // Reset implements Resetter.
@@ -459,7 +477,10 @@ func (e *EtherEncap) Signature() string {
 }
 
 // Process implements Element.
-func (e *EtherEncap) Process(b *netpkt.Batch) []*netpkt.Batch {
+func (e *EtherEncap) Process(b *netpkt.Batch) []*netpkt.Batch { return single(e.ProcessSingle(b)) }
+
+// ProcessSingle implements SingleOut.
+func (e *EtherEncap) ProcessSingle(b *netpkt.Batch) *netpkt.Batch {
 	for _, p := range b.Packets {
 		if p.Dropped || len(p.Data) < netpkt.EthernetHeaderLen {
 			continue
@@ -467,5 +488,5 @@ func (e *EtherEncap) Process(b *netpkt.Batch) []*netpkt.Batch {
 		copy(p.Data[0:6], e.dst[:])
 		copy(p.Data[6:12], e.src[:])
 	}
-	return single(b)
+	return b
 }

@@ -15,6 +15,10 @@ type Batch struct {
 	// (set by the SFC duplicator; meaningful only between a duplicator
 	// and its paired merge).
 	Branch int
+
+	// pooled marks the batch header as resident in the arena (see pool.go);
+	// PutBatch uses it to panic on double release.
+	pooled bool
 }
 
 // NewBatch wraps pkts in a batch and stamps each packet's SeqInBatch.
@@ -117,6 +121,50 @@ func (b *Batch) Clone() *Batch {
 	pkts := make([]*Packet, len(b.Packets))
 	for i, p := range b.Packets {
 		pkts[i] = p.Clone()
+	}
+	return &Batch{Packets: pkts, ID: b.ID, Branch: b.Branch}
+}
+
+// CloneInto deep-copies b into dst, reusing dst's packet objects and buffer
+// capacity where possible. dst's previous contents are discarded; packets
+// dst no longer needs go back to the arena.
+func (b *Batch) CloneInto(dst *Batch) {
+	for len(dst.Packets) < len(b.Packets) {
+		dst.Packets = append(dst.Packets, GetPacket(0))
+	}
+	for i := len(b.Packets); i < len(dst.Packets); i++ {
+		PutPacket(dst.Packets[i])
+		dst.Packets[i] = nil
+	}
+	dst.Packets = dst.Packets[:len(b.Packets)]
+	for i, p := range b.Packets {
+		q := dst.Packets[i]
+		if q == nil {
+			q = GetPacket(0)
+			dst.Packets[i] = q
+		}
+		p.CloneInto(q)
+	}
+	dst.ID, dst.Branch = b.ID, b.Branch
+}
+
+// ClonePooled is Clone backed by the arena: batch header and packet storage
+// come from GetBatch/GetPacket. The consumer of the clone calls Release
+// exactly once when done with it.
+func (b *Batch) ClonePooled() *Batch {
+	dst := GetBatch(len(b.Packets))
+	b.CloneInto(dst)
+	return dst
+}
+
+// ShallowClone copies the batch with per-packet shallow clones: private
+// annotation state, shared wire bytes. Safe to hand to processing that
+// hazard analysis proves read-only on packet bytes (see Packet.ShallowClone
+// and the Duplicator's writer flags).
+func (b *Batch) ShallowClone() *Batch {
+	pkts := make([]*Packet, len(b.Packets))
+	for i, p := range b.Packets {
+		pkts[i] = p.ShallowClone()
 	}
 	return &Batch{Packets: pkts, ID: b.ID, Branch: b.Branch}
 }

@@ -1,0 +1,29 @@
+// Package netpkt provides the packet model used throughout NFCompass:
+// raw packet buffers, Ethernet/IPv4/IPv6/UDP/TCP header parsing and
+// construction, Internet checksums, packet batches, the ordered-release
+// completion queue used to preserve packet order across parallel
+// (GPU-offloaded) processing, and the pooled packet/batch arena that makes
+// the dataplane's steady-state hot path allocation-free.
+//
+// A Packet is a mutable byte buffer plus the metadata annotations that Click
+// style elements attach to packets as they traverse an element graph: the
+// paint annotation used by Paint/CheckPaint elements, a flow identifier, the
+// arrival and departure timestamps (in simulated nanoseconds), and the parsed
+// L3/L4 offsets.
+//
+// A Batch is the processing granularity: elements consume and emit whole
+// batches, and SplitBy/Merge model the batch re-organization costs the
+// paper characterizes (Fig. 5).
+//
+// Three clone flavours cover the duplication needs of SFC parallelization:
+// Clone (private heap copy), ClonePooled/CloneInto (private copy from the
+// sync.Pool arena, returned with Release/PutPacket), and ShallowClone
+// (private annotations, shared wire bytes — for branches that hazard
+// analysis proves read-only). The arena's ownership rules — one Put per
+// Get, double release panics, shared buffers are never recycled — are
+// spelled out in pool.go and DESIGN.md §8.
+//
+// Packet.FlowKey is the flow-affinity dispatch key the sharded dataplane
+// (internal/dataplane.ShardedPipeline) hashes to keep each flow's packets
+// on one shard, preserving stateful-NF per-flow locality.
+package netpkt

@@ -1,14 +1,3 @@
-// Package netpkt provides the packet model used throughout NFCompass:
-// raw packet buffers, Ethernet/IPv4/IPv6/UDP/TCP header parsing and
-// construction, Internet checksums, packet batches, and the ordered-release
-// completion queue used to preserve packet order across parallel
-// (GPU-offloaded) processing.
-//
-// A Packet is a mutable byte buffer plus the metadata annotations that Click
-// style elements attach to packets as they traverse an element graph: the
-// paint annotation used by Paint/CheckPaint elements, a flow identifier, the
-// arrival and departure timestamps (in simulated nanoseconds), and the parsed
-// L3/L4 offsets.
 package netpkt
 
 import (
@@ -93,6 +82,13 @@ type Packet struct {
 	// UserAnno is a small scratch annotation area available to elements,
 	// mirroring Click's user annotation bytes.
 	UserAnno [16]byte
+
+	// shared marks Data as aliased by a shallow clone (or as the aliasing
+	// clone itself); PutPacket refuses to recycle shared buffers.
+	shared bool
+	// pooled marks the packet as currently resident in the arena; PutPacket
+	// uses it to panic on double release.
+	pooled bool
 }
 
 // NewPacket returns a packet wrapping data. Offsets are unset (-1).
@@ -106,7 +102,146 @@ func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Data = make([]byte, len(p.Data))
 	copy(q.Data, p.Data)
+	q.shared, q.pooled = false, false
 	return &q
+}
+
+// CloneInto deep-copies p into q, reusing q's buffer capacity when it
+// suffices. q's previous contents are discarded.
+func (p *Packet) CloneInto(q *Packet) {
+	data := q.Data
+	if cap(data) < len(p.Data) {
+		data = make([]byte, len(p.Data))
+	} else {
+		data = data[:len(p.Data)]
+	}
+	copy(data, p.Data)
+	*q = *p
+	q.Data = data
+	q.shared, q.pooled = false, false
+}
+
+// ClonePooled is Clone backed by the arena: the copy's storage comes from
+// GetPacket and must eventually go back via PutPacket (or the owning
+// batch's Release).
+func (p *Packet) ClonePooled() *Packet {
+	q := GetPacket(len(p.Data))
+	p.CloneInto(q)
+	return q
+}
+
+// ShallowClone copies the packet struct — annotations, offsets, drop state
+// — but shares the wire bytes with the original. It is the copy the
+// optimized duplication scheme hands to branches whose hazard analysis
+// proves they never write packet bytes (RAR sharing, Table III): annotation
+// writes stay private, byte writes would corrupt the sibling. Both the
+// original and the clone are marked shared so neither buffer is ever
+// recycled by the arena while the other may still read it.
+func (p *Packet) ShallowClone() *Packet {
+	p.shared = true
+	q := *p
+	q.pooled = false
+	return &q
+}
+
+// EnsureOwned gives the packet private wire bytes if they are currently
+// shared with a shallow clone — the copy-on-write escape hatch for a caller
+// about to modify Data without a hazard-analysis guarantee.
+func (p *Packet) EnsureOwned() {
+	if !p.shared {
+		return
+	}
+	data := make([]byte, len(p.Data))
+	copy(data, p.Data)
+	p.Data = data
+	p.shared = false
+}
+
+// FlowKey returns the packet's flow-affinity dispatch key, used by the
+// sharded dataplane to keep every packet of a flow on the same shard. The
+// FlowID annotation wins when set (generators and stateful NFs key on it);
+// otherwise the key is a hash of the 5-tuple read directly from the wire
+// bytes, and as a last resort a hash of the frame prefix. The key is
+// finalized through a 64-bit mixer so sequential flow IDs spread evenly
+// across any shard count.
+func (p *Packet) FlowKey() uint64 {
+	if p.FlowID != 0 {
+		return mix64(p.FlowID)
+	}
+	if k, ok := p.wireFlowKey(); ok {
+		return mix64(k)
+	}
+	n := len(p.Data)
+	if n > 64 {
+		n = 64
+	}
+	var h uint64 = 14695981039346656037
+	for _, c := range p.Data[:n] {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return mix64(h)
+}
+
+// wireFlowKey extracts a 5-tuple hash for plain IPv4/IPv6 frames without
+// mutating the packet (unlike Parse, it sets no offsets).
+func (p *Packet) wireFlowKey() (uint64, bool) {
+	if len(p.Data) < EthernetHeaderLen {
+		return 0, false
+	}
+	proto := Proto(uint16(p.Data[12])<<8 | uint16(p.Data[13]))
+	l3 := EthernetHeaderLen
+	if proto == ProtoVLAN {
+		if len(p.Data) < EthernetHeaderLen+4 {
+			return 0, false
+		}
+		proto = Proto(uint16(p.Data[16])<<8 | uint16(p.Data[17]))
+		l3 += 4
+	}
+	var h uint64 = 14695981039346656037
+	fnv := func(bs []byte) {
+		for _, c := range bs {
+			h = (h ^ uint64(c)) * 1099511628211
+		}
+	}
+	switch proto {
+	case ProtoIPv4:
+		if len(p.Data) < l3+IPv4MinHeaderLen {
+			return 0, false
+		}
+		ihl := int(p.Data[l3]&0x0f) * 4
+		fnv(p.Data[l3+9 : l3+10])  // protocol
+		fnv(p.Data[l3+12 : l3+20]) // src+dst address
+		l4 := l3 + ihl
+		if ip := IPProto(p.Data[l3+9]); (ip == IPProtoTCP || ip == IPProtoUDP) &&
+			len(p.Data) >= l4+4 {
+			fnv(p.Data[l4 : l4+4]) // src+dst port
+		}
+		return h, true
+	case ProtoIPv6:
+		if len(p.Data) < l3+IPv6HeaderLen {
+			return 0, false
+		}
+		fnv(p.Data[l3+6 : l3+7])  // next header
+		fnv(p.Data[l3+8 : l3+40]) // src+dst address
+		l4 := l3 + IPv6HeaderLen
+		if ip := IPProto(p.Data[l3+6]); (ip == IPProtoTCP || ip == IPProtoUDP) &&
+			len(p.Data) >= l4+4 {
+			fnv(p.Data[l4 : l4+4])
+		}
+		return h, true
+	}
+	return 0, false
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche so that
+// near-sequential keys (flow IDs) land on distinct shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Len returns the wire length of the packet in bytes.

@@ -1,0 +1,119 @@
+package netpkt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the packet/batch arena: sync.Pool-backed recycling
+// of Packet objects (with their wire-byte buffers) and Batch headers, so a
+// steady-state dataplane hot path allocates nothing per batch.
+//
+// Ownership rules (see DESIGN.md §8 for the full story):
+//
+//   - GetPacket/GetBatch transfer ownership to the caller; PutPacket/
+//     PutBatch (or Batch.Release) transfer it back. Exactly one Put per
+//     Get.
+//   - Releasing a packet twice is a bug: the second owner's buffer would
+//     be handed to an unrelated Get and silently shared. PutPacket panics
+//     on a double release so the bug surfaces at the release site instead
+//     of as corruption downstream.
+//   - Packets whose bytes are shared with a shallow clone (ShallowClone /
+//     read-only Duplicator branches) are never recycled with their buffer:
+//     Put drops the aliased buffer and the pool reallocates on next Get.
+//   - SetPoolPoison(true) (tests) overwrites released buffers with
+//     PoisonByte, converting any use-after-release into a loud payload
+//     mismatch.
+
+// PoisonByte fills released buffers when poisoning is enabled.
+const PoisonByte = 0xDB
+
+var poisonPut atomic.Bool
+
+// SetPoolPoison toggles poisoning of released packet buffers. Intended for
+// tests: a reader holding a stale reference after Put sees PoisonByte
+// instead of plausible stale data.
+func SetPoolPoison(on bool) { poisonPut.Store(on) }
+
+var packetPool = sync.Pool{New: func() any { return &Packet{L3Offset: -1, L4Offset: -1} }}
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetPacket returns a reset packet from the arena with an n-byte buffer,
+// reusing the recycled buffer's capacity when it suffices. The buffer
+// contents are unspecified; callers overwrite them (CloneInto, copy).
+func GetPacket(n int) *Packet {
+	p := packetPool.Get().(*Packet)
+	data := p.Data
+	if cap(data) < n {
+		data = make([]byte, n)
+	} else {
+		data = data[:n]
+	}
+	*p = Packet{Data: data, L3Offset: -1, L4Offset: -1}
+	return p
+}
+
+// PutPacket returns a packet to the arena. The caller must not touch the
+// packet afterwards. Double release panics (see the ownership rules above);
+// buffers aliased by a shallow clone are dropped rather than recycled.
+func PutPacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	if p.pooled {
+		panic("netpkt: double release of Packet (already in pool)")
+	}
+	p.pooled = true
+	if p.shared {
+		// A shallow clone aliases these bytes; recycling them would hand
+		// live data to an unrelated GetPacket.
+		p.Data = nil
+	} else if poisonPut.Load() {
+		for i := range p.Data {
+			p.Data[i] = PoisonByte
+		}
+	}
+	packetPool.Put(p)
+}
+
+// GetBatch returns an empty batch from the arena whose Packets slice has at
+// least the given capacity.
+func GetBatch(capacity int) *Batch {
+	b := batchPool.Get().(*Batch)
+	pkts := b.Packets[:0]
+	if cap(pkts) < capacity {
+		pkts = make([]*Packet, 0, capacity)
+	}
+	*b = Batch{Packets: pkts}
+	return b
+}
+
+// PutBatch returns the batch header (not its packets) to the arena. Use
+// Batch.Release to return both. Double release panics.
+func PutBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	if b.pooled {
+		panic("netpkt: double release of Batch (already in pool)")
+	}
+	for i := range b.Packets {
+		b.Packets[i] = nil // drop refs so pooled headers don't pin packets
+	}
+	b.Packets = b.Packets[:0]
+	b.ID, b.Branch = 0, 0
+	b.pooled = true
+	batchPool.Put(b)
+}
+
+// Release returns the batch and every packet it holds to the arena. It is
+// the sink-side counterpart of ClonePooled: whoever consumes a pooled batch
+// calls Release exactly once, after which neither the batch nor its packets
+// may be used.
+func (b *Batch) Release() {
+	for _, p := range b.Packets {
+		PutPacket(p)
+	}
+	PutBatch(b)
+}

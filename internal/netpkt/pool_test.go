@@ -1,0 +1,193 @@
+package netpkt
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func poolPacket(t *testing.T, n int, fill byte) *Packet {
+	t.Helper()
+	p := GetPacket(n)
+	for i := range p.Data {
+		p.Data[i] = fill
+	}
+	return p
+}
+
+// TestPooledCloneEquivalence: ClonePooled/CloneInto must reproduce exactly
+// what Clone produces — bytes, annotations, offsets, drop state.
+func TestPooledCloneEquivalence(t *testing.T) {
+	src := NewPacket([]byte{1, 2, 3, 4, 5})
+	src.FlowID = 42
+	src.Paint = 7
+	src.SeqInBatch = 3
+	src.Drop("why")
+	src.UserAnno[0] = 0xAA
+
+	ref := src.Clone()
+	got := src.ClonePooled()
+	defer PutPacket(got)
+	if !bytes.Equal(ref.Data, got.Data) || got.FlowID != ref.FlowID ||
+		got.Paint != ref.Paint || got.SeqInBatch != ref.SeqInBatch ||
+		got.Dropped != ref.Dropped || got.DropReason != ref.DropReason ||
+		got.UserAnno != ref.UserAnno {
+		t.Fatalf("pooled clone differs: %v vs %v", got, ref)
+	}
+	// Mutating the clone must not touch the source.
+	got.Data[0] = 99
+	if src.Data[0] != 1 {
+		t.Fatal("pooled clone shares bytes with source")
+	}
+
+	b := NewBatch(9, []*Packet{NewPacket([]byte{1, 1}), NewPacket([]byte{2, 2})})
+	b.Branch = 5
+	pb := b.ClonePooled()
+	if pb.ID != 9 || pb.Branch != 5 || len(pb.Packets) != 2 ||
+		!bytes.Equal(pb.Packets[1].Data, []byte{2, 2}) {
+		t.Fatalf("pooled batch clone wrong: %+v", pb)
+	}
+	pb.Release()
+}
+
+// TestPoolDoubleReleasePanics: releasing the same packet or batch twice
+// must fail loudly at the release site.
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	p := GetPacket(8)
+	PutPacket(p)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second PutPacket did not panic")
+			}
+		}()
+		PutPacket(p)
+	}()
+
+	b := GetBatch(4)
+	PutBatch(b)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second PutBatch did not panic")
+			}
+		}()
+		PutBatch(b)
+	}()
+}
+
+// TestPoolPoisoning: with poisoning on, a stale reference held across Put
+// observes PoisonByte, not the old payload.
+func TestPoolPoisoning(t *testing.T) {
+	SetPoolPoison(true)
+	defer SetPoolPoison(false)
+
+	p := poolPacket(t, 16, 0x55)
+	stale := p.Data
+	PutPacket(p)
+	for i, c := range stale {
+		if c != PoisonByte {
+			t.Fatalf("byte %d = %#x after release, want poison %#x", i, c, PoisonByte)
+		}
+	}
+}
+
+// TestPoolSharedBuffersNotRecycled: a buffer aliased by a shallow clone
+// must never come back from GetPacket, and poisoning must not clobber the
+// clone's view.
+func TestPoolSharedBuffersNotRecycled(t *testing.T) {
+	SetPoolPoison(true)
+	defer SetPoolPoison(false)
+
+	p := poolPacket(t, 16, 0x66)
+	q := p.ShallowClone()
+	if &p.Data[0] != &q.Data[0] {
+		t.Fatal("shallow clone does not share bytes")
+	}
+	PutPacket(p) // must drop, not poison or recycle, the shared buffer
+	for i, c := range q.Data {
+		if c != 0x66 {
+			t.Fatalf("shallow clone byte %d corrupted to %#x by release", i, c)
+		}
+	}
+	// The packet object is recycled but must come back with a fresh buffer.
+	r := GetPacket(16)
+	defer PutPacket(r)
+	if len(q.Data) == len(r.Data) && &q.Data[0] == &r.Data[0] {
+		t.Fatal("shared buffer was recycled into a new packet")
+	}
+}
+
+// TestEnsureOwned: copy-on-write must detach the clone from the original.
+func TestEnsureOwned(t *testing.T) {
+	p := NewPacket([]byte{1, 2, 3})
+	q := p.ShallowClone()
+	q.EnsureOwned()
+	q.Data[0] = 9
+	if p.Data[0] != 1 {
+		t.Fatal("EnsureOwned did not detach the buffer")
+	}
+}
+
+// TestPoolConcurrentArena: hammer the arena from many goroutines; run under
+// -race in CI to prove Get/Put/poison have no data races.
+func TestPoolConcurrentArena(t *testing.T) {
+	SetPoolPoison(true)
+	defer SetPoolPoison(false)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p := GetPacket(64 + i%64)
+				p.Data[0] = byte(g)
+				b := GetBatch(4)
+				b.Packets = append(b.Packets, p)
+				b.ID = uint64(i)
+				if got := b.Packets[0].Data[0]; got != byte(g) {
+					t.Errorf("lost write: %d != %d", got, g)
+					return
+				}
+				b.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestFlowKeyStability: FlowKey must be identical for packets of one flow
+// and must not require Parse (no offset mutation).
+func TestFlowKeyStability(t *testing.T) {
+	p1 := NewPacket(buildUDP(t, 0x0a000001, 0x0a000002, 1000, 2000))
+	p2 := NewPacket(buildUDP(t, 0x0a000001, 0x0a000002, 1000, 2000))
+	p3 := NewPacket(buildUDP(t, 0x0a000001, 0x0a000002, 1000, 2001))
+	if p1.FlowKey() != p2.FlowKey() {
+		t.Fatal("same 5-tuple, different keys")
+	}
+	if p1.FlowKey() == p3.FlowKey() {
+		t.Fatal("different ports, same key (suspicious for a 64-bit hash)")
+	}
+	if p1.L3Offset != -1 {
+		t.Fatal("FlowKey mutated parse offsets")
+	}
+
+	// FlowID annotation dominates the wire tuple.
+	p3.FlowID = 7
+	p4 := NewPacket([]byte{0, 1, 2})
+	p4.FlowID = 7
+	if p3.FlowKey() != p4.FlowKey() {
+		t.Fatal("FlowID-keyed packets disagree")
+	}
+}
+
+func buildUDP(t *testing.T, src, dst uint32, sport, dport uint16) []byte {
+	t.Helper()
+	p := BuildUDPv4(UDPPacketSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: IPv4Addr(src), DstIP: IPv4Addr(dst),
+		SrcPort: sport, DstPort: dport,
+		Payload: []byte("payload"),
+	})
+	return p.Data
+}

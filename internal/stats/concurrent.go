@@ -175,6 +175,57 @@ type HistSnapshot struct {
 	Min, Max float64
 }
 
+// Merge returns the distribution of s and o combined — the union of two
+// independently recorded histograms. Used by the sharded dataplane to sum
+// per-replica element histograms into one report. Both snapshots must use
+// the same bucket bounds (all dataplane histograms do); on a bounds
+// mismatch the larger snapshot wins and the smaller's buckets are dropped
+// into its overflow bucket.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	if len(s.Counts) != len(o.Counts) {
+		big, small := s, o
+		if o.Count > s.Count {
+			big, small = o, s
+		}
+		out := big
+		out.Counts = append([]uint64(nil), big.Counts...)
+		out.Counts[len(out.Counts)-1] += small.Count
+		out.Count += small.Count
+		out.Sum += small.Sum
+		if small.Min < out.Min {
+			out.Min = small.Min
+		}
+		if small.Max > out.Max {
+			out.Max = small.Max
+		}
+		return out
+	}
+	out := HistSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Min:    s.Min,
+		Max:    s.Max,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	return out
+}
+
 // Mean returns the average observation, or 0 with none.
 func (s HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

@@ -1,7 +1,3 @@
-// Package stats provides the measurement primitives the benchmark harness
-// reports: throughput meters, streaming latency histograms with percentile
-// queries, and variance — the metrics of the paper's evaluation (average
-// and variance latency, Gbps/Mpps throughput).
 package stats
 
 import (
