@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"nfcompass/internal/core"
 	"nfcompass/internal/dataplane"
@@ -45,6 +46,8 @@ func main() {
 		"run the deployed graph on the live dataplane with per-element metrics and print the snapshot plus a Prometheus-text dump")
 	shards := flag.Int("shards", 1,
 		"dataplane replicas for the -metrics run: packets are dispatched by flow affinity and the snapshot aggregates across shards (0 = one per CPU)")
+	assign := flag.Bool("assign", false,
+		"print the task allocator's report (algorithm, objective, cut/load split, per-element offload ratios) and execute the chain on the live dataplane under that assignment: ModeGPU/ModeSplit elements run through the emulated GPU device backend")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nfcompass [flags] <chain>\n"+
 			"e.g.: nfcompass -pkt 256 \"firewall:1000,ipv4,nat,ids\"\n")
@@ -149,6 +152,46 @@ func main() {
 		}
 		fmt.Printf("%-10s  %10.2f  %10.1fus\n", r.name,
 			res.Throughput.Gbps(), res.Latency.Percentile(50)/1e3)
+		resetAll(d)
+	}
+
+	// Placement-aware run: print what the allocator decided, then execute
+	// the graph on the live dataplane under that assignment — offloaded
+	// elements go through the emulated GPU device backend (submission
+	// queues, launch aggregation, modeled PCIe/launch latency).
+	if *assign {
+		if d.Alloc == nil {
+			fatal(fmt.Errorf("-assign requires task allocation (drop -no-gta)"))
+		}
+		rep := d.Alloc
+		fmt.Printf("\ntask allocation (%s", rep.Algorithm)
+		if rep.Selected != "" {
+			fmt.Printf(", validated winner %q", rep.Selected)
+		}
+		fmt.Printf("):\n  objective=%.0fns cut=%.0fns cpu-load=%.0fns gpu-load=%.0fns instances=%d\n",
+			rep.Cost, rep.CutNs, rep.CPULoadNs, rep.GPULoadNs, rep.Instances)
+		if len(rep.OffloadByElement) > 0 {
+			names := make([]string, 0, len(rep.OffloadByElement))
+			for name := range rep.OffloadByElement {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Printf("  offload ratios:\n")
+			for _, name := range names {
+				fmt.Printf("    %-24s %.2f\n", name, rep.OffloadByElement[name])
+			}
+		}
+		resetAll(d)
+		_, pl, err := dataplane.RunBatches(context.Background(), d.Graph,
+			dataplane.Config{
+				PreserveOrder: true, Metrics: true,
+				Assignment: d.Assignment,
+				Offload:    &dataplane.OffloadConfig{Platform: &p},
+			}, mkBatches(4000))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nplacement-aware dataplane run:\n%s", pl.Snapshot())
 		resetAll(d)
 	}
 

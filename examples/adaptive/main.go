@@ -67,9 +67,17 @@ func main() {
 		changed, a.Reallocations)
 	show("after dynamic adaptation:")
 
-	// Run the adapted deployment functionally on the concurrent dataplane.
+	// Run the adapted deployment on the concurrent dataplane UNDER its
+	// assignment: ModeGPU/ModeSplit elements execute through the emulated
+	// GPU device backend (asynchronous submission queues, kernel-launch
+	// aggregation, modeled PCIe/launch latency from the allocator's own
+	// cost table).
 	outs, pl, err := dataplane.RunBatches(context.Background(), d.Graph,
-		dataplane.Config{PreserveOrder: true, Metrics: true},
+		dataplane.Config{
+			PreserveOrder: true, Metrics: true,
+			Assignment: d.Assignment,
+			Offload:    &dataplane.OffloadConfig{Platform: &platform},
+		},
 		mk(traffic.PayloadFullMatch, 5, 20))
 	if err != nil {
 		log.Fatal(err)
@@ -78,11 +86,16 @@ func main() {
 		pl.Stats.InBatches.Load(), len(outs), pl.Stats.OutPackets.Load())
 	fmt.Print(pl.Snapshot())
 
-	// The same graph scales across cores with the sharded dataplane: each
-	// replica is an independent copy of the element graph (stateful IDS
-	// automata cannot be shared), packets are dispatched by flow affinity,
-	// and the snapshot aggregates every replica into one report that feeds
-	// the allocator bridge unchanged.
+	// Live assignment hot-swap on the sharded dataplane. The sharded
+	// pipeline starts with every element on the CPU; mid-traffic the
+	// adaptor observes the content shift, re-allocates, and — because it is
+	// Attached to the running pipeline — atomically swaps the new placement
+	// onto every replica without dropping a packet or reordering a flow.
+	d2, err := core.Deploy(chain, platform, mk(traffic.PayloadRandom, 1, 8),
+		core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	build := func(int) (*element.Graph, error) {
 		di, err := core.Deploy(chain, platform, mk(traffic.PayloadRandom, 1, 8),
 			core.DefaultOptions())
@@ -91,17 +104,60 @@ func main() {
 		}
 		return di.Graph, nil
 	}
-	souts, sp, err := dataplane.RunBatchesSharded(context.Background(), build,
-		dataplane.ShardedConfig{
-			Config:  dataplane.Config{Metrics: true},
-			Shards:  2,
-			Ordered: true,
-		}, mk(traffic.PayloadFullMatch, 5, 20))
+	sp, err := dataplane.NewSharded(build, dataplane.ShardedConfig{
+		Config: dataplane.Config{
+			Metrics: true,
+			Offload: &dataplane.OffloadConfig{Platform: &platform},
+		},
+		Shards:  2,
+		Ordered: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sharded dataplane (%d replicas): %d batches in, %d out, %d packets\n",
+	sp.Start(context.Background())
+	var souts []*netpkt.Batch
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for b := range sp.Out() {
+			souts = append(souts, b)
+		}
+	}()
+
+	// The ordered merger releases by injection order of batch IDs, so
+	// renumber across the two traffic bursts (each generator restarts its
+	// IDs at zero).
+	var nextID uint64
+	inject := func(bs []*netpkt.Batch) {
+		for _, b := range bs {
+			b.ID = nextID
+			nextID++
+			sp.In() <- b
+		}
+	}
+	inject(mk(traffic.PayloadFullMatch, 5, 10)) // first half: CPU-only epoch
+
+	a2 := core.NewAdaptor(d2, core.DefaultOptions())
+	a2.Attach(sp) // re-allocations now hot-swap the running pipeline
+	if _, err := a2.Observe(mk(traffic.PayloadRandom, 6, 4)); err != nil {
+		log.Fatal(err) // primes the signature with the benign profile
+	}
+	swapped, err := a2.Observe(mk(traffic.PayloadFullMatch, 7, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mid-traffic adaptation: hot-swapped=%v\n", swapped)
+
+	inject(mk(traffic.PayloadFullMatch, 8, 10)) // second half: new epoch
+	sp.CloseInput()
+	<-collected
+	if err := sp.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	rep := sp.Snapshot()
+	fmt.Printf("sharded dataplane (%d replicas): %d batches in, %d out, %d packets, epoch=%d swaps=%d\n",
 		sp.NumShards(), sp.Stats.InBatches.Load(), len(souts),
-		sp.Stats.OutPackets.Load())
-	fmt.Print(sp.Snapshot())
+		sp.Stats.OutPackets.Load(), rep.Offload.Epoch, rep.Offload.Swaps)
+	fmt.Print(rep)
 }

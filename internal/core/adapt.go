@@ -27,8 +27,24 @@ type Adaptor struct {
 	// Reallocations counts how many times Observe re-allocated.
 	Reallocations int
 
+	rt   Runtime
 	last trafficSig
 }
+
+// Runtime is a running execution engine that can hot-swap its assignment —
+// the live side of the profile → allocate → execute loop. Both
+// dataplane.Pipeline and dataplane.ShardedPipeline implement it (the
+// interface lives here so core does not depend on the dataplane package).
+type Runtime interface {
+	// Apply atomically swaps the engine's placement to the assignment
+	// without dropping packets or violating per-flow order.
+	Apply(hetsim.Assignment) error
+}
+
+// Attach connects a running engine: every re-allocation Observe makes is
+// applied to it immediately, closing the adaptation loop end to end. A nil
+// rt detaches.
+func (a *Adaptor) Attach(rt Runtime) { a.rt = rt }
 
 // trafficSig fingerprints the traffic a deployment was tuned for.
 type trafficSig struct {
@@ -93,6 +109,11 @@ func (a *Adaptor) Observe(sample []*netpkt.Batch) (bool, error) {
 	a.d.Assignment = assign
 	a.d.Alloc = rep
 	a.Reallocations++
+	if a.rt != nil {
+		if err := a.rt.Apply(assign); err != nil {
+			return true, err
+		}
+	}
 	return true, nil
 }
 

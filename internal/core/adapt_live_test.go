@@ -1,0 +1,130 @@
+package core
+
+// Live-adaptation tests: the Adaptor attached to a running (sharded)
+// dataplane must hot-swap its re-allocations onto the pipeline — the
+// end-to-end profile → allocate → execute loop.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nfcompass/internal/dataplane"
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/nf"
+	"nfcompass/internal/traffic"
+)
+
+// TestAdaptorDrivesShardedPipeline: a content shift observed mid-traffic
+// re-allocates AND applies the new assignment to every replica of a running
+// sharded pipeline, with zero packet loss; the next Snapshot reflects the
+// new placement.
+func TestAdaptorDrivesShardedPipeline(t *testing.T) {
+	d := adaptDeployment(t)
+
+	// Each replica needs its own stateful element instances, so every
+	// shard deploys its own copy of the chain.
+	buildShard := func(int) (*element.Graph, error) {
+		di, err := Deploy(
+			[]*nf.NF{nf.NewIDS("ids", []string{"attack", "malware", "exploit"}, false)},
+			hetsim.DefaultPlatform(),
+			idsSample(traffic.PayloadRandom, 1, 6), DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		return di.Graph, nil
+	}
+	sp, err := dataplane.NewSharded(buildShard, dataplane.ShardedConfig{
+		Shards: 2, Ordered: true,
+		Config: dataplane.Config{QueueDepth: 4, Metrics: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Start(context.Background())
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for range sp.Out() {
+		}
+	}()
+	var nextID uint64
+	inject := func(bs []*netpkt.Batch) {
+		for _, b := range bs {
+			b.ID = nextID
+			nextID++
+			sp.In() <- b
+		}
+	}
+
+	a := NewAdaptor(d, DefaultOptions())
+	a.Attach(sp)
+
+	// First traffic burst under the initial (benign-tuned) placement.
+	inject(idsSample(traffic.PayloadFullMatch, 30, 4))
+	before := sp.Snapshot()
+	if before.Offload.Swaps != 0 {
+		t.Fatalf("swaps before adaptation = %d", before.Offload.Swaps)
+	}
+
+	// Prime with the benign profile, then observe the content shift: the
+	// adaptor must re-allocate and hot-swap the running pipeline.
+	if _, err := a.Observe(idsSample(traffic.PayloadRandom, 31, 4)); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := a.Observe(idsSample(traffic.PayloadFullMatch, 32, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || a.Reallocations != 1 {
+		t.Fatalf("changed=%v reallocations=%d: content shift must re-allocate",
+			changed, a.Reallocations)
+	}
+
+	// Second burst under the swapped placement, then drain.
+	inject(idsSample(traffic.PayloadFullMatch, 33, 4))
+	sp.CloseInput()
+	<-collected
+	if err := sp.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero loss across the swap.
+	if in, out := sp.Stats.InPackets.Load(), sp.Stats.OutPackets.Load(); in != out || in == 0 {
+		t.Fatalf("packets in=%d out=%d across live adaptation", in, out)
+	}
+
+	// The new assignment is visible in the next Snapshot: every replica
+	// swapped once, the epoch advanced, and the deployment's offloaded
+	// elements report non-CPU placements.
+	rep := sp.Snapshot()
+	if rep.Offload.Swaps != 2 {
+		t.Fatalf("aggregated swaps = %d, want 2 (one per replica)", rep.Offload.Swaps)
+	}
+	if rep.Offload.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", rep.Offload.Epoch)
+	}
+	offloaded := 0
+	for id, pl := range d.Assignment {
+		if pl.Mode == hetsim.ModeCPU {
+			continue
+		}
+		offloaded++
+		got := rep.Elements[int(id)].Placement
+		if got == "cpu" {
+			t.Errorf("element %d assigned mode %v but snapshot still reports %q",
+				id, pl.Mode, got)
+		}
+		if pl.Mode == hetsim.ModeSplit && !strings.HasPrefix(got, "split") {
+			t.Errorf("element %d: split assignment reported as %q", id, got)
+		}
+	}
+	if offloaded == 0 {
+		t.Fatal("adapted assignment offloads nothing; test exercises no placement")
+	}
+	if rep.Offload.OffloadedBatches == 0 {
+		t.Fatal("no batches executed through the device backend after hot-swap")
+	}
+}

@@ -42,13 +42,27 @@ func (r *Report) Intensities() (*profile.Intensities, error) {
 }
 
 // CPUTimings aggregates measured mean CPU nanoseconds per live packet by
-// element kind (instances of the same kind are pooled). Endpoint kinds
-// (FromDevice/ToDevice) are included; callers that feed a Dictionary
-// usually skip them, matching the offline profiler.
+// element kind (instances of the same kind are pooled). Elements whose
+// timed batches carried zero live packets are skipped entirely: such an
+// element still accumulates Process wall time (the histogram records every
+// timed call, even on all-dropped batches), and folding that time into a
+// kind's sum with no packets in the denominator would inflate the pooled
+// ns/pkt for its healthy siblings.
+//
+// Endpoint kinds (FromDevice/ToDevice) ARE included here — the map is a
+// faithful account of what the live run measured. The convention is that
+// dictionary consumers skip them at apply time (see ApplyCPUTimings): the
+// profiler's Dictionary prices NF processing, not the pipeline's I/O
+// boundary, and the allocator never considers endpoints offload candidates
+// (the dataplane's placement resolver pins them to the CPU for the same
+// reason).
 func (r *Report) CPUTimings() map[string]float64 {
 	sumNs := make(map[string]float64)
 	pkts := make(map[string]uint64)
 	for _, e := range r.Elements {
+		if e.ProcPkts == 0 {
+			continue
+		}
 		sumNs[e.Kind] += e.Proc.Sum
 		pkts[e.Kind] += e.ProcPkts
 	}
@@ -63,7 +77,10 @@ func (r *Report) CPUTimings() map[string]float64 {
 
 // ApplyCPUTimings overwrites d's CPU cost for every kind this report
 // measured, leaving GPU-side entries (unobservable from a live CPU run)
-// untouched. Returns the number of dictionary entries updated.
+// untouched. Endpoint kinds are dropped here, per the convention documented
+// on CPUTimings: FromDevice/ToDevice are pipeline I/O boundary markers the
+// Dictionary does not profile. Returns the number of dictionary entries
+// updated.
 func (r *Report) ApplyCPUTimings(d *profile.Dictionary) int {
 	updated := 0
 	for kind, ns := range r.CPUTimings() {

@@ -2,12 +2,12 @@ package dataplane
 
 import (
 	"context"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
 	"nfcompass/internal/netpkt"
 	"nfcompass/internal/stats"
 )
@@ -38,6 +38,15 @@ type Config struct {
 	// histogram is sampled. Raise it to shrink the two-timestamps-per-call
 	// cost on graphs of very cheap elements.
 	TimingSample int
+	// Assignment places elements on compute backends at construction (nil
+	// = every element on the host CPU). ModeGPU/ModeSplit elements execute
+	// through the emulated GPU device backend — asynchronous per-device
+	// submission queues with kernel-launch aggregation and modeled
+	// transfer/launch latencies (see Offload). Swap at runtime with
+	// Pipeline.Apply.
+	Assignment hetsim.Assignment
+	// Offload tunes the emulated GPU device backend (nil = defaults).
+	Offload *OffloadConfig
 }
 
 // Stats counts pipeline activity with atomics (safe to read live).
@@ -57,6 +66,13 @@ type Pipeline struct {
 	g     *element.Graph
 	cfg   Config
 	Stats Stats
+	// Offload counts emulated-GPU backend activity and placement swaps.
+	Offload OffloadStats
+
+	// placements is the current epoch's placement table; Apply publishes a
+	// new one. pool owns the emulated devices.
+	placements atomic.Pointer[placementTable]
+	pool       *devicePool
 
 	// metrics is the per-element registry (nil when Config.Metrics is
 	// off); edgeCtr maps each graph edge to its traffic counter.
@@ -123,6 +139,8 @@ func New(g *element.Graph, cfg Config) (*Pipeline, error) {
 			}
 		}
 	}
+	p.pool = newDevicePool(p, cfg.Offload)
+	p.placements.Store(p.resolvePlacements(cfg.Assignment, 0))
 	return p, nil
 }
 
@@ -138,6 +156,20 @@ func (p *Pipeline) trace(kind TraceKind, node element.NodeID, b *netpkt.Batch) {
 	p.cfg.Trace.Emit(TraceEvent{
 		Kind: kind, Node: node, Batch: b.ID, Packets: b.Live(),
 		NanosSinceStart: p.clock().Nanoseconds(),
+	})
+}
+
+// traceEnter is trace(TraceEnter, ...) stamped with the placement and
+// epoch the batch is about to execute under — the hot-swap audit trail: a
+// batch's enter event records exactly one placement per element visit.
+func (p *Pipeline) traceEnter(node element.NodeID, b *netpkt.Batch, pl nodePlacement, epoch uint64) {
+	if p.cfg.Trace == nil {
+		return
+	}
+	p.cfg.Trace.Emit(TraceEvent{
+		Kind: TraceEnter, Node: node, Batch: b.ID, Packets: b.Live(),
+		NanosSinceStart: p.clock().Nanoseconds(),
+		Epoch:           epoch, Placement: pl.String(),
 	})
 }
 
@@ -188,8 +220,21 @@ func (p *Pipeline) Start(ctx context.Context) {
 			}
 		}
 
+		// Metrics are accounted inline rather than through
+		// element.Instrument: the sender's live count rides in on the
+		// stageMsg and each output batch is scanned exactly once, so a
+		// batch costs one scan per hop instead of three. The scheduling
+		// loop itself lives in nodeRunner (scheduler.go), which routes
+		// each batch to the host backend or the element's offload lane
+		// according to the current placement epoch.
+		nr := &nodeRunner{
+			p: p, id: id, el: el, kind: el.Traits().Kind,
+			isSink: isSink, inbox: inbox[i], sinkOut: sinkOut, succ: succ,
+			host: element.NewHostBackend(),
+			m:    m, edgeCtr: edgeCtr, sampleN: p.cfg.TimingSample,
+		}
 		wg.Add(1)
-		go func(id element.NodeID, el element.Element, succ [][]element.NodeID, isSink bool) {
+		go func(nr *nodeRunner, succ [][]element.NodeID, isSink bool) {
 			defer wg.Done()
 			defer func() {
 				// Decrement writer counts downstream; close inboxes
@@ -207,93 +252,17 @@ func (p *Pipeline) Start(ctx context.Context) {
 					}
 				}
 			}()
-			// Metrics are accounted inline rather than through
-			// element.Instrument: the sender's live count rides in on the
-			// stageMsg and each output batch is scanned exactly once, so
-			// a batch costs one scan per hop instead of three.
-			sampleN := p.cfg.TimingSample
-			tick := 0
-			// One-output elements implementing SingleOut skip the
-			// per-call output-slice allocation: the batch lands in a
-			// goroutine-local scratch array instead. This is what keeps a
-			// linear chain at zero allocations per batch in steady state.
-			var fastPath element.SingleOut
-			if s, ok := el.(element.SingleOut); ok && el.NumOutputs() == 1 {
-				fastPath = s
-			}
-			var outScratch [1]*netpkt.Batch
-			for msg := range inbox[id] {
-				p.trace(TraceEnter, id, msg.b)
-				var t0 time.Time
-				timed := false
-				if m != nil {
-					m.batches.Inc()
-					m.pktsIn.Add(uint64(msg.live))
-					if tick == 0 {
-						timed = true
-						t0 = time.Now()
-					}
-					if tick++; tick == sampleN {
-						tick = 0
-					}
-				}
-				var outs []*netpkt.Batch
-				if fastPath != nil {
-					outScratch[0] = fastPath.ProcessSingle(msg.b)
-					outs = outScratch[:]
-				} else {
-					outs = el.Process(msg.b)
-				}
-				if timed {
-					m.proc.Add(float64(time.Since(t0).Nanoseconds()))
-					m.procPkts.Add(uint64(msg.live))
-				}
-				p.trace(TraceExit, id, msg.b)
-				if isSink {
-					if m != nil {
-						live := msg.b.Live()
-						m.pktsOut.Add(uint64(live))
-						if live < msg.live {
-							m.drops.Add(uint64(msg.live - live))
-						}
-					}
-					if !p.send(ctx, m, sinkOut, msg.b) {
-						return
-					}
-					continue
-				}
-				if len(outs) != el.NumOutputs() {
-					p.fail(fmt.Errorf("dataplane: %s emitted %d outputs, declared %d",
-						el.Name(), len(outs), el.NumOutputs()))
-					return
-				}
-				totalOut := 0
-				for port, ob := range outs {
-					if ob == nil || len(ob.Packets) == 0 {
-						continue
-					}
-					live := 0
-					if m != nil {
-						live = ob.Live()
-						totalOut += live
-						m.pktsOut.Add(uint64(live))
-					}
-					for t, to := range succ[port] {
-						if m != nil {
-							edgeCtr[port][t].Add(uint64(live))
-						}
-						if !p.sendStage(ctx, m, inbox[to], stageMsg{b: ob, live: live}) {
-							return
-						}
-					}
-				}
-				// Cloning elements emit more than they take in; clamp.
-				if m != nil && msg.live > totalOut {
-					m.drops.Add(uint64(msg.live - totalOut))
-				}
-			}
-		}(id, el, succ, isSink)
+			nr.run(ctx)
+		}(nr, succ, isSink)
 	}
+
+	// Device workers run for the pipeline's lifetime; a janitor retires
+	// them once every submitting goroutine (elements + injector) is done.
+	p.pool.start()
+	go func() {
+		wg.Wait()
+		p.pool.stop()
+	}()
 
 	// Injector: p.in -> all source inboxes.
 	wg.Add(1)

@@ -49,6 +49,9 @@ type ElementStats struct {
 	// batches unless Config.TimingSample > 1).
 	Proc     stats.HistSnapshot
 	ProcPkts uint64
+	// Placement is the element's resolved placement at snapshot time
+	// ("cpu", "gpu0", "split1:0.40").
+	Placement string
 }
 
 // NsPerPkt returns the mean processing cost per live input packet over the
@@ -82,6 +85,9 @@ type Report struct {
 	// MetricsEnabled records whether per-element instrumentation was on;
 	// when false only boundary totals and queue depths are meaningful.
 	MetricsEnabled bool
+	// Offload is the emulated GPU device backend's activity (all zeros for
+	// a CPU-only assignment).
+	Offload OffloadSnapshot
 }
 
 // Snapshot captures per-element and per-edge statistics. It is safe to call
@@ -98,16 +104,19 @@ func (p *Pipeline) Snapshot() *Report {
 		InBytes:        p.Stats.InBytes.Load(),
 		ElapsedNs:      p.clock().Nanoseconds(),
 		MetricsEnabled: p.metrics != nil,
+		Offload:        p.snapshotOffload(),
 	}
+	tbl := p.placements.Load()
 	for i := 0; i < p.g.Len(); i++ {
 		id := element.NodeID(i)
 		el := p.g.Node(id)
 		es := ElementStats{
-			Node:     id,
-			Name:     el.Name(),
-			Kind:     el.Traits().Kind,
-			QueueLen: len(p.inbox[i]),
-			QueueCap: cap(p.inbox[i]),
+			Node:      id,
+			Name:      el.Name(),
+			Kind:      el.Traits().Kind,
+			QueueLen:  len(p.inbox[i]),
+			QueueCap:  cap(p.inbox[i]),
+			Placement: tbl.nodes[i].String(),
 		}
 		if p.metrics != nil {
 			m := &p.metrics[i]
@@ -165,6 +174,18 @@ func AggregateReports(reps []*Report) *Report {
 			agg.ElapsedNs = r.ElapsedNs
 		}
 		agg.MetricsEnabled = agg.MetricsEnabled || r.MetricsEnabled
+		agg.Offload.OffloadedBatches += r.Offload.OffloadedBatches
+		agg.Offload.SplitBatches += r.Offload.SplitBatches
+		agg.Offload.KernelLaunches += r.Offload.KernelLaunches
+		agg.Offload.H2DBytes += r.Offload.H2DBytes
+		agg.Offload.D2HBytes += r.Offload.D2HBytes
+		agg.Offload.GPUBusyNs += r.Offload.GPUBusyNs
+		agg.Offload.SplitCPUNs += r.Offload.SplitCPUNs
+		agg.Offload.Swaps += r.Offload.Swaps
+		agg.Offload.Devices += r.Offload.Devices
+		if r.Offload.Epoch > agg.Offload.Epoch {
+			agg.Offload.Epoch = r.Offload.Epoch
+		}
 		for i, e := range r.Elements {
 			if i >= len(agg.Elements) {
 				agg.Elements = append(agg.Elements, e)
@@ -211,12 +232,18 @@ func (r *Report) String() string {
 		sb.WriteString("(per-element metrics disabled; set Config.Metrics)\n")
 		return sb.String()
 	}
-	fmt.Fprintf(&sb, "%-3s %-22s %-14s %9s %9s %7s %6s %9s %9s %9s %9s\n",
-		"id", "element", "kind", "pkts-in", "pkts-out", "drops", "queue",
+	if o := r.Offload; o.OffloadedBatches > 0 || o.Swaps > 0 {
+		fmt.Fprintf(&sb, "offload: dev=%d batches=%d (split %d) launches=%d h2d=%dB d2h=%dB gpu-busy=%.2fms split-cpu=%.2fms epoch=%d swaps=%d\n",
+			o.Devices, o.OffloadedBatches, o.SplitBatches, o.KernelLaunches,
+			o.H2DBytes, o.D2HBytes, float64(o.GPUBusyNs)/1e6,
+			float64(o.SplitCPUNs)/1e6, o.Epoch, o.Swaps)
+	}
+	fmt.Fprintf(&sb, "%-3s %-22s %-14s %-12s %9s %9s %7s %6s %9s %9s %9s %9s\n",
+		"id", "element", "kind", "place", "pkts-in", "pkts-out", "drops", "queue",
 		"ns/pkt", "p50-ns", "p99-ns", "wait-ms")
 	for _, e := range r.Elements {
-		fmt.Fprintf(&sb, "%-3d %-22s %-14s %9d %9d %7d %3d/%-3d %9.0f %9.0f %9.0f %9.2f\n",
-			e.Node, e.Name, e.Kind, e.PktsIn, e.PktsOut, e.Drops,
+		fmt.Fprintf(&sb, "%-3d %-22s %-14s %-12s %9d %9d %7d %3d/%-3d %9.0f %9.0f %9.0f %9.2f\n",
+			e.Node, e.Name, e.Kind, e.Placement, e.PktsIn, e.PktsOut, e.Drops,
 			e.QueueLen, e.QueueCap, e.NsPerPkt(),
 			e.Proc.Percentile(50), e.Proc.Percentile(99),
 			float64(e.SendWaitNs)/1e6)

@@ -1,0 +1,367 @@
+package dataplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/netpkt"
+)
+
+// OffloadConfig tunes the emulated GPU device backend. The zero value (or a
+// nil pointer in Config) selects the default platform and cost table, one
+// lane window of 4, and launch aggregation up to 8 submissions.
+type OffloadConfig struct {
+	// Devices is the number of emulated GPU devices, each with its own
+	// submission queue and worker (default: Platform.GPUs, minimum 1).
+	Devices int
+	// Platform supplies the transfer/launch/kernel latency parameters (nil
+	// = hetsim.DefaultPlatform). It must be the platform the Assignment was
+	// allocated against, so the dataplane charges the same costs the
+	// partitioner optimized.
+	Platform *hetsim.Platform
+	// Costs is the per-kind cost table (nil = hetsim.DefaultCosts).
+	Costs map[string]hetsim.ElemCost
+	// MaxOutstanding bounds each element's in-flight submissions (default
+	// 4). It is also the capacity of the lane's completion channel, which
+	// is what lets device workers deliver completions without ever
+	// blocking on a slow consumer.
+	MaxOutstanding int
+	// AggregateLimit is the most same-kind submissions folded into one
+	// kernel launch (default 8). Aggregated groups pay the launch latency
+	// and the PCIe round-trip latency once, with transfer bytes summed —
+	// the kernel-launch batching of §III-B.
+	AggregateLimit int
+}
+
+// OffloadStats counts the device backend's activity with atomics (safe to
+// read live). Latency fields are modeled nanoseconds from the shared
+// hetsim.CostModel, not wall time.
+type OffloadStats struct {
+	// OffloadedBatches counts batches executed through a device (ModeGPU
+	// and ModeSplit both); SplitBatches counts the ModeSplit subset.
+	OffloadedBatches atomic.Uint64
+	SplitBatches     atomic.Uint64
+	// KernelLaunches counts aggregated launch groups — with aggregation
+	// this is <= OffloadedBatches; the gap is launches saved by batching.
+	KernelLaunches atomic.Uint64
+	// H2DBytes/D2HBytes are live payload bytes crossing the PCIe bus.
+	H2DBytes atomic.Uint64
+	D2HBytes atomic.Uint64
+	// GPUBusyNs is modeled device occupancy (launch + context switch +
+	// kernel + transfers); SplitCPUNs is the modeled CPU half of splits.
+	GPUBusyNs  atomic.Uint64
+	SplitCPUNs atomic.Uint64
+	// Swaps counts Apply calls that published a new placement epoch.
+	Swaps atomic.Uint64
+}
+
+// OffloadSnapshot is the plain-value copy of OffloadStats in a Report.
+type OffloadSnapshot struct {
+	OffloadedBatches, SplitBatches, KernelLaunches uint64
+	H2DBytes, D2HBytes                             uint64
+	GPUBusyNs, SplitCPUNs                          uint64
+	Swaps                                          uint64
+	// Epoch is the placement epoch current at snapshot time.
+	Epoch uint64
+	// Devices is the emulated device count.
+	Devices int
+}
+
+// workItem is one batch submitted to a device. The submitting node
+// goroutine owns it before submit and after it reappears on the lane's
+// completion channel; the device worker owns it in between.
+type workItem struct {
+	lane *offloadLane
+	seq  uint64
+	el   element.Element
+	kind string
+	b    *netpkt.Batch
+	live int
+	mode hetsim.Mode
+	frac float64
+	// Results, filled by the worker before completion.
+	outs   []*netpkt.Batch
+	err    error
+	procNs int64
+}
+
+// device is one emulated GPU: a FIFO submission queue drained by a single
+// worker goroutine, so kernels on one device serialize exactly like the
+// simulator's device resource.
+type device struct {
+	name string
+	q    chan *workItem
+	// host invokes the element kernels in-process; per-device because the
+	// backend scratch is single-goroutine state.
+	host *element.HostBackend
+}
+
+// offloadLane is one element's private path to its device: it restores
+// submission order on the completion side. Device workers complete items
+// (possibly from aggregated groups) and the lane releases them strictly in
+// submission order through a CompletionQueue, with split batches joining
+// when both halves have completed. comp's capacity equals the element's
+// MaxOutstanding window, so delivery never blocks the device worker.
+type offloadLane struct {
+	node element.NodeID
+	dev  *device
+	comp chan *workItem
+
+	mu    sync.Mutex
+	cq    *netpkt.CompletionQueue
+	items map[uint64]*workItem
+	// sentinels are reusable per-slot ID carriers for cq.Submit (the queue
+	// keys on Batch.ID; real batch IDs repeat across lanes and are not
+	// dense, so the lane numbers its own submissions).
+	sentinels []netpkt.Batch
+	nextSeq   uint64
+}
+
+// submit registers the item under the next lane-local sequence number and
+// enqueues it on the device. parts is 2 for splits: the worker completes
+// the CPU half and the GPU half separately and the completion queue joins
+// them. Returns false when the context was cancelled before the device
+// accepted the item.
+func (l *offloadLane) submit(ctx context.Context, it *workItem) bool {
+	l.mu.Lock()
+	it.seq = l.nextSeq
+	l.nextSeq++
+	parts := 1
+	if it.mode == hetsim.ModeSplit {
+		parts = 2
+	}
+	slot := &l.sentinels[int(it.seq)%len(l.sentinels)]
+	slot.ID = it.seq
+	l.items[it.seq] = it
+	l.cq.Submit(slot, parts)
+	l.mu.Unlock()
+	select {
+	case l.dev.q <- it:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// complete marks one part of a submission done and forwards every item the
+// completion queue releases. Called from the device worker; the forward to
+// comp never blocks because in-flight items per lane are bounded by
+// MaxOutstanding == cap(comp).
+func (l *offloadLane) complete(seq uint64) {
+	l.mu.Lock()
+	l.cq.Complete(seq)
+	var ready []*workItem
+	for {
+		s := l.cq.Pop()
+		if s == nil {
+			break
+		}
+		it := l.items[s.ID]
+		delete(l.items, s.ID)
+		ready = append(ready, it)
+	}
+	l.mu.Unlock()
+	for _, it := range ready {
+		l.comp <- it
+	}
+}
+
+// devicePool owns the emulated devices and the shared cost model.
+type devicePool struct {
+	p              *Pipeline
+	cm             *hetsim.CostModel
+	maxOutstanding int
+	aggLimit       int
+	devs           []*device
+	wg             sync.WaitGroup
+}
+
+// newDevicePool resolves the offload configuration. The pool always exists
+// (CPU-only pipelines just never submit to it); workers start with the
+// pipeline.
+func newDevicePool(p *Pipeline, oc *OffloadConfig) *devicePool {
+	var c OffloadConfig
+	if oc != nil {
+		c = *oc
+	}
+	plat := hetsim.DefaultPlatform()
+	if c.Platform != nil {
+		plat = *c.Platform
+	}
+	if c.Devices <= 0 {
+		c.Devices = plat.GPUs
+	}
+	if c.Devices <= 0 {
+		c.Devices = 1
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 4
+	}
+	if c.AggregateLimit <= 0 {
+		c.AggregateLimit = 8
+	}
+	dp := &devicePool{
+		p:              p,
+		cm:             hetsim.NewCostModel(plat, c.Costs),
+		maxOutstanding: c.MaxOutstanding,
+		aggLimit:       c.AggregateLimit,
+	}
+	for i := 0; i < c.Devices; i++ {
+		dp.devs = append(dp.devs, &device{
+			name: fmt.Sprintf("gpu%d", i),
+			q:    make(chan *workItem, p.cfg.QueueDepth),
+			host: element.NewHostBackend(),
+		})
+	}
+	return dp
+}
+
+// newLane builds an element's lane to its pinned device.
+func (dp *devicePool) newLane(node element.NodeID, dev int) *offloadLane {
+	return &offloadLane{
+		node:      node,
+		dev:       dp.devs[dev%len(dp.devs)],
+		comp:      make(chan *workItem, dp.maxOutstanding),
+		cq:        netpkt.NewCompletionQueue(0),
+		items:     make(map[uint64]*workItem, dp.maxOutstanding),
+		sentinels: make([]netpkt.Batch, 2*dp.maxOutstanding),
+	}
+}
+
+// start launches one worker per device.
+func (dp *devicePool) start() {
+	for _, d := range dp.devs {
+		dp.wg.Add(1)
+		go dp.runDevice(d)
+	}
+}
+
+// stop closes the submission queues and waits for the workers to drain.
+// Call only after every submitting goroutine has exited.
+func (dp *devicePool) stop() {
+	for _, d := range dp.devs {
+		close(d.q)
+	}
+	dp.wg.Wait()
+}
+
+// runDevice drains one device's submission queue, aggregating runs of
+// consecutive same-kind submissions into single kernel launches. FIFO is
+// preserved: a different-kind item ends the current group and is carried
+// into the next one, never reordered past it.
+func (dp *devicePool) runDevice(d *device) {
+	defer dp.wg.Done()
+	group := make([]*workItem, 0, dp.aggLimit)
+	var carry *workItem
+	closed := false
+	for !closed || carry != nil {
+		group = group[:0]
+		if carry != nil {
+			group = append(group, carry)
+			carry = nil
+		} else {
+			it, ok := <-d.q
+			if !ok {
+				closed = true
+				continue
+			}
+			group = append(group, it)
+		}
+		// Opportunistic aggregation: take whatever same-kind items are
+		// already queued, without waiting for more.
+	agg:
+		for len(group) < dp.aggLimit {
+			select {
+			case it, ok := <-d.q:
+				if !ok {
+					closed = true
+					break agg
+				}
+				if it.kind != group[0].kind {
+					carry = it
+					break agg
+				}
+				group = append(group, it)
+			default:
+				break agg
+			}
+		}
+		dp.executeGroup(d, group)
+	}
+}
+
+// executeGroup runs one aggregated launch: every item's element is executed
+// functionally exactly once (splits split in the cost accounting only —
+// elements are stateful and single-threaded by contract, and this is also
+// what the hetsim simulator models), while the modeled device time charges
+// one launch and one PCIe round-trip for the whole group.
+func (dp *devicePool) executeGroup(d *device, group []*workItem) {
+	st := &dp.p.Offload
+	cm := dp.cm
+	st.KernelLaunches.Add(1)
+	gpuNs := cm.LaunchNs() + cm.CtxSwitchNs()
+	h2dBytes, d2hBytes := 0, 0
+	for _, it := range group {
+		n := it.b.Live()
+		bytes := it.b.Bytes()
+		t0 := time.Now()
+		outs := d.host.Process(it.el, it.b)
+		it.procNs = time.Since(t0).Nanoseconds()
+		if it.el.NumOutputs() > 0 && len(outs) != it.el.NumOutputs() {
+			it.err = fmt.Errorf("dataplane: %s emitted %d outputs, declared %d",
+				it.el.Name(), len(outs), it.el.NumOutputs())
+		}
+		it.outs = append(it.outs[:0], outs...)
+
+		st.OffloadedBatches.Add(1)
+		switch it.mode {
+		case hetsim.ModeSplit:
+			st.SplitBatches.Add(1)
+			nGPU := int(it.frac*float64(n) + 0.5)
+			if nGPU > n {
+				nGPU = n
+			}
+			bGPU := int(it.frac * float64(bytes))
+			cpuNs := cm.CPUServiceNs(it.kind, n-nGPU, bytes-bGPU, 0)
+			st.SplitCPUNs.Add(uint64(cpuNs))
+			gpuNs += cm.KernelNs(it.kind, nGPU, bGPU, 0)
+			h2dBytes += bGPU
+			d2hBytes += bGPU
+			// Two-part completion: the CPU half completes immediately
+			// (it ran inline in modeled terms), the GPU half below.
+			it.lane.complete(it.seq)
+			it.lane.complete(it.seq)
+		default: // ModeGPU
+			gpuNs += cm.KernelNs(it.kind, n, bytes, 0)
+			h2dBytes += bytes
+			d2hBytes += bytes
+			it.lane.complete(it.seq)
+		}
+	}
+	gpuNs += cm.H2DNs(h2dBytes) + cm.D2HNs(d2hBytes)
+	st.GPUBusyNs.Add(uint64(gpuNs))
+	st.H2DBytes.Add(uint64(h2dBytes))
+	st.D2HBytes.Add(uint64(d2hBytes))
+}
+
+// snapshotOffload copies the offload counters into a report value.
+func (p *Pipeline) snapshotOffload() OffloadSnapshot {
+	st := &p.Offload
+	return OffloadSnapshot{
+		OffloadedBatches: st.OffloadedBatches.Load(),
+		SplitBatches:     st.SplitBatches.Load(),
+		KernelLaunches:   st.KernelLaunches.Load(),
+		H2DBytes:         st.H2DBytes.Load(),
+		D2HBytes:         st.D2HBytes.Load(),
+		GPUBusyNs:        st.GPUBusyNs.Load(),
+		SplitCPUNs:       st.SplitCPUNs.Load(),
+		Swaps:            st.Swaps.Load(),
+		Epoch:            p.placements.Load().epoch,
+		Devices:          len(p.pool.devs),
+	}
+}

@@ -1,0 +1,99 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+)
+
+// nodePlacement is one element's resolved placement for one epoch: which
+// backend executes it and, for splits, the δ-granular GPU share.
+type nodePlacement struct {
+	mode hetsim.Mode
+	// frac is the GPU packet fraction for ModeSplit (0 < frac < 1).
+	frac float64
+	// dev is the device index the element's offload lane is pinned to.
+	// Pinning is per element (not per batch) so one element's kernels all
+	// queue on one device and stay in submission order.
+	dev int
+}
+
+// String renders the placement for reports and traces.
+func (pl nodePlacement) String() string {
+	switch pl.mode {
+	case hetsim.ModeGPU:
+		return fmt.Sprintf("gpu%d", pl.dev)
+	case hetsim.ModeSplit:
+		return fmt.Sprintf("split%d:%.2f", pl.dev, pl.frac)
+	default:
+		return "cpu"
+	}
+}
+
+// placementTable is one immutable epoch of per-node placements. The running
+// pipeline holds the current table in an atomic pointer; Apply publishes a
+// whole new table, never mutates one in place. A node goroutine reads the
+// table once per batch, so a single batch is always executed under exactly
+// one epoch's placement — the hot-swap atomicity unit.
+type placementTable struct {
+	epoch uint64
+	nodes []nodePlacement
+}
+
+// resolvePlacements normalizes an Assignment onto the pipeline's graph for
+// a new epoch. Unassigned elements run on the CPU. Endpoints (graph sources
+// and sinks — the FromDevice/ToDevice boundary) are host I/O and are pinned
+// to the CPU regardless of the assignment, matching the allocator's
+// convention that endpoints are never offload candidates. Degenerate splits
+// collapse: fraction <= 0 means CPU, >= 1 means full GPU.
+func (p *Pipeline) resolvePlacements(a hetsim.Assignment, epoch uint64) *placementTable {
+	n := p.g.Len()
+	t := &placementTable{epoch: epoch, nodes: make([]nodePlacement, n)}
+	devs := 1
+	if p.pool != nil && len(p.pool.devs) > 0 {
+		devs = len(p.pool.devs)
+	}
+	isSource := make(map[element.NodeID]bool, 1)
+	for _, s := range p.g.Sources() {
+		isSource[s] = true
+	}
+	for i := 0; i < n; i++ {
+		id := element.NodeID(i)
+		if isSource[id] || p.g.Node(id).NumOutputs() == 0 {
+			continue // endpoints stay on the CPU (zero value)
+		}
+		pl := a[id]
+		np := nodePlacement{mode: pl.Mode, frac: pl.GPUFraction, dev: i % devs}
+		if np.mode == hetsim.ModeSplit {
+			switch {
+			case np.frac <= 0:
+				np = nodePlacement{}
+			case np.frac >= 1:
+				np.mode, np.frac = hetsim.ModeGPU, 0
+			}
+		}
+		if np.mode == hetsim.ModeCPU {
+			np = nodePlacement{}
+		}
+		t.nodes[i] = np
+	}
+	return t
+}
+
+// Apply atomically swaps the pipeline's placement to a new epoch. Safe to
+// call while traffic flows: each node goroutine picks up the new table at
+// its next batch boundary, first draining any offloads still in flight
+// under the old epoch, so no batch is ever executed under two placements
+// and no packet is lost. nil reverts every element to the CPU.
+func (p *Pipeline) Apply(a hetsim.Assignment) error {
+	for {
+		old := p.placements.Load()
+		nt := p.resolvePlacements(a, old.epoch+1)
+		if p.placements.CompareAndSwap(old, nt) {
+			break
+		}
+	}
+	p.Offload.Swaps.Add(1)
+	return nil
+}

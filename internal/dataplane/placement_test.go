@@ -1,0 +1,451 @@
+package dataplane
+
+// Placement differential harness: random element graphs under random
+// CPU/GPU/Split assignments must be functionally indistinguishable from the
+// plain sequential executor — the emulated GPU device backend changes
+// *where* and *when* elements run (async submission queues, launch
+// aggregation, completion-queue joins) but never *what* they compute.
+// Plus the hot-swap audit: applying a new assignment mid-traffic loses
+// zero packets and never executes an element under two placements within
+// one batch epoch.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/netpkt"
+)
+
+// randAssignment draws a random placement for every node: 1/3 CPU
+// (omitted), 1/3 full GPU, 1/3 split with a fraction in (0.1, 0.9).
+// Endpoints get assignments too — the placement resolver must pin them
+// back to the CPU.
+func randAssignment(g *element.Graph, seed int64) hetsim.Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	a := make(hetsim.Assignment)
+	for i := 0; i < g.Len(); i++ {
+		switch rng.Intn(3) {
+		case 1:
+			a[element.NodeID(i)] = hetsim.Placement{Mode: hetsim.ModeGPU}
+		case 2:
+			a[element.NodeID(i)] = hetsim.Placement{
+				Mode: hetsim.ModeSplit, GPUFraction: 0.1 + 0.8*rng.Float64(),
+			}
+		}
+	}
+	return a
+}
+
+// TestPlacementDifferentialMultiset: for random graphs and random
+// assignments, the placement-aware pipeline must emit exactly the
+// sequential executor's multiset of per-packet outcomes.
+func TestPlacementDifferentialMultiset(t *testing.T) {
+	builders := map[string]func(int64) *element.Graph{
+		"linear":  buildLinearRand,
+		"diamond": buildDiamondRand,
+		"fanout":  buildFanoutRand,
+	}
+	for name, build := range builders {
+		for trial := int64(0); trial < 6; trial++ {
+			seed := 100*trial + 71
+			t.Run(fmt.Sprintf("%s/%d", name, trial), func(t *testing.T) {
+				seqOut := runSequential(t, build(seed), diffTraffic(seed, 24, 16))
+				conOut, _, err := RunBatches(context.Background(), build(seed),
+					Config{
+						QueueDepth: 1 + int(trial%3),
+						Assignment: randAssignment(build(seed), seed),
+						Offload: &OffloadConfig{
+							Devices:        1 + int(trial%2),
+							MaxOutstanding: 1 + int(trial%4),
+							AggregateLimit: 1 + int(trial%5),
+						},
+					}, diffTraffic(seed, 24, 16))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, got := multiset(flatten(seqOut)), multiset(conOut)
+				if len(want) != len(got) {
+					t.Fatalf("distinct outcomes differ: seq=%d placed=%d", len(want), len(got))
+				}
+				for k, n := range want {
+					if got[k] != n {
+						t.Fatalf("outcome %.40q: seq=%d placed=%d", k, n, got[k])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPlacementDifferentialExactOrder: with PreserveOrder on, random
+// assignments must not disturb batch order or bytes — the offload lanes'
+// completion queues restore submission order per element, so the pipeline
+// remains byte-for-byte identical to the sequential run.
+func TestPlacementDifferentialExactOrder(t *testing.T) {
+	builders := map[string]func(int64) *element.Graph{
+		"linear":  buildLinearRand,
+		"diamond": buildDiamondRand,
+	}
+	for name, build := range builders {
+		for trial := int64(0); trial < 6; trial++ {
+			seed := 100*trial + 83
+			t.Run(fmt.Sprintf("%s/%d", name, trial), func(t *testing.T) {
+				seqOut := runSequential(t, build(seed), diffTraffic(seed, 30, 8))
+				conOut, _, err := RunBatches(context.Background(), build(seed),
+					Config{
+						PreserveOrder: true, Metrics: true, QueueDepth: 2,
+						Assignment: randAssignment(build(seed), seed),
+						Offload:    &OffloadConfig{MaxOutstanding: 1 + int(trial%4)},
+					}, diffTraffic(seed, 30, 8))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(conOut) != 30 {
+					t.Fatalf("placed pipeline emitted %d batches", len(conOut))
+				}
+				for i, cb := range conOut {
+					if cb.ID != uint64(i) {
+						t.Fatalf("batch %d surfaced at position %d", cb.ID, i)
+					}
+					sbs := seqOut[cb.ID]
+					if len(sbs) != 1 {
+						t.Fatalf("sequential emitted %d batches for id %d", len(sbs), cb.ID)
+					}
+					sb := sbs[0]
+					if len(cb.Packets) != len(sb.Packets) {
+						t.Fatalf("batch %d: packet count %d vs %d", cb.ID, len(cb.Packets), len(sb.Packets))
+					}
+					for j := range cb.Packets {
+						cp, sp := cb.Packets[j], sb.Packets[j]
+						if cp.Dropped != sp.Dropped {
+							t.Fatalf("batch %d pkt %d: drop flag %v vs %v", cb.ID, j, cp.Dropped, sp.Dropped)
+						}
+						if !cp.Dropped && !bytes.Equal(cp.Data, sp.Data) {
+							t.Fatalf("batch %d pkt %d: payload differs", cb.ID, j)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPlacementShardedPerFlowOrder: random assignments on a sharded
+// pipeline must preserve per-flow packet order — the acceptance bar for
+// placement-aware execution under sharding.
+func TestPlacementShardedPerFlowOrder(t *testing.T) {
+	for trial := int64(0); trial < 4; trial++ {
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			build := func(int) (*element.Graph, error) {
+				g := element.NewGraph()
+				src := g.Add(element.NewFromDevice("src"))
+				chk := g.Add(element.NewCheckIPHeader("chk"))
+				ttl := g.Add(element.NewDecTTL("ttl"))
+				cnt := g.Add(element.NewCounter("cnt"))
+				dst := g.Add(element.NewToDevice("dst"))
+				g.MustConnect(src, 0, chk)
+				g.MustConnect(chk, 0, ttl)
+				g.MustConnect(ttl, 0, cnt)
+				g.MustConnect(cnt, 0, dst)
+				return g, nil
+			}
+			ref, _ := build(0)
+			const flows = 13
+			outs, _, err := RunBatchesSharded(context.Background(), build,
+				ShardedConfig{
+					Shards: 3, Ordered: trial%2 == 0,
+					Config: Config{
+						QueueDepth: 2,
+						Assignment: randAssignment(ref, 1000+trial),
+						Offload:    &OffloadConfig{MaxOutstanding: 1 + int(trial%4)},
+					},
+				}, seqTraffic(flows, 40, 16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lastSeq := make(map[uint32]int64)
+			seen := 0
+			for _, b := range outs {
+				for _, p := range b.Packets {
+					if p.Dropped {
+						t.Fatalf("unexpected drop: %v", p)
+					}
+					payload := p.Payload()
+					f := binary.BigEndian.Uint32(payload[0:4])
+					seq := int64(binary.BigEndian.Uint32(payload[4:8]))
+					if prev, ok := lastSeq[f]; ok && seq <= prev {
+						t.Fatalf("flow %d: seq %d after %d (per-flow order violated)", f, seq, prev)
+					}
+					lastSeq[f] = seq
+					seen++
+				}
+			}
+			if seen != 40*16 {
+				t.Fatalf("saw %d packets, want %d", seen, 40*16)
+			}
+		})
+	}
+}
+
+// hotSwapChain is the fixed linear graph the hot-swap audits run on: every
+// batch enters every element exactly once, so duplicate TraceEnter events
+// directly indicate double execution.
+func hotSwapChain() *element.Graph {
+	g := element.NewGraph()
+	src := g.Add(element.NewFromDevice("src"))
+	chk := g.Add(element.NewCheckIPHeader("chk"))
+	ttl := g.Add(element.NewDecTTL("ttl"))
+	cnt := g.Add(element.NewCounter("cnt"))
+	dst := g.Add(element.NewToDevice("dst"))
+	g.MustConnect(src, 0, chk)
+	g.MustConnect(chk, 0, ttl)
+	g.MustConnect(ttl, 0, cnt)
+	g.MustConnect(cnt, 0, dst)
+	return g
+}
+
+// hotSwapAssignments are the placements cycled through mid-traffic.
+func hotSwapAssignments() []hetsim.Assignment {
+	return []hetsim.Assignment{
+		{ // everything offloadable on the GPU
+			1: {Mode: hetsim.ModeGPU},
+			2: {Mode: hetsim.ModeGPU},
+			3: {Mode: hetsim.ModeGPU},
+		},
+		{ // mixed split/CPU
+			1: {Mode: hetsim.ModeSplit, GPUFraction: 0.5},
+			3: {Mode: hetsim.ModeSplit, GPUFraction: 0.25},
+		},
+		nil, // back to CPU-only
+	}
+}
+
+// TestHotSwapZeroLoss: applying new assignments mid-traffic loses zero
+// packets, keeps batch order, and — audited through the trace layer —
+// never executes an element under two placements within one batch epoch.
+func TestHotSwapZeroLoss(t *testing.T) {
+	const batches, perBatch = 80, 16
+	ring := NewRingTrace(batches * 16)
+	g := hotSwapChain()
+	p, err := New(g, Config{
+		QueueDepth: 2, PreserveOrder: true, Metrics: true, Trace: ring,
+		Offload: &OffloadConfig{MaxOutstanding: 2, AggregateLimit: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start(context.Background())
+
+	var outs []*netpkt.Batch
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for b := range p.Out() {
+			outs = append(outs, b)
+		}
+	}()
+
+	swaps := hotSwapAssignments()
+	in := seqTraffic(7, batches, perBatch)
+	for i, b := range in {
+		if i > 0 && i%20 == 0 {
+			if err := p.Apply(swaps[(i/20-1)%len(swaps)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.In() <- b
+	}
+	p.CloseInput()
+	<-collected
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero loss, order preserved.
+	if got := p.Stats.OutPackets.Load(); got != batches*perBatch {
+		t.Fatalf("out packets = %d, want %d (packets lost across hot-swap)", got, batches*perBatch)
+	}
+	if p.Stats.DropPackets.Load() != 0 {
+		t.Fatalf("drops = %d across hot-swap", p.Stats.DropPackets.Load())
+	}
+	if len(outs) != batches {
+		t.Fatalf("out batches = %d, want %d", len(outs), batches)
+	}
+	for i, b := range outs {
+		if b.ID != uint64(i) {
+			t.Fatalf("batch %d surfaced at position %d", b.ID, i)
+		}
+	}
+	if got := p.Offload.Swaps.Load(); got != 3 {
+		t.Fatalf("Swaps = %d, want 3", got)
+	}
+	if got := p.snapshotOffload().Epoch; got != 3 {
+		t.Fatalf("final epoch = %d, want 3", got)
+	}
+
+	// Trace audit: each (element, batch) entered exactly once, and within
+	// one epoch an element always ran under one placement.
+	type visit struct {
+		node  element.NodeID
+		batch uint64
+	}
+	type nodeEpoch struct {
+		node  element.NodeID
+		epoch uint64
+	}
+	entered := make(map[visit]string)
+	perEpoch := make(map[nodeEpoch]string)
+	for _, ev := range ring.Events() {
+		if ev.Kind != TraceEnter || ev.Node < 0 {
+			continue
+		}
+		v := visit{node: ev.Node, batch: ev.Batch}
+		if prev, ok := entered[v]; ok {
+			t.Fatalf("element %d entered batch %d twice (placements %q, %q)",
+				ev.Node, ev.Batch, prev, ev.Placement)
+		}
+		entered[v] = ev.Placement
+		ne := nodeEpoch{node: ev.Node, epoch: ev.Epoch}
+		if prev, ok := perEpoch[ne]; ok && prev != ev.Placement {
+			t.Fatalf("element %d ran under two placements (%q, %q) within epoch %d",
+				ev.Node, prev, ev.Placement, ev.Epoch)
+		}
+		perEpoch[ne] = ev.Placement
+	}
+	if len(entered) != batches*g.Len() {
+		t.Fatalf("trace recorded %d element visits, want %d", len(entered), batches*g.Len())
+	}
+}
+
+// TestHotSwapShardedZeroLoss: the sharded pipeline's Apply swaps every
+// replica without losing packets or violating per-flow order.
+func TestHotSwapShardedZeroLoss(t *testing.T) {
+	const flows, batches, perBatch = 11, 60, 16
+	build := func(int) (*element.Graph, error) { return hotSwapChain(), nil }
+	sp, err := NewSharded(build, ShardedConfig{
+		Shards: 3, Ordered: true,
+		Config: Config{
+			QueueDepth: 2, Metrics: true,
+			Offload: &OffloadConfig{MaxOutstanding: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Start(context.Background())
+
+	var outs []*netpkt.Batch
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for b := range sp.Out() {
+			outs = append(outs, b)
+		}
+	}()
+
+	swaps := hotSwapAssignments()
+	for i, b := range seqTraffic(flows, batches, perBatch) {
+		if i > 0 && i%15 == 0 {
+			if err := sp.Apply(swaps[(i/15-1)%len(swaps)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sp.In() <- b
+	}
+	sp.CloseInput()
+	<-collected
+	if err := sp.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := sp.Stats.OutPackets.Load(); got != batches*perBatch {
+		t.Fatalf("out packets = %d, want %d (packets lost across sharded hot-swap)",
+			got, batches*perBatch)
+	}
+	lastSeq := make(map[uint32]int64)
+	for _, b := range outs {
+		for _, p := range b.Packets {
+			if p.Dropped {
+				t.Fatalf("unexpected drop: %v", p)
+			}
+			payload := p.Payload()
+			f := binary.BigEndian.Uint32(payload[0:4])
+			seq := int64(binary.BigEndian.Uint32(payload[4:8]))
+			if prev, ok := lastSeq[f]; ok && seq <= prev {
+				t.Fatalf("flow %d: seq %d after %d across hot-swap", f, seq, prev)
+			}
+			lastSeq[f] = seq
+		}
+	}
+	// Every replica swapped three times; the aggregated report sums them
+	// and takes the max epoch.
+	rep := sp.Snapshot()
+	if rep.Offload.Swaps != 3*3 {
+		t.Fatalf("aggregated Swaps = %d, want 9", rep.Offload.Swaps)
+	}
+	if rep.Offload.Epoch != 3 {
+		t.Fatalf("aggregated epoch = %d, want 3", rep.Offload.Epoch)
+	}
+}
+
+// TestOffloadStatsAccounting pins the device backend's bookkeeping on a
+// fully offloaded chain: every non-endpoint element's batches go through a
+// device, launches aggregate (strictly fewer launches than submissions),
+// transfer bytes flow both ways, and the snapshot exposes placements.
+func TestOffloadStatsAccounting(t *testing.T) {
+	const batches, perBatch = 40, 16
+	g := hotSwapChain()
+	a := hetsim.Assignment{
+		1: {Mode: hetsim.ModeGPU},
+		2: {Mode: hetsim.ModeSplit, GPUFraction: 0.5},
+		3: {Mode: hetsim.ModeGPU},
+		// Endpoints assigned too: the resolver must pin them to the CPU.
+		0: {Mode: hetsim.ModeGPU},
+		4: {Mode: hetsim.ModeGPU},
+	}
+	outs, p, err := RunBatches(context.Background(), g,
+		Config{
+			PreserveOrder: true, Metrics: true,
+			Assignment: a,
+			Offload:    &OffloadConfig{Devices: 2, MaxOutstanding: 4, AggregateLimit: 8},
+		}, seqTraffic(5, batches, perBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != batches {
+		t.Fatalf("emitted %d batches, want %d", len(outs), batches)
+	}
+	rep := p.Snapshot()
+	o := rep.Offload
+	if o.OffloadedBatches != 3*batches {
+		t.Fatalf("OffloadedBatches = %d, want %d", o.OffloadedBatches, 3*batches)
+	}
+	if o.SplitBatches != batches {
+		t.Fatalf("SplitBatches = %d, want %d", o.SplitBatches, batches)
+	}
+	if o.KernelLaunches == 0 || o.KernelLaunches >= o.OffloadedBatches {
+		t.Fatalf("KernelLaunches = %d: want aggregation (0 < launches < %d submissions)",
+			o.KernelLaunches, o.OffloadedBatches)
+	}
+	if o.H2DBytes == 0 || o.H2DBytes != o.D2HBytes {
+		t.Fatalf("transfer bytes h2d=%d d2h=%d: want equal and non-zero", o.H2DBytes, o.D2HBytes)
+	}
+	if o.GPUBusyNs == 0 || o.SplitCPUNs == 0 {
+		t.Fatalf("modeled occupancy gpu=%dns split-cpu=%dns: want non-zero", o.GPUBusyNs, o.SplitCPUNs)
+	}
+	if o.Devices != 2 {
+		t.Fatalf("Devices = %d, want 2", o.Devices)
+	}
+	wantPlace := []string{"cpu", "gpu1", "split0:0.50", "gpu1", "cpu"}
+	for i, e := range rep.Elements {
+		if e.Placement != wantPlace[i] {
+			t.Fatalf("element %d placement %q, want %q", i, e.Placement, wantPlace[i])
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package dataplane
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/stats"
+)
+
+// nodeRunner is one element's scheduling state: the placement-aware loop
+// that routes each batch either inline through the host backend (ModeCPU)
+// or asynchronously through the element's offload lane (ModeGPU/ModeSplit).
+// All fields are owned by the element's goroutine.
+//
+// Ordering invariant: an element's batches leave the runner in arrival
+// order regardless of placement. Inline batches forward synchronously;
+// offloaded batches forward in submission order (the lane's completion
+// queue restores it), and a placement change flushes every in-flight
+// offload before the first batch of the new epoch executes — so a CPU
+// batch can never overtake a still-in-flight GPU batch, and no batch
+// executes under two placements within one epoch.
+type nodeRunner struct {
+	p       *Pipeline
+	id      element.NodeID
+	el      element.Element
+	kind    string
+	isSink  bool
+	inbox   chan stageMsg
+	sinkOut chan *netpkt.Batch
+	succ    [][]element.NodeID
+	// host is this goroutine's CPU backend (SingleOut fast path + scratch).
+	host *element.HostBackend
+
+	m       *nodeMetrics
+	edgeCtr [][]*stats.Counter
+	sampleN int
+	tick    int
+
+	// epoch is the placement epoch of the last handled batch; lane is the
+	// offload lane, created on first offload; outstanding counts in-flight
+	// submissions not yet forwarded downstream.
+	epoch       uint64
+	lane        *offloadLane
+	outstanding int
+}
+
+// run is the element goroutine's main loop. With nothing in flight it is
+// the plain blocking receive of the CPU-only dataplane — no select, no
+// timer, nothing on the zero-allocation hot path. Only while offloads are
+// outstanding does it multiplex the inbox against the completion channel.
+func (nr *nodeRunner) run(ctx context.Context) {
+	for {
+		if nr.outstanding == 0 {
+			msg, ok := <-nr.inbox
+			if !ok {
+				return
+			}
+			if !nr.handle(ctx, msg) {
+				return
+			}
+			continue
+		}
+		select {
+		case msg, ok := <-nr.inbox:
+			if !ok {
+				nr.flushLane(ctx)
+				return
+			}
+			if !nr.handle(ctx, msg) {
+				return
+			}
+		case it := <-nr.lane.comp:
+			nr.outstanding--
+			if !nr.deliver(ctx, it) {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// handle routes one batch according to the current placement table.
+func (nr *nodeRunner) handle(ctx context.Context, msg stageMsg) bool {
+	tbl := nr.p.placements.Load()
+	if tbl.epoch != nr.epoch {
+		// Epoch boundary: drain the old placement's in-flight work before
+		// executing anything under the new one.
+		if !nr.flushLane(ctx) {
+			return false
+		}
+		nr.epoch = tbl.epoch
+	}
+	pl := tbl.nodes[nr.id]
+	nr.p.traceEnter(nr.id, msg.b, pl, tbl.epoch)
+	if pl.mode != hetsim.ModeCPU {
+		return nr.offload(ctx, msg, pl)
+	}
+
+	// Inline host-CPU path (the original dataplane fast path).
+	var t0 time.Time
+	timed := false
+	if nr.m != nil {
+		nr.m.batches.Inc()
+		nr.m.pktsIn.Add(uint64(msg.live))
+		if nr.tick == 0 {
+			timed = true
+			t0 = time.Now()
+		}
+		if nr.tick++; nr.tick == nr.sampleN {
+			nr.tick = 0
+		}
+	}
+	outs := nr.host.Process(nr.el, msg.b)
+	if timed {
+		nr.m.proc.Add(float64(time.Since(t0).Nanoseconds()))
+		nr.m.procPkts.Add(uint64(msg.live))
+	}
+	nr.p.trace(TraceExit, nr.id, msg.b)
+	return nr.forward(ctx, msg.b, msg.live, outs)
+}
+
+// offload submits one batch to the element's lane, first making room in
+// the outstanding window by delivering completed work.
+func (nr *nodeRunner) offload(ctx context.Context, msg stageMsg, pl nodePlacement) bool {
+	if nr.lane == nil {
+		nr.lane = nr.p.pool.newLane(nr.id, pl.dev)
+	}
+	for nr.outstanding >= nr.p.pool.maxOutstanding {
+		select {
+		case it := <-nr.lane.comp:
+			nr.outstanding--
+			if !nr.deliver(ctx, it) {
+				return false
+			}
+		case <-ctx.Done():
+			return false
+		}
+	}
+	if nr.m != nil {
+		nr.m.batches.Inc()
+		nr.m.pktsIn.Add(uint64(msg.live))
+	}
+	it := &workItem{
+		lane: nr.lane, el: nr.el, kind: nr.kind,
+		b: msg.b, live: msg.live, mode: pl.mode, frac: pl.frac,
+	}
+	nr.outstanding++
+	return nr.lane.submit(ctx, it)
+}
+
+// deliver forwards one completed offload downstream, in lane release order.
+func (nr *nodeRunner) deliver(ctx context.Context, it *workItem) bool {
+	if it.err != nil {
+		nr.p.fail(it.err)
+		return false
+	}
+	if nr.m != nil {
+		nr.m.proc.Add(float64(it.procNs))
+		nr.m.procPkts.Add(uint64(it.live))
+	}
+	nr.p.trace(TraceExit, nr.id, it.b)
+	return nr.forward(ctx, it.b, it.live, it.outs)
+}
+
+// flushLane drains every in-flight offload — the epoch-swap barrier and
+// the end-of-input drain.
+func (nr *nodeRunner) flushLane(ctx context.Context) bool {
+	for nr.outstanding > 0 {
+		select {
+		case it := <-nr.lane.comp:
+			nr.outstanding--
+			if !nr.deliver(ctx, it) {
+				return false
+			}
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// forward pushes an executed batch's outputs to the successors (or the
+// sink collector), with the per-edge and drop accounting of the original
+// inline path.
+func (nr *nodeRunner) forward(ctx context.Context, b *netpkt.Batch, liveIn int, outs []*netpkt.Batch) bool {
+	p := nr.p
+	if nr.isSink {
+		if nr.m != nil {
+			live := b.Live()
+			nr.m.pktsOut.Add(uint64(live))
+			if live < liveIn {
+				nr.m.drops.Add(uint64(liveIn - live))
+			}
+		}
+		return p.send(ctx, nr.m, nr.sinkOut, b)
+	}
+	if len(outs) != nr.el.NumOutputs() {
+		p.fail(fmt.Errorf("dataplane: %s emitted %d outputs, declared %d",
+			nr.el.Name(), len(outs), nr.el.NumOutputs()))
+		return false
+	}
+	totalOut := 0
+	for port, ob := range outs {
+		if ob == nil || len(ob.Packets) == 0 {
+			continue
+		}
+		live := 0
+		if nr.m != nil {
+			live = ob.Live()
+			totalOut += live
+			nr.m.pktsOut.Add(uint64(live))
+		}
+		for t, to := range nr.succ[port] {
+			if nr.m != nil {
+				nr.edgeCtr[port][t].Add(uint64(live))
+			}
+			if !p.sendStage(ctx, nr.m, p.inbox[to], stageMsg{b: ob, live: live}) {
+				return false
+			}
+		}
+	}
+	// Cloning elements emit more than they take in; clamp.
+	if nr.m != nil && liveIn > totalOut {
+		nr.m.drops.Add(uint64(liveIn - totalOut))
+	}
+	return true
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
 	"nfcompass/internal/netpkt"
 )
 
@@ -405,6 +406,20 @@ func (sp *ShardedPipeline) Wait() error {
 
 // NumShards returns the replica count.
 func (sp *ShardedPipeline) NumShards() int { return len(sp.shards) }
+
+// Apply atomically swaps the placement on every replica (see
+// Pipeline.Apply). Replicas swap independently at their own next batch
+// boundary; flow affinity makes that safe — a flow only ever traverses one
+// replica, so per-flow order cannot be violated by shards straddling the
+// epoch boundary for a short window.
+func (sp *ShardedPipeline) Apply(a hetsim.Assignment) error {
+	for _, s := range sp.shards {
+		if err := s.Apply(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // ShardSnapshot returns shard i's own report (see Pipeline.Snapshot).
 func (sp *ShardedPipeline) ShardSnapshot(i int) *Report { return sp.shards[i].Snapshot() }

@@ -51,6 +51,12 @@ type TraceEvent struct {
 	// NanosSinceStart is the event time relative to pipeline construction,
 	// from the monotonic clock.
 	NanosSinceStart int64
+	// Epoch and Placement are set on TraceEnter events only: the placement
+	// epoch and resolved placement ("cpu", "gpu0", "split1:0.40") the batch
+	// is about to execute under. Together they make hot-swap atomicity
+	// auditable — a batch never enters one element under two placements.
+	Epoch     uint64
+	Placement string
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,55 @@
+package element
+
+import "nfcompass/internal/netpkt"
+
+// Backend is the compute-backend hook of the execution contract. An
+// execution engine routes every Process invocation through a Backend, so
+// the same element graph can run on different compute substrates — the
+// native host CPU, an emulated (or, one day, real) GPU device, a remote
+// accelerator — without the elements knowing. Implementations must
+// preserve Element semantics exactly: each batch is processed once, and
+// one element's batches are processed in submission order (elements are
+// stateful and single-threaded by contract).
+//
+// Backend is the synchronous invocation hook; asynchrony (submission
+// queues, completion-queue joins, placement decisions) is the execution
+// engine's job, layered above this interface. See
+// internal/dataplane's placement-aware scheduler for the engine that
+// dispatches between a host backend and emulated GPU devices according to
+// a hetsim.Assignment.
+type Backend interface {
+	// Name identifies the backend ("cpu", "gpu0", ...).
+	Name() string
+	// Process executes el on b exactly as el.Process would. The returned
+	// slice is only valid until the next Process call on this backend
+	// (implementations may reuse it); callers must consume it
+	// immediately.
+	Process(el Element, b *netpkt.Batch) []*netpkt.Batch
+}
+
+// HostBackend executes elements in-process on the caller's goroutine —
+// the native CPU path every engine starts from. One-output elements
+// implementing SingleOut skip the per-call output-slice allocation: the
+// result lands in a backend-local scratch array, which is what keeps a
+// linear chain at zero allocations per batch in steady state.
+//
+// A HostBackend is single-goroutine state (the scratch array is reused
+// across calls); give each executing goroutine its own instance.
+type HostBackend struct {
+	scratch [1]*netpkt.Batch
+}
+
+// NewHostBackend returns a host-CPU backend for one executing goroutine.
+func NewHostBackend() *HostBackend { return &HostBackend{} }
+
+// Name implements Backend.
+func (hb *HostBackend) Name() string { return "cpu" }
+
+// Process implements Backend.
+func (hb *HostBackend) Process(el Element, b *netpkt.Batch) []*netpkt.Batch {
+	if s, ok := el.(SingleOut); ok && el.NumOutputs() == 1 {
+		hb.scratch[0] = s.ProcessSingle(b)
+		return hb.scratch[:]
+	}
+	return el.Process(b)
+}

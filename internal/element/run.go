@@ -48,9 +48,13 @@ type Executor struct {
 	g     *Graph
 	order []NodeID
 	Stats *RunStats
+	// Backend is the compute backend every Process call is routed
+	// through (see backend.go); NewExecutor installs a HostBackend.
+	Backend Backend
 }
 
-// NewExecutor validates the graph and prepares an executor.
+// NewExecutor validates the graph and prepares an executor running on the
+// native host-CPU backend.
 func NewExecutor(g *Graph) (*Executor, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -59,7 +63,7 @@ func NewExecutor(g *Graph) (*Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Executor{g: g, order: order, Stats: newRunStats()}, nil
+	return &Executor{g: g, order: order, Stats: newRunStats(), Backend: NewHostBackend()}, nil
 }
 
 // RunBatch pushes one input batch into every source node and returns the
@@ -81,7 +85,7 @@ func (x *Executor) RunBatch(in *netpkt.Batch) (map[NodeID][]*netpkt.Batch, error
 		for _, b := range batches {
 			before := countLive(b)
 			x.Stats.NodePackets[id] += uint64(before)
-			outs := el.Process(b)
+			outs := x.Backend.Process(el, b)
 			if el.NumOutputs() == 0 {
 				x.Stats.Emitted += uint64(countLive(b))
 				sinkOut[id] = append(sinkOut[id], b)

@@ -1,0 +1,136 @@
+package hetsim
+
+import "math"
+
+// CostModel prices element execution on the platform's processors. It is
+// the single source of truth for service-time arithmetic, shared by two
+// consumers that must never disagree:
+//
+//   - the discrete-event Simulator (sim.go), which charges these costs to
+//     simulated CPU cores / GPU devices while running graphs functionally;
+//   - the live dataplane's emulated GPU device backend
+//     (internal/dataplane), which executes ModeGPU/ModeSplit elements
+//     through real submission queues and accounts the modeled transfer,
+//     launch, and kernel latencies using the same table the allocator's
+//     partition model was built from.
+//
+// The zero value is not useful; construct with NewCostModel. Contention
+// and GPUKinds carry the resident-set context (cache pressure, co-resident
+// kernels); both default to "no interference" when unset.
+type CostModel struct {
+	P     Platform
+	Costs map[string]ElemCost
+	// Contention returns the CPU cache-contention factor (>= 1) for an
+	// element kind; nil means no contention (factor 1). The Simulator
+	// wires its precomputed per-kind map in here.
+	Contention func(kind string) float64
+	// GPUKinds is the number of distinct kernel kinds resident on the
+	// device; each kernel invocation beyond a single resident kind pays
+	// the per-kernel context-switch cost (§III-C co-run interference).
+	GPUKinds int
+}
+
+// NewCostModel builds a cost model over the platform and cost table (nil
+// costs select DefaultCosts) with no interference context.
+func NewCostModel(p Platform, costs map[string]ElemCost) *CostModel {
+	if costs == nil {
+		costs = DefaultCosts()
+	}
+	return &CostModel{P: p, Costs: costs}
+}
+
+// contentionFor returns the CPU contention factor for kind (1 when no
+// contention context is installed).
+func (cm *CostModel) contentionFor(kind string) float64 {
+	if cm.Contention == nil {
+		return 1
+	}
+	return cm.Contention(kind)
+}
+
+// memAccesses resolves the table-access count for n packets / bytes of
+// kind: the exact probe count when the caller measured one (mem > 0),
+// otherwise the cost table's per-packet/per-byte estimate.
+func (cm *CostModel) memAccesses(kind string, n, bytes int, mem float64) float64 {
+	if mem != 0 {
+		return mem
+	}
+	c := costFor(cm.Costs, kind)
+	return float64(n)*c.MemAccessPerPkt + float64(bytes)*c.MemAccessPerByte
+}
+
+// CPUServiceNs prices CPU processing of n packets / bytes with mem exact
+// table accesses (0 = use the table estimate) for the given kind.
+func (cm *CostModel) CPUServiceNs(kind string, n, bytes int, mem float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	c := costFor(cm.Costs, kind)
+	base := float64(n)*c.CPUCyclesPerPkt + float64(bytes)*c.CPUCyclesPerByte
+	memAcc := cm.memAccesses(kind, n, bytes, mem)
+	knee := 1.0
+	if c.BatchKnee > 0 && n > c.BatchKnee {
+		knee = 1 + c.KneeSlope*(float64(n)/float64(c.BatchKnee)-1)
+	}
+	memCycles := memAcc * cm.P.MemAccessCycles * knee * cm.contentionFor(kind)
+	return (base + memCycles) / cm.P.CPUHz * 1e9
+}
+
+// LaunchNs is the per-kernel-invocation launch cost (the persistent-kernel
+// doorbell when the platform runs persistent kernels). Aggregating several
+// submissions into one launch — the device backend's batching — pays this
+// once per aggregated group instead of once per batch.
+func (cm *CostModel) LaunchNs() float64 {
+	if cm.P.PersistentKernel {
+		return cm.P.PersistentLaunchNs
+	}
+	return cm.P.KernelLaunchNs
+}
+
+// CtxSwitchNs is the per-invocation kernel context-switch cost implied by
+// the resident kind count (zero with at most one resident kind).
+func (cm *CostModel) CtxSwitchNs() float64 {
+	return cm.P.CtxSwitchNs * float64(max(0, cm.GPUKinds-1))
+}
+
+// KernelNs prices only the on-device compute of one kernel over n packets
+// (no launch, context-switch, or PCIe terms — compose with LaunchNs /
+// CtxSwitchNs / H2DNs / D2HNs).
+func (cm *CostModel) KernelNs(kind string, n, bytes int, mem float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	c := costFor(cm.Costs, kind)
+	memAcc := cm.memAccesses(kind, n, bytes, mem)
+	work := float64(n)*c.GPUCyclesPerPkt + float64(bytes)*c.GPUCyclesPerByte +
+		memAcc*GPUMemAccessCycles
+	lanes := math.Min(float64(n), cm.P.GPUParallelism)
+	div := c.Divergence
+	if div < 1 {
+		div = 1
+	}
+	return div * work / lanes / cm.P.GPUHz * 1e9
+}
+
+// H2DNs prices one host-to-device transfer of the given payload.
+func (cm *CostModel) H2DNs(bytes int) float64 {
+	return cm.P.PCIeLatencyNs + float64(bytes)/cm.P.H2DBytesPerNs
+}
+
+// D2HNs prices one device-to-host transfer of the given payload.
+func (cm *CostModel) D2HNs(bytes int) float64 {
+	return cm.P.PCIeLatencyNs + float64(bytes)/cm.P.D2HBytesPerNs
+}
+
+// GPUServiceNs prices one un-aggregated kernel invocation over n packets.
+// h2d and d2h are returned separately: the engine charges them only when
+// the batch actually crosses the host/device boundary (data already
+// resident on the device stays there between adjacent GPU elements — the
+// data-movement saving NFCompass's partitioner optimizes for).
+func (cm *CostModel) GPUServiceNs(kind string, n, bytes int, mem float64) (service, h2d, d2h float64) {
+	if n == 0 {
+		return 0, 0, 0
+	}
+	service = cm.LaunchNs() + cm.CtxSwitchNs() + cm.KernelNs(kind, n, bytes, mem)
+	return service, cm.H2DNs(bytes), cm.D2HNs(bytes)
+}

@@ -182,6 +182,7 @@ type Simulator struct {
 	order      []element.NodeID
 	contention map[string]float64 // per-kind CPU contention factor
 	gpuKinds   int
+	cm         *CostModel // shared pricing arithmetic (see costmodel.go)
 }
 
 // NewSimulator validates the graph and precomputes contention state.
@@ -251,6 +252,11 @@ func (s *Simulator) precompute() {
 		s.contention[kind] = 1 + s.P.ContentionSlope*overshoot*c.MemIntensity
 	}
 	s.gpuKinds = len(gpuKinds) + s.CoRun.ExtraGPUKinds
+	s.cm = &CostModel{
+		P: s.P, Costs: s.Costs,
+		Contention: s.contentionFor,
+		GPUKinds:   s.gpuKinds,
+	}
 }
 
 // contentionFor returns the CPU contention factor for kind.
@@ -261,57 +267,22 @@ func (s *Simulator) contentionFor(kind string) float64 {
 	return 1
 }
 
+// CostModel exposes the simulator's pricing arithmetic with its current
+// contention and resident-kernel context installed — the table the live
+// dataplane's device backend shares (one source of truth; see
+// costmodel.go).
+func (s *Simulator) CostModel() *CostModel { return s.cm }
+
 // cpuServiceNs prices CPU processing of n packets / bytes with mem exact
 // table accesses for the given kind.
 func (s *Simulator) cpuServiceNs(kind string, n, bytes int, mem float64) float64 {
-	if n == 0 {
-		return 0
-	}
-	c := costFor(s.Costs, kind)
-	base := float64(n)*c.CPUCyclesPerPkt + float64(bytes)*c.CPUCyclesPerByte
-	memAcc := mem
-	if memAcc == 0 {
-		memAcc = float64(n)*c.MemAccessPerPkt + float64(bytes)*c.MemAccessPerByte
-	}
-	knee := 1.0
-	if c.BatchKnee > 0 && n > c.BatchKnee {
-		knee = 1 + c.KneeSlope*(float64(n)/float64(c.BatchKnee)-1)
-	}
-	memCycles := memAcc * s.P.MemAccessCycles * knee * s.contentionFor(kind)
-	return (base + memCycles) / s.P.CPUHz * 1e9
+	return s.cm.CPUServiceNs(kind, n, bytes, mem)
 }
 
-// gpuServiceNs prices one kernel invocation over n packets. h2d and d2h
-// are returned separately: the engine charges them only when the batch
-// actually crosses the host/device boundary (data already resident on the
-// device stays there between adjacent GPU elements — the data-movement
-// saving NFCompass's partitioner optimizes for).
+// gpuServiceNs prices one kernel invocation over n packets; see
+// CostModel.GPUServiceNs for the h2d/d2h charging convention.
 func (s *Simulator) gpuServiceNs(kind string, n, bytes int, mem float64) (service, h2d, d2h float64) {
-	if n == 0 {
-		return 0, 0, 0
-	}
-	c := costFor(s.Costs, kind)
-	launch := s.P.KernelLaunchNs
-	if s.P.PersistentKernel {
-		launch = s.P.PersistentLaunchNs
-	}
-	ctx := s.P.CtxSwitchNs * float64(max(0, s.gpuKinds-1))
-	memAcc := mem
-	if memAcc == 0 {
-		memAcc = float64(n)*c.MemAccessPerPkt + float64(bytes)*c.MemAccessPerByte
-	}
-	work := float64(n)*c.GPUCyclesPerPkt + float64(bytes)*c.GPUCyclesPerByte +
-		memAcc*GPUMemAccessCycles
-	lanes := math.Min(float64(n), s.P.GPUParallelism)
-	div := c.Divergence
-	if div < 1 {
-		div = 1
-	}
-	kernel := div * work / lanes / s.P.GPUHz * 1e9
-	h2d = s.P.PCIeLatencyNs + float64(bytes)/s.P.H2DBytesPerNs
-	d2h = s.P.PCIeLatencyNs + float64(bytes)/s.P.D2HBytesPerNs
-	service = launch + ctx + kernel
-	return service, h2d, d2h
+	return s.cm.GPUServiceNs(kind, n, bytes, mem)
 }
 
 func max(a, b int) int {
@@ -443,7 +414,7 @@ func (s *Simulator) Run(batches []*netpkt.Batch, interarrivalNs float64) (*Resul
 					if ent.onGPU {
 						// The split is host-coordinated: fetch the batch
 						// off the device first.
-						d2h := s.P.PCIeLatencyNs + float64(bytes)/s.P.D2HBytesPerNs
+						d2h := s.cm.D2HNs(bytes)
 						ready = gpuFree.run(ready, d2h)
 						res.GPUBusyNs += d2h
 						res.D2HBytes += uint64(bytes)
@@ -470,7 +441,7 @@ func (s *Simulator) Run(batches []*netpkt.Batch, interarrivalNs float64) (*Resul
 					ready := ent.ready
 					if ent.onGPU {
 						// Crossing back to the host: device-to-host copy.
-						d2h := s.P.PCIeLatencyNs + float64(bytes)/s.P.D2HBytesPerNs
+						d2h := s.cm.D2HNs(bytes)
 						ready = gpuFree.run(ready, d2h)
 						res.GPUBusyNs += d2h
 						res.D2HBytes += uint64(bytes)
@@ -514,7 +485,7 @@ func (s *Simulator) Run(batches []*netpkt.Batch, interarrivalNs float64) (*Resul
 					if outOnGPU {
 						// Branch re-organization is host-side work: the
 						// batch comes off the device and stays there.
-						d2h := s.P.PCIeLatencyNs + float64(bytes)/s.P.D2HBytesPerNs
+						d2h := s.cm.D2HNs(bytes)
 						done = gpuFree.run(done, d2h)
 						res.GPUBusyNs += d2h
 						res.D2HBytes += uint64(bytes)
