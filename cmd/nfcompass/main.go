@@ -48,6 +48,8 @@ func main() {
 		"dataplane replicas for the -metrics run: packets are dispatched by flow affinity and the snapshot aggregates across shards (0 = one per CPU)")
 	assign := flag.Bool("assign", false,
 		"print the task allocator's report (algorithm, objective, cut/load split, per-element offload ratios) and execute the chain on the live dataplane under that assignment: ModeGPU/ModeSplit elements run through the emulated GPU device backend")
+	noFusion := flag.Bool("no-fusion", false,
+		"disable device-resident segment fusion in the -assign dataplane run: every GPU element pays its own H2D/D2H round trip (A/B lever for the fusion saving)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nfcompass [flags] <chain>\n"+
 			"e.g.: nfcompass -pkt 256 \"firewall:1000,ipv4,nat,ids\"\n")
@@ -186,7 +188,7 @@ func main() {
 			dataplane.Config{
 				PreserveOrder: true, Metrics: true,
 				Assignment: d.Assignment,
-				Offload:    &dataplane.OffloadConfig{Platform: &p},
+				Offload:    &dataplane.OffloadConfig{Platform: &p, DisableFusion: *noFusion},
 			}, mkBatches(4000))
 		if err != nil {
 			fatal(err)

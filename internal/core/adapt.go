@@ -77,6 +77,7 @@ func (a *Adaptor) Observe(sample []*netpkt.Batch) (bool, error) {
 	}
 
 	profSample := cloneBatches(sample)
+	selSample := cloneBatches(sample) // pristine copy for candidate validation
 	sig, in, err := a.capture(sample)
 	if err != nil {
 		return false, err
@@ -106,11 +107,21 @@ func (a *Adaptor) Observe(sample []*netpkt.Batch) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	a.d.Assignment = assign
+	// Same sample-driven validation Deploy runs: the partition model is
+	// linear (and, with the segment-fusion contiguity reward, biased
+	// toward keeping fusable runs whole), so evaluate the candidate set on
+	// the observed traffic and keep the winner rather than trusting the
+	// raw model output.
+	name, best, err := a.d.selectAssignment(selSample, assign)
+	if err != nil {
+		return false, err
+	}
+	rep.Selected = name
+	a.d.Assignment = best
 	a.d.Alloc = rep
 	a.Reallocations++
 	if a.rt != nil {
-		if err := a.rt.Apply(assign); err != nil {
+		if err := a.rt.Apply(best); err != nil {
 			return true, err
 		}
 	}

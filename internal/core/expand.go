@@ -108,6 +108,11 @@ func Expand(g *element.Graph, dict *profile.Dictionary, in *profile.Intensities,
 
 	// Edges: transfer time if cut, spread across instance pairs so the
 	// cut weight scales with the crossing traffic fraction.
+	fusable := hetsim.FusableEdges(g)
+	launchNs := p.KernelLaunchNs
+	if p.PersistentKernel {
+		launchNs = p.PersistentLaunchNs
+	}
 	for _, e := range g.Edges() {
 		frac := in.Edge[element.EdgeKey{From: e.From, Port: e.Port, To: e.To}]
 		if frac <= 0 {
@@ -121,6 +126,15 @@ func Expand(g *element.Graph, dict *profile.Dictionary, in *profile.Intensities,
 		// Transfer time if this edge is cut, amortized over the device
 		// pool (each device moves its own share of the batches).
 		transferNs := (p.PCIeLatencyNs + bytesPerBatch/p.H2DBytesPerNs) / gpus
+		// Contiguity reward: an uncut fusable edge between two offloadable
+		// elements keeps the batch device-resident across the hop — one
+		// shared launch and no D2H+H2D round trip. Cutting it forfeits that
+		// segment-fusion saving, so the cut cost carries the return copy
+		// and the extra launch the broken segment would pay.
+		if fusable[element.EdgeKey{From: e.From, Port: e.Port, To: e.To}] &&
+			offloadable[e.From] && offloadable[e.To] {
+			transferNs += (launchNs + p.PCIeLatencyNs + bytesPerBatch/p.D2HBytesPerNs) / gpus
+		}
 		us := ex.instances[e.From]
 		vs := ex.instances[e.To]
 		w := transferNs / float64(len(us)*len(vs))

@@ -94,9 +94,14 @@ type Pipeline struct {
 // stageMsg carries a batch between stages. live is the batch's live packet
 // count as counted by the sender, so each hop counts a batch once instead
 // of every stage re-scanning it (meaningful only when metrics are on).
+// fused, when non-nil, marks the message as a fused-segment pass-through:
+// the batch already executed device-side as part of the marker's segment,
+// and the receiving member only books its recorded share (scheduler.go's
+// passThrough) instead of executing again.
 type stageMsg struct {
-	b    *netpkt.Batch
-	live int
+	b     *netpkt.Batch
+	live  int
+	fused *workItem
 }
 
 // New validates the graph and constructs a stopped pipeline.
@@ -156,6 +161,7 @@ func (p *Pipeline) trace(kind TraceKind, node element.NodeID, b *netpkt.Batch) {
 	p.cfg.Trace.Emit(TraceEvent{
 		Kind: kind, Node: node, Batch: b.ID, Packets: b.Live(),
 		NanosSinceStart: p.clock().Nanoseconds(),
+		Segment:         -1,
 	})
 }
 
@@ -169,7 +175,23 @@ func (p *Pipeline) traceEnter(node element.NodeID, b *netpkt.Batch, pl nodePlace
 	p.cfg.Trace.Emit(TraceEvent{
 		Kind: TraceEnter, Node: node, Batch: b.ID, Packets: b.Live(),
 		NanosSinceStart: p.clock().Nanoseconds(),
-		Epoch:           epoch, Placement: pl.String(),
+		Epoch:           epoch, Placement: pl.String(), Segment: pl.seg,
+	})
+}
+
+// traceFused is the enter event of a fused segment member: the batch
+// already executed device-side, so the event records the epoch, placement,
+// and segment the *submission* ran under (from the marker) and the
+// member's own recorded live-in count — keeping the one-placement-per-epoch
+// audit exact even when a swap lands while the marker is in flight.
+func (p *Pipeline) traceFused(node element.NodeID, b *netpkt.Batch, it *workItem, liveIn int) {
+	if p.cfg.Trace == nil {
+		return
+	}
+	p.cfg.Trace.Emit(TraceEvent{
+		Kind: TraceEnter, Node: node, Batch: b.ID, Packets: liveIn,
+		NanosSinceStart: p.clock().Nanoseconds(),
+		Epoch:           it.epoch, Placement: it.place, Segment: it.segID,
 	})
 }
 
@@ -436,9 +458,15 @@ func RunBatches(ctx context.Context, g *element.Graph, cfg Config,
 		}
 	}()
 
+inject:
 	for _, b := range batches {
 		select {
 		case p.In() <- b:
+		case <-p.done:
+			// The pipeline failed and tore itself down mid-injection; stop
+			// feeding it and surface runErr below instead of blocking on a
+			// channel nobody reads anymore.
+			break inject
 		case <-ctx.Done():
 			p.CloseInput()
 			<-collectDone

@@ -179,12 +179,31 @@ func AggregateReports(reps []*Report) *Report {
 		agg.Offload.KernelLaunches += r.Offload.KernelLaunches
 		agg.Offload.H2DBytes += r.Offload.H2DBytes
 		agg.Offload.D2HBytes += r.Offload.D2HBytes
+		agg.Offload.H2DTransfers += r.Offload.H2DTransfers
+		agg.Offload.D2HTransfers += r.Offload.D2HTransfers
 		agg.Offload.GPUBusyNs += r.Offload.GPUBusyNs
 		agg.Offload.SplitCPUNs += r.Offload.SplitCPUNs
+		agg.Offload.FusedSegments += r.Offload.FusedSegments
+		agg.Offload.TransfersSaved += r.Offload.TransfersSaved
+		agg.Offload.OverlapNs += r.Offload.OverlapNs
 		agg.Offload.Swaps += r.Offload.Swaps
 		agg.Offload.Devices += r.Offload.Devices
 		if r.Offload.Epoch > agg.Offload.Epoch {
 			agg.Offload.Epoch = r.Offload.Epoch
+		}
+		for _, d := range r.Offload.PerDevice {
+			merged := false
+			for i := range agg.Offload.PerDevice {
+				if agg.Offload.PerDevice[i].Name == d.Name {
+					agg.Offload.PerDevice[i].Batches += d.Batches
+					agg.Offload.PerDevice[i].BusyNs += d.BusyNs
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				agg.Offload.PerDevice = append(agg.Offload.PerDevice, d)
+			}
 		}
 		for i, e := range r.Elements {
 			if i >= len(agg.Elements) {
@@ -233,10 +252,18 @@ func (r *Report) String() string {
 		return sb.String()
 	}
 	if o := r.Offload; o.OffloadedBatches > 0 || o.Swaps > 0 {
-		fmt.Fprintf(&sb, "offload: dev=%d batches=%d (split %d) launches=%d h2d=%dB d2h=%dB gpu-busy=%.2fms split-cpu=%.2fms epoch=%d swaps=%d\n",
+		fmt.Fprintf(&sb, "offload: dev=%d batches=%d (split %d) launches=%d h2d=%dB/%dx d2h=%dB/%dx gpu-busy=%.2fms split-cpu=%.2fms epoch=%d swaps=%d\n",
 			o.Devices, o.OffloadedBatches, o.SplitBatches, o.KernelLaunches,
-			o.H2DBytes, o.D2HBytes, float64(o.GPUBusyNs)/1e6,
-			float64(o.SplitCPUNs)/1e6, o.Epoch, o.Swaps)
+			o.H2DBytes, o.H2DTransfers, o.D2HBytes, o.D2HTransfers,
+			float64(o.GPUBusyNs)/1e6, float64(o.SplitCPUNs)/1e6, o.Epoch, o.Swaps)
+		if o.FusedSegments > 0 || o.OverlapNs > 0 {
+			fmt.Fprintf(&sb, "fusion: segments=%d transfers-saved=%d overlap=%.2fms\n",
+				o.FusedSegments, o.TransfersSaved, float64(o.OverlapNs)/1e6)
+		}
+		for _, d := range o.PerDevice {
+			fmt.Fprintf(&sb, "  %s: batches=%d busy=%.2fms\n",
+				d.Name, d.Batches, float64(d.BusyNs)/1e6)
+		}
 	}
 	fmt.Fprintf(&sb, "%-3s %-22s %-14s %-12s %9s %9s %7s %6s %9s %9s %9s %9s\n",
 		"id", "element", "kind", "place", "pkts-in", "pkts-out", "drops", "queue",
@@ -266,6 +293,47 @@ func (r *Report) WritePrometheus(w io.Writer) {
 	stats.PromCounter(w, p+"drop_packets_total", nil, r.DropPackets)
 	stats.PromHeader(w, p+"in_bytes_total", "counter", "live bytes injected")
 	stats.PromCounter(w, p+"in_bytes_total", nil, r.InBytes)
+	// Offload metrics emit only when the device backend saw traffic, and
+	// per-device series only for devices that processed batches — idle
+	// devices would otherwise pollute every CPU-only scrape with zeros.
+	if o := r.Offload; o.OffloadedBatches > 0 {
+		stats.PromHeader(w, p+"offload_batches_total", "counter",
+			"batches executed through the emulated device backend")
+		stats.PromCounter(w, p+"offload_batches_total", nil, o.OffloadedBatches)
+		stats.PromHeader(w, p+"offload_kernel_launches_total", "counter",
+			"aggregated kernel launch groups")
+		stats.PromCounter(w, p+"offload_kernel_launches_total", nil, o.KernelLaunches)
+		stats.PromHeader(w, p+"offload_transfers_total", "counter",
+			"logical PCIe copy operations, by direction")
+		stats.PromCounter(w, p+"offload_transfers_total", stats.Labels{"dir": "h2d"}, o.H2DTransfers)
+		stats.PromCounter(w, p+"offload_transfers_total", stats.Labels{"dir": "d2h"}, o.D2HTransfers)
+		stats.PromHeader(w, p+"offload_fused_segments_total", "counter",
+			"multi-element device-resident segment submissions")
+		stats.PromCounter(w, p+"offload_fused_segments_total", nil, o.FusedSegments)
+		stats.PromHeader(w, p+"offload_transfers_saved_total", "counter",
+			"PCIe copies elided by segment residency")
+		stats.PromCounter(w, p+"offload_transfers_saved_total", nil, o.TransfersSaved)
+		stats.PromHeader(w, p+"offload_gpu_busy_ns_total", "counter",
+			"modeled device occupancy in nanoseconds (serialized)")
+		stats.PromCounter(w, p+"offload_gpu_busy_ns_total", nil, o.GPUBusyNs)
+		stats.PromHeader(w, p+"offload_overlap_ns_total", "counter",
+			"modeled H2D time hidden by double-buffered pipelining")
+		stats.PromCounter(w, p+"offload_overlap_ns_total", nil, o.OverlapNs)
+		if len(o.PerDevice) > 0 {
+			stats.PromHeader(w, p+"offload_device_batches_total", "counter",
+				"batches per emulated device (active devices only)")
+			for _, d := range o.PerDevice {
+				stats.PromCounter(w, p+"offload_device_batches_total",
+					stats.Labels{"device": d.Name}, d.Batches)
+			}
+			stats.PromHeader(w, p+"offload_device_busy_ns_total", "counter",
+				"modeled busy time per emulated device (active devices only)")
+			for _, d := range o.PerDevice {
+				stats.PromCounter(w, p+"offload_device_busy_ns_total",
+					stats.Labels{"device": d.Name}, d.BusyNs)
+			}
+		}
+	}
 	if !r.MetricsEnabled {
 		return
 	}

@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"fmt"
+	"strings"
 
 	"nfcompass/internal/element"
 	"nfcompass/internal/hetsim"
@@ -15,8 +16,14 @@ type nodePlacement struct {
 	frac float64
 	// dev is the device index the element's offload lane is pinned to.
 	// Pinning is per element (not per batch) so one element's kernels all
-	// queue on one device and stay in submission order.
+	// queue on one device and stay in submission order. GPU elements of one
+	// fused segment share the segment's device.
 	dev int
+	// seg is the node's device-resident segment index into
+	// placementTable.segs (-1 for CPU and split placements); head marks the
+	// segment's entry element — the node that submits the fused item.
+	seg  int
+	head bool
 }
 
 // String renders the placement for reports and traces.
@@ -31,6 +38,22 @@ func (pl nodePlacement) String() string {
 	}
 }
 
+// segmentPlan is one epoch's fused device-resident segment: the chain of
+// elements a head submits as a single device item. Immutable once the table
+// is published; the device worker and pass-through runners read it
+// concurrently.
+type segmentPlan struct {
+	nodes []element.NodeID
+	els   []element.Element
+	kinds []string
+	// sig is the aggregation signature: consecutive device submissions with
+	// equal signatures fold into one kernel launch. Singleton segments keep
+	// the element kind so they aggregate with same-kind splits, exactly as
+	// unfused submissions did.
+	sig string
+	dev int
+}
+
 // placementTable is one immutable epoch of per-node placements. The running
 // pipeline holds the current table in an atomic pointer; Apply publishes a
 // whole new table, never mutates one in place. A node goroutine reads the
@@ -39,6 +62,7 @@ func (pl nodePlacement) String() string {
 type placementTable struct {
 	epoch uint64
 	nodes []nodePlacement
+	segs  []segmentPlan
 }
 
 // resolvePlacements normalizes an Assignment onto the pipeline's graph for
@@ -47,6 +71,12 @@ type placementTable struct {
 // to the CPU regardless of the assignment, matching the allocator's
 // convention that endpoints are never offload candidates. Degenerate splits
 // collapse: fraction <= 0 means CPU, >= 1 means full GPU.
+//
+// After modes resolve, the ModeGPU nodes are grouped into maximal
+// contiguous device-resident segments (hetsim.DeviceSegments): each segment
+// pins to one device — seg index modulo the pool — so the whole chain's
+// kernels queue on a single device and the batch can stay resident between
+// them. With fusion disabled every GPU node is its own singleton segment.
 func (p *Pipeline) resolvePlacements(a hetsim.Assignment, epoch uint64) *placementTable {
 	n := p.g.Len()
 	t := &placementTable{epoch: epoch, nodes: make([]nodePlacement, n)}
@@ -60,23 +90,58 @@ func (p *Pipeline) resolvePlacements(a hetsim.Assignment, epoch uint64) *placeme
 	}
 	for i := 0; i < n; i++ {
 		id := element.NodeID(i)
+		t.nodes[i].seg = -1
 		if isSource[id] || p.g.Node(id).NumOutputs() == 0 {
 			continue // endpoints stay on the CPU (zero value)
 		}
 		pl := a[id]
-		np := nodePlacement{mode: pl.Mode, frac: pl.GPUFraction, dev: i % devs}
+		np := nodePlacement{mode: pl.Mode, frac: pl.GPUFraction, dev: i % devs, seg: -1}
 		if np.mode == hetsim.ModeSplit {
 			switch {
 			case np.frac <= 0:
-				np = nodePlacement{}
+				np = nodePlacement{seg: -1}
 			case np.frac >= 1:
 				np.mode, np.frac = hetsim.ModeGPU, 0
 			}
 		}
 		if np.mode == hetsim.ModeCPU {
-			np = nodePlacement{}
+			np = nodePlacement{seg: -1}
 		}
 		t.nodes[i] = np
+	}
+
+	onDevice := func(id element.NodeID) bool {
+		return t.nodes[id].mode == hetsim.ModeGPU
+	}
+	segs := hetsim.DeviceSegments(p.g, onDevice)
+	if p.pool != nil && !p.pool.fuse {
+		// Fusion off: break every segment into singletons, keeping the
+		// head-order numbering so device pinning stays comparable.
+		var singles []hetsim.Segment
+		for _, s := range segs {
+			for _, id := range s.Nodes {
+				singles = append(singles, hetsim.Segment{Nodes: []element.NodeID{id}})
+			}
+		}
+		segs = singles
+	}
+	t.segs = make([]segmentPlan, len(segs))
+	for si, s := range segs {
+		plan := segmentPlan{dev: si % devs}
+		for pos, id := range s.Nodes {
+			el := p.g.Node(id)
+			plan.nodes = append(plan.nodes, id)
+			plan.els = append(plan.els, el)
+			plan.kinds = append(plan.kinds, el.Traits().Kind)
+			t.nodes[id].dev = plan.dev
+			t.nodes[id].seg = si
+			t.nodes[id].head = pos == 0
+		}
+		plan.sig = plan.kinds[0]
+		if len(plan.kinds) > 1 {
+			plan.sig = strings.Join(plan.kinds, "+")
+		}
+		t.segs[si] = plan
 	}
 	return t
 }
@@ -84,8 +149,10 @@ func (p *Pipeline) resolvePlacements(a hetsim.Assignment, epoch uint64) *placeme
 // Apply atomically swaps the pipeline's placement to a new epoch. Safe to
 // call while traffic flows: each node goroutine picks up the new table at
 // its next batch boundary, first draining any offloads still in flight
-// under the old epoch, so no batch is ever executed under two placements
-// and no packet is lost. nil reverts every element to the CPU.
+// under the old epoch — including fused segments, whose in-flight items
+// finish executing under the plan they were submitted with — so no batch
+// is ever executed under two placements and no packet is lost. nil reverts
+// every element to the CPU.
 func (p *Pipeline) Apply(a hetsim.Assignment) error {
 	for {
 		old := p.placements.Load()

@@ -442,7 +442,10 @@ func TestOffloadStatsAccounting(t *testing.T) {
 	if o.Devices != 2 {
 		t.Fatalf("Devices = %d, want 2", o.Devices)
 	}
-	wantPlace := []string{"cpu", "gpu1", "split0:0.50", "gpu1", "cpu"}
+	// GPU nodes pin per segment (segment index modulo devices): node 1 is
+	// segment 0 -> gpu0, node 3 segment 1 -> gpu1; the split keeps the
+	// node-index pinning (2 % 2 devices -> device 0).
+	wantPlace := []string{"cpu", "gpu0", "split0:0.50", "gpu1", "cpu"}
 	for i, e := range rep.Elements {
 		if e.Placement != wantPlace[i] {
 			t.Fatalf("element %d placement %q, want %q", i, e.Placement, wantPlace[i])

@@ -46,6 +46,9 @@ type nodeRunner struct {
 	epoch       uint64
 	lane        *offloadLane
 	outstanding int
+	// tailOuts is the reusable single-output slice a fused segment's tail
+	// hands to forward when it strips the pass-through marker.
+	tailOuts [1]*netpkt.Batch
 }
 
 // run is the element goroutine's main loop. With nothing in flight it is
@@ -84,21 +87,29 @@ func (nr *nodeRunner) run(ctx context.Context) {
 	}
 }
 
-// handle routes one batch according to the current placement table.
+// handle routes one batch according to the current placement table. Fused
+// pass-through markers — records of work a segment head already executed
+// device-side — take the accounting-only path; everything else executes
+// under the current placement.
 func (nr *nodeRunner) handle(ctx context.Context, msg stageMsg) bool {
 	tbl := nr.p.placements.Load()
 	if tbl.epoch != nr.epoch {
 		// Epoch boundary: drain the old placement's in-flight work before
-		// executing anything under the new one.
+		// executing anything under the new one. Markers cross this barrier
+		// too, so a member's own stale offloads forward first and arrival
+		// order is preserved.
 		if !nr.flushLane(ctx) {
 			return false
 		}
 		nr.epoch = tbl.epoch
 	}
+	if msg.fused != nil {
+		return nr.passThrough(ctx, msg.fused)
+	}
 	pl := tbl.nodes[nr.id]
 	nr.p.traceEnter(nr.id, msg.b, pl, tbl.epoch)
 	if pl.mode != hetsim.ModeCPU {
-		return nr.offload(ctx, msg, pl)
+		return nr.offload(ctx, msg, pl, tbl)
 	}
 
 	// Inline host-CPU path (the original dataplane fast path).
@@ -125,8 +136,10 @@ func (nr *nodeRunner) handle(ctx context.Context, msg stageMsg) bool {
 }
 
 // offload submits one batch to the element's lane, first making room in
-// the outstanding window by delivering completed work.
-func (nr *nodeRunner) offload(ctx context.Context, msg stageMsg, pl nodePlacement) bool {
+// the outstanding window by delivering completed work. A segment head
+// submits its whole fused chain as one item; interior members receiving an
+// unfused batch (epoch-transition stragglers) submit themselves singly.
+func (nr *nodeRunner) offload(ctx context.Context, msg stageMsg, pl nodePlacement, tbl *placementTable) bool {
 	if nr.lane == nil {
 		nr.lane = nr.p.pool.newLane(nr.id, pl.dev)
 	}
@@ -148,6 +161,14 @@ func (nr *nodeRunner) offload(ctx context.Context, msg stageMsg, pl nodePlacemen
 	it := &workItem{
 		lane: nr.lane, el: nr.el, kind: nr.kind,
 		b: msg.b, live: msg.live, mode: pl.mode, frac: pl.frac,
+		epoch: tbl.epoch, segID: pl.seg,
+	}
+	if pl.mode == hetsim.ModeGPU && pl.head {
+		if plan := &tbl.segs[pl.seg]; len(plan.nodes) > 1 {
+			it.plan = plan
+			it.kind = plan.sig
+			it.place = pl.String()
+		}
 	}
 	nr.outstanding++
 	return nr.lane.submit(ctx, it)
@@ -159,12 +180,95 @@ func (nr *nodeRunner) deliver(ctx context.Context, it *workItem) bool {
 		nr.p.fail(it.err)
 		return false
 	}
+	if it.plan != nil {
+		return nr.deliverFused(ctx, it)
+	}
 	if nr.m != nil {
 		nr.m.proc.Add(float64(it.procNs))
 		nr.m.procPkts.Add(uint64(it.live))
 	}
 	nr.p.trace(TraceExit, nr.id, it.b)
 	return nr.forward(ctx, it.b, it.live, it.outs)
+}
+
+// deliverFused accounts the segment head's share of a completed fused
+// submission and launches the pass-through marker down the chain: each
+// member's goroutine still sees the batch once, in order, and books its own
+// metrics/trace from the per-member stats the device worker recorded — but
+// no member re-executes anything.
+func (nr *nodeRunner) deliverFused(ctx context.Context, it *workItem) bool {
+	ms := it.stats[0]
+	if nr.m != nil {
+		nr.m.proc.Add(float64(ms.procNs))
+		nr.m.procPkts.Add(uint64(ms.liveIn))
+		nr.m.pktsOut.Add(uint64(ms.liveOut))
+		if ms.liveOut < ms.liveIn {
+			nr.m.drops.Add(uint64(ms.liveIn - ms.liveOut))
+		}
+	}
+	nr.p.trace(TraceExit, nr.id, it.b)
+	if it.executed <= 1 {
+		// The head emitted nothing: the chain died here, exactly where the
+		// unfused pipeline would have stopped forwarding.
+		return true
+	}
+	it.fidx = 1
+	if nr.m != nil {
+		nr.edgeCtr[0][0].Add(uint64(ms.liveOut))
+	}
+	vb := it.final
+	if vb == nil {
+		vb = it.b
+	}
+	next := it.plan.nodes[1]
+	return nr.p.sendStage(ctx, nr.m, nr.p.inbox[next], stageMsg{b: vb, live: ms.liveOut, fused: it})
+}
+
+// passThrough is a chain member's side of a fused segment: the work already
+// executed device-side, so the member only books its recorded share
+// (metrics, trace, edge counters) and forwards the marker — or, at the last
+// executed member, strips it and forwards the final batch normally.
+func (nr *nodeRunner) passThrough(ctx context.Context, it *workItem) bool {
+	i := it.fidx
+	if it.plan == nil || i < 1 || i >= len(it.plan.nodes) || it.plan.nodes[i] != nr.id {
+		nr.p.fail(fmt.Errorf("dataplane: fused segment marker misrouted at %s", nr.el.Name()))
+		return false
+	}
+	ms := it.stats[i]
+	vb := it.final
+	if vb == nil {
+		vb = it.b
+	}
+	nr.p.traceFused(nr.id, vb, it, ms.liveIn)
+	last := i == it.executed-1
+	if nr.m != nil {
+		nr.m.batches.Inc()
+		nr.m.pktsIn.Add(uint64(ms.liveIn))
+		nr.m.proc.Add(float64(ms.procNs))
+		nr.m.procPkts.Add(uint64(ms.liveIn))
+		if !last {
+			// The tail's output accounting happens in forward below.
+			nr.m.pktsOut.Add(uint64(ms.liveOut))
+			if ms.liveOut < ms.liveIn {
+				nr.m.drops.Add(uint64(ms.liveIn - ms.liveOut))
+			}
+		}
+	}
+	nr.p.trace(TraceExit, nr.id, vb)
+	if last {
+		if it.final == nil {
+			// The chain died at this member; nothing flows downstream.
+			return true
+		}
+		nr.tailOuts[0] = it.final
+		return nr.forward(ctx, it.final, ms.liveIn, nr.tailOuts[:])
+	}
+	it.fidx = i + 1
+	if nr.m != nil {
+		nr.edgeCtr[0][0].Add(uint64(ms.liveOut))
+	}
+	next := it.plan.nodes[i+1]
+	return nr.p.sendStage(ctx, nr.m, nr.p.inbox[next], stageMsg{b: vb, live: ms.liveOut, fused: it})
 }
 
 // flushLane drains every in-flight offload — the epoch-swap barrier and

@@ -57,12 +57,21 @@ type TraceEvent struct {
 	// auditable — a batch never enters one element under two placements.
 	Epoch     uint64
 	Placement string
+	// Segment is the device-resident segment the element belongs to under
+	// that epoch's placement (-1 when not device-resident). Members of one
+	// fused submission share the id, which is how a trace shows a batch
+	// riding a single H2D/D2H pair across the whole run.
+	Segment int
 }
 
 // String implements fmt.Stringer.
 func (e TraceEvent) String() string {
-	return fmt.Sprintf("%8dus %-7s node=%-3d batch=%d live=%d",
+	s := fmt.Sprintf("%8dus %-7s node=%-3d batch=%d live=%d",
 		e.NanosSinceStart/1e3, e.Kind, e.Node, e.Batch, e.Packets)
+	if e.Segment >= 0 {
+		s += fmt.Sprintf(" seg=%d", e.Segment)
+	}
+	return s
 }
 
 // TraceSink receives pipeline trace events. Emit is called from every

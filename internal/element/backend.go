@@ -1,6 +1,10 @@
 package element
 
-import "nfcompass/internal/netpkt"
+import (
+	"fmt"
+
+	"nfcompass/internal/netpkt"
+)
 
 // Backend is the compute-backend hook of the execution contract. An
 // execution engine routes every Process invocation through a Backend, so
@@ -52,4 +56,49 @@ func (hb *HostBackend) Process(el Element, b *netpkt.Batch) []*netpkt.Batch {
 		return hb.scratch[:]
 	}
 	return el.Process(b)
+}
+
+// SegmentProcessor is the optional Backend capability behind device-resident
+// segment fusion: executing a chain of one-output elements as a single
+// submission, each element consuming the previous one's sole output without
+// the batch ever leaving the backend. Engines probe for it to collapse a
+// fused segment's interior hand-offs.
+type SegmentProcessor interface {
+	Backend
+	ProcessSegment(els []Element, b *netpkt.Batch, step func(i int, out *netpkt.Batch)) (executed int, final *netpkt.Batch, err error)
+}
+
+// ProcessSegment implements SegmentProcessor: it runs els[0] → els[1] → …
+// on b, feeding each element's single output to the next. step, when
+// non-nil, is called after each element with its index and output batch —
+// the hook engines use for per-element timing and live-count accounting.
+// The chain stops early when an element emits no batch (nil, or one with
+// no packet slots — the same condition under which an engine would not
+// forward it); executed is the number of elements that ran and final is the
+// last output, nil when the chain died. Every element in els must declare
+// exactly one output; a runtime contract violation aborts with an error.
+func (hb *HostBackend) ProcessSegment(els []Element, b *netpkt.Batch, step func(i int, out *netpkt.Batch)) (executed int, final *netpkt.Batch, err error) {
+	cur := b
+	for i, el := range els {
+		outs := hb.Process(el, cur)
+		executed = i + 1
+		var out *netpkt.Batch
+		if len(outs) == 1 {
+			out = outs[0]
+		} else {
+			if step != nil {
+				step(i, nil)
+			}
+			return executed, nil, fmt.Errorf("element: fused segment member %s emitted %d outputs, declared %d",
+				el.Name(), len(outs), el.NumOutputs())
+		}
+		if step != nil {
+			step(i, out)
+		}
+		if out == nil || len(out.Packets) == 0 {
+			return executed, nil, nil
+		}
+		cur = out
+	}
+	return executed, cur, nil
 }

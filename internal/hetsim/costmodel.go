@@ -122,6 +122,36 @@ func (cm *CostModel) D2HNs(bytes int) float64 {
 	return cm.P.PCIeLatencyNs + float64(bytes)/cm.P.D2HBytesPerNs
 }
 
+// SegmentStage is one element's live load inside a fused device-resident
+// segment: the packets/bytes entering that element's kernel (each stage's
+// input is the previous stage's output — drops shrink the load chain-wise).
+type SegmentStage struct {
+	Kind  string
+	N     int
+	Bytes int
+	// Mem is the exact table-access count when measured (0 = table estimate).
+	Mem float64
+}
+
+// SegmentGPUServiceNs prices one fused device-resident segment: a single
+// launch and context switch for the whole chain, the per-stage kernels run
+// back to back on the device, one H2D at entry (the first stage's input)
+// and one D2H at exit (exitBytes, the last executed stage's output).
+// Interior transfers are elided — the batch stays resident. This is the
+// pricing the live dataplane's fused submissions and the simulator's
+// segment-head launch charging both reduce to, so allocator, simulator,
+// and dataplane agree on what residency saves.
+func (cm *CostModel) SegmentGPUServiceNs(stages []SegmentStage, exitBytes int) (service, h2d, d2h float64) {
+	if len(stages) == 0 {
+		return 0, 0, 0
+	}
+	service = cm.LaunchNs() + cm.CtxSwitchNs()
+	for _, s := range stages {
+		service += cm.KernelNs(s.Kind, s.N, s.Bytes, s.Mem)
+	}
+	return service, cm.H2DNs(stages[0].Bytes), cm.D2HNs(exitBytes)
+}
+
 // GPUServiceNs prices one un-aggregated kernel invocation over n packets.
 // h2d and d2h are returned separately: the engine charges them only when
 // the batch actually crosses the host/device boundary (data already

@@ -1,0 +1,103 @@
+package hetsim
+
+import "nfcompass/internal/element"
+
+// Segment is one maximal contiguous device-resident run of an element
+// graph: a chain of nodes that can execute as a single device submission —
+// one H2D copy at entry, the per-element kernels chained device-side, one
+// D2H copy at exit. Nodes are in execution (chain) order.
+type Segment struct {
+	Nodes []element.NodeID
+}
+
+// FusableEdges returns the set of graph edges able to carry device
+// residency between their endpoints. An edge u→v is fusable when it is the
+// *only* path out of u and the only path into v, and v can itself stay on
+// the straight line: u declares exactly one output port, that port has
+// exactly one successor, v has exactly one incoming edge, and v declares
+// exactly one output port. Branch points (fan-out needs host-side batch
+// re-organization, on either end of the edge), merge points (fan-in joins
+// in host memory), and sinks break residency, exactly as the simulator's
+// pendingBatch.onGPU tracking models it. The predicate is structural only;
+// callers intersect it with a placement (see DeviceSegments) or an
+// offloadability mask (see the GTA expansion's contiguity reward).
+func FusableEdges(g *element.Graph) map[element.EdgeKey]bool {
+	outDeg := make([]int, g.Len())
+	inDeg := make([]int, g.Len())
+	for _, e := range g.Edges() {
+		outDeg[e.From]++
+		inDeg[e.To]++
+	}
+	fusable := make(map[element.EdgeKey]bool)
+	for _, e := range g.Edges() {
+		if g.Node(e.From).NumOutputs() == 1 && outDeg[e.From] == 1 &&
+			inDeg[e.To] == 1 && g.Node(e.To).NumOutputs() == 1 {
+			fusable[element.EdgeKey{From: e.From, Port: e.Port, To: e.To}] = true
+		}
+	}
+	return fusable
+}
+
+// DeviceSegments partitions the device-resident nodes of g into maximal
+// contiguous segments. onDevice reports whether a node executes resident on
+// a device (for the dataplane: resolved ModeGPU; for the simulator:
+// Assign[id].Mode == ModeGPU — splits and CPU nodes are host-coordinated
+// and never resident). Two adjacent nodes share a segment iff the edge
+// between them is fusable (see FusableEdges) and both are on-device. Every
+// on-device node lands in exactly one segment; nodes that cannot chain
+// (branchy neighborhoods, multi-output elements) become singletons.
+// Segments are returned in topological order of their head nodes, so the
+// numbering is deterministic for a given graph and placement.
+func DeviceSegments(g *element.Graph, onDevice func(element.NodeID) bool) []Segment {
+	n := g.Len()
+	outDeg := make([]int, n)
+	inDeg := make([]int, n)
+	soleSucc := make([]element.NodeID, n)
+	for i := range soleSucc {
+		soleSucc[i] = -1
+	}
+	for _, e := range g.Edges() {
+		outDeg[e.From]++
+		inDeg[e.To]++
+		soleSucc[e.From] = e.To
+	}
+	// linkable(u) reports that u's sole outgoing edge can carry residency
+	// into soleSucc[u]. Mirrors FusableEdges: both ends must be straight-line
+	// single-output nodes — a multi-output v (or a sink) cannot chain
+	// device-side, because its scatter happens in host memory after D2H.
+	linkable := func(u element.NodeID) bool {
+		v := soleSucc[u]
+		return v >= 0 && onDevice(u) && onDevice(v) &&
+			g.Node(u).NumOutputs() == 1 && outDeg[u] == 1 &&
+			inDeg[v] == 1 && g.Node(v).NumOutputs() == 1
+	}
+	linkedInto := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if u := element.NodeID(i); linkable(u) {
+			linkedInto[soleSucc[u]] = true
+		}
+	}
+
+	order, err := g.TopoOrder()
+	if err != nil {
+		// Callers hand in validated DAGs; fall back to ID order so the
+		// function stays total.
+		order = make([]element.NodeID, n)
+		for i := range order {
+			order[i] = element.NodeID(i)
+		}
+	}
+	var segs []Segment
+	for _, id := range order {
+		if !onDevice(id) || linkedInto[id] {
+			continue // off-device, or an interior/tail member of another head's chain
+		}
+		seg := Segment{Nodes: []element.NodeID{id}}
+		for cur := id; linkable(cur); {
+			cur = soleSucc[cur]
+			seg.Nodes = append(seg.Nodes, cur)
+		}
+		segs = append(segs, seg)
+	}
+	return segs
+}

@@ -1,0 +1,209 @@
+package hetsim
+
+import (
+	"sort"
+	"testing"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+)
+
+// segAll marks every node on-device; segOnly marks only the listed ones.
+func segAll(element.NodeID) bool { return true }
+
+func segOnly(ids ...element.NodeID) func(element.NodeID) bool {
+	m := make(map[element.NodeID]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return func(id element.NodeID) bool { return m[id] }
+}
+
+func wantSegs(t *testing.T, got []Segment, want [][]element.NodeID) {
+	t.Helper()
+	sorted := append([]Segment(nil), got...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Nodes[0] < sorted[j].Nodes[0] })
+	ok := len(sorted) == len(want)
+	if ok {
+	outer:
+		for i, s := range sorted {
+			if len(s.Nodes) != len(want[i]) {
+				ok = false
+				break
+			}
+			for j, id := range s.Nodes {
+				if id != want[i][j] {
+					ok = false
+					break outer
+				}
+			}
+		}
+	}
+	if !ok {
+		shape := make([][]element.NodeID, len(sorted))
+		for i, s := range sorted {
+			shape[i] = s.Nodes
+		}
+		t.Fatalf("segments = %v, want %v", shape, want)
+	}
+}
+
+// segLinearGraph: 0(src) -> 1 -> 2 -> 3 -> 4(dst), all single-output.
+func segLinearGraph() *element.Graph {
+	g := element.NewGraph()
+	src := g.Add(element.NewFromDevice("src"))
+	a := g.Add(element.NewCheckIPHeader("a"))
+	b := g.Add(element.NewDecTTL("b"))
+	c := g.Add(element.NewCounter("c"))
+	dst := g.Add(element.NewToDevice("dst"))
+	g.MustConnect(src, 0, a)
+	g.MustConnect(a, 0, b)
+	g.MustConnect(b, 0, c)
+	g.MustConnect(c, 0, dst)
+	return g
+}
+
+func TestSegmentsLinearChain(t *testing.T) {
+	g := segLinearGraph()
+	// All on-device: one maximal chain, except the sink — it has no output
+	// port to chain through, so it stays a singleton.
+	wantSegs(t, DeviceSegments(g, segAll),
+		[][]element.NodeID{{0, 1, 2, 3}, {4}})
+	// Interior nodes only (the realistic placement — endpoints are host
+	// I/O): still one chain.
+	wantSegs(t, DeviceSegments(g, segOnly(1, 2, 3)),
+		[][]element.NodeID{{1, 2, 3}})
+}
+
+func TestSegmentsOffDeviceNodeBreaksChain(t *testing.T) {
+	g := segLinearGraph()
+	// Node 2 off-device (CPU- or split-placed): the run breaks into two
+	// singletons around it — a cross-device split in the middle of a chain
+	// forfeits residency on both sides.
+	wantSegs(t, DeviceSegments(g, segOnly(1, 3)),
+		[][]element.NodeID{{1}, {3}})
+}
+
+// segDiamondGraph: 0(src) -> 1(chk) -> 2(cls: 2 ports) -> {3, 4} -> 5(cnt,
+// fan-in 2) -> 6(ttl) -> 7(dst).
+func segDiamondGraph() *element.Graph {
+	g := element.NewGraph()
+	src := g.Add(element.NewFromDevice("src"))
+	chk := g.Add(element.NewCheckIPHeader("chk"))
+	cls := g.Add(element.NewClassifier("cls", "parity", 2, func(p *netpkt.Packet) int {
+		return int(p.Data[len(p.Data)-1]) & 1
+	}))
+	a := g.Add(element.NewDecTTL("a"))
+	b := g.Add(element.NewPaint("b", 7))
+	m := g.Add(element.NewCounter("m"))
+	ttl := g.Add(element.NewDecTTL("ttl"))
+	dst := g.Add(element.NewToDevice("dst"))
+	g.MustConnect(src, 0, chk)
+	g.MustConnect(chk, 0, cls)
+	g.MustConnect(cls, 0, a)
+	g.MustConnect(cls, 1, b)
+	g.MustConnect(a, 0, m)
+	g.MustConnect(b, 0, m)
+	g.MustConnect(m, 0, ttl)
+	g.MustConnect(ttl, 0, dst)
+	return g
+}
+
+func TestSegmentsBranchAndMergeBreak(t *testing.T) {
+	g := segDiamondGraph()
+	// The classifier's fan-out scatters in host memory and the merge point
+	// joins there too, so residency breaks around both: the classifier and
+	// the branch arms are singletons, and only the straight-line runs chain
+	// (the sink is likewise its own singleton).
+	wantSegs(t, DeviceSegments(g, segAll),
+		[][]element.NodeID{{0, 1}, {2}, {3}, {4}, {5, 6}, {7}})
+	// Only the arms on-device: two singletons, no chain.
+	wantSegs(t, DeviceSegments(g, segOnly(3, 4)),
+		[][]element.NodeID{{3}, {4}})
+}
+
+func TestSegmentsEveryNodeCoveredOnce(t *testing.T) {
+	for _, g := range []*element.Graph{segLinearGraph(), segDiamondGraph()} {
+		seen := make(map[element.NodeID]int)
+		for _, s := range DeviceSegments(g, segAll) {
+			for _, id := range s.Nodes {
+				seen[id]++
+			}
+		}
+		if len(seen) != g.Len() {
+			t.Fatalf("covered %d nodes, want %d", len(seen), g.Len())
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("node %d appears in %d segments", id, n)
+			}
+		}
+	}
+}
+
+func TestFusableEdges(t *testing.T) {
+	g := segDiamondGraph()
+	fus := FusableEdges(g)
+	wantTrue := []element.EdgeKey{
+		{From: 0, Port: 0, To: 1},
+		{From: 5, Port: 0, To: 6},
+	}
+	wantFalse := []element.EdgeKey{
+		{From: 1, Port: 0, To: 2}, // into a branch point
+		{From: 2, Port: 0, To: 3}, // out of a branch point
+		{From: 2, Port: 1, To: 4},
+		{From: 3, Port: 0, To: 5}, // into a merge point
+		{From: 4, Port: 0, To: 5},
+		{From: 6, Port: 0, To: 7}, // into a sink
+	}
+	for _, k := range wantTrue {
+		if !fus[k] {
+			t.Fatalf("edge %v: want fusable", k)
+		}
+	}
+	for _, k := range wantFalse {
+		if fus[k] {
+			t.Fatalf("edge %v: want not fusable", k)
+		}
+	}
+}
+
+// TestSimulatorChargesLaunchPerSegment: a fused all-GPU chain pays one
+// launch per batch regardless of its length, and strictly less GPU busy
+// time than the same chain priced per element.
+func TestSimulatorChargesLaunchPerSegment(t *testing.T) {
+	g := segLinearGraph()
+	a := Assignment{1: {Mode: ModeGPU}, 2: {Mode: ModeGPU}, 3: {Mode: ModeGPU}}
+	batches := genBatches(20, 64, 64, 3)
+	s, err := NewSimulator(DefaultPlatform(), nil, g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(batches, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KernelLaunches != 20 {
+		t.Fatalf("KernelLaunches = %d, want one per batch (20)", res.KernelLaunches)
+	}
+
+	// Per-element launch pricing for comparison: make every GPU node a
+	// segment head by marking the interior links broken.
+	s2, err := NewSimulator(DefaultPlatform(), nil, segLinearGraph(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s2.segInterior {
+		s2.segInterior[i] = false
+	}
+	res2, err := s2.Run(genBatches(20, 64, 64, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.KernelLaunches != 3*20 {
+		t.Fatalf("unfused KernelLaunches = %d, want 60", res2.KernelLaunches)
+	}
+	if res.GPUBusyNs >= res2.GPUBusyNs {
+		t.Fatalf("fused GPU busy %.0fns >= unfused %.0fns", res.GPUBusyNs, res2.GPUBusyNs)
+	}
+}

@@ -183,6 +183,11 @@ type Simulator struct {
 	contention map[string]float64 // per-kind CPU contention factor
 	gpuKinds   int
 	cm         *CostModel // shared pricing arithmetic (see costmodel.go)
+	// segInterior marks ModeGPU nodes that are interior/tail members of a
+	// fused device-resident segment (see DeviceSegments): they pay kernel
+	// time only — the launch and context switch are charged once at the
+	// segment head, matching the dataplane's fused submissions.
+	segInterior []bool
 }
 
 // NewSimulator validates the graph and precomputes contention state.
@@ -252,6 +257,14 @@ func (s *Simulator) precompute() {
 		s.contention[kind] = 1 + s.P.ContentionSlope*overshoot*c.MemIntensity
 	}
 	s.gpuKinds = len(gpuKinds) + s.CoRun.ExtraGPUKinds
+	s.segInterior = make([]bool, s.G.Len())
+	for _, seg := range DeviceSegments(s.G, func(id element.NodeID) bool {
+		return s.Assign[id].Mode == ModeGPU
+	}) {
+		for _, id := range seg.Nodes[1:] {
+			s.segInterior[id] = true
+		}
+	}
 	s.cm = &CostModel{
 		P: s.P, Costs: s.Costs,
 		Contention: s.contentionFor,
@@ -386,14 +399,21 @@ func (s *Simulator) Run(batches []*netpkt.Batch, interarrivalNs float64) (*Resul
 				case n == 0:
 					// Nothing live: zero service.
 				case pl.Mode == ModeGPU:
-					svc, h2d, _ := s.gpuServiceNs(kind, n, bytes, memDelta)
+					var svc float64
+					if s.segInterior[id] {
+						// Interior of a fused segment: the kernel chains
+						// device-side behind the head's launch.
+						svc = s.cm.KernelNs(kind, n, bytes, memDelta)
+					} else {
+						svc, _, _ = s.gpuServiceNs(kind, n, bytes, memDelta)
+						res.KernelLaunches++
+					}
 					if !ent.onGPU {
-						svc += h2d
+						svc += s.cm.H2DNs(bytes)
 						res.H2DBytes += uint64(bytes)
 					}
 					done = gpuFree.run(ent.ready, svc)
 					res.GPUBusyNs += svc
-					res.KernelLaunches++
 					outOnGPU = true
 				case pl.Mode == ModeSplit:
 					nGPU := int(math.Round(pl.GPUFraction * float64(n)))
