@@ -30,6 +30,7 @@ import (
 	"nfcompass/internal/netpkt"
 	"nfcompass/internal/spec"
 	"nfcompass/internal/traffic"
+	"time"
 )
 
 func main() {
@@ -50,6 +51,10 @@ func main() {
 		"print the task allocator's report (algorithm, objective, cut/load split, per-element offload ratios) and execute the chain on the live dataplane under that assignment: ModeGPU/ModeSplit elements run through the emulated GPU device backend")
 	noFusion := flag.Bool("no-fusion", false,
 		"disable device-resident segment fusion in the -assign dataplane run: every GPU element pays its own H2D/D2H round trip (A/B lever for the fusion saving)")
+	serve := flag.String("serve", "",
+		"run the chain continuously on the live dataplane and serve the telemetry plane (/metrics /snapshot /healthz /trace /decisions /debug/pprof) on this address, e.g. :9090")
+	duration := flag.Duration("duration", 30*time.Second,
+		"length of the -serve continuous run; the traffic profile shifts halfway through so the adaptor has a drift to react to (0 = run until interrupted)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nfcompass [flags] <chain>\n"+
 			"e.g.: nfcompass -pkt 256 \"firewall:1000,ipv4,nat,ids\"\n")
@@ -130,6 +135,26 @@ func main() {
 	// Report the pipeline's decisions.
 	fmt.Printf("chain: %s\n", flag.Arg(0))
 	fmt.Print(d.Describe())
+
+	// Continuous telemetry mode: skip the batch comparisons and keep the
+	// deployment running on the live dataplane behind the admin server.
+	if *serve != "" {
+		deploy := func() (*core.Deployment, error) {
+			var s []*netpkt.Batch
+			if opt.GTA {
+				s = mkBatches(1000)
+			}
+			return core.Deploy(chain, p, s, opt)
+		}
+		if err := runServe(d, deploy, opt, serveOpts{
+			addr: *serve, duration: *duration, shards: *shards,
+			pkt: *pkt, batchSize: *batchSize, seed: *seed,
+			platform: p,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	// Measure NFCompass against single-processor placements of the same
 	// graph.

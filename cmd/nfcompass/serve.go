@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nfcompass/internal/core"
+	"nfcompass/internal/dataplane"
+	"nfcompass/internal/element"
+	"nfcompass/internal/hetsim"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/telemetry"
+	"nfcompass/internal/traffic"
+)
+
+// engine is the common surface of the plain and sharded pipelines the
+// continuous run drives.
+type engine interface {
+	In() chan<- *netpkt.Batch
+	Out() <-chan *netpkt.Batch
+	CloseInput()
+	Wait() error
+	Done() <-chan struct{}
+	Snapshot() *dataplane.Report
+	Apply(hetsim.Assignment) error
+}
+
+type serveOpts struct {
+	addr      string
+	duration  time.Duration
+	shards    int
+	pkt       int
+	batchSize int
+	seed      int64
+	platform  hetsim.Platform
+}
+
+// runServe is the `-serve` continuous mode: deploy the chain onto the live
+// dataplane, keep traffic flowing for the configured duration while the
+// telemetry server exposes /metrics, /snapshot, /healthz, /trace,
+// /decisions, and /debug/pprof, shift the traffic profile halfway through so
+// the attached Adaptor has a drift to react to, then drain and print the
+// final snapshot plus the decision journal.
+//
+// d is the deployment the pipeline runs; deploy builds structurally
+// identical replicas (extra shards, and a separate instance for the Adaptor
+// — Observe executes its deployment's graph functionally, so it must never
+// share element instances with the running pipeline).
+func runServe(d *core.Deployment, deploy func() (*core.Deployment, error),
+	opt core.Options, o serveOpts) error {
+	mk := func(size int, off int64, n int) []*netpkt.Batch {
+		var sd traffic.SizeDist = traffic.IMIX{}
+		if size > 0 {
+			sd = traffic.Fixed(size)
+		}
+		gen := traffic.NewGenerator(traffic.Config{
+			Size: sd, Seed: o.seed + off, Flows: 256,
+		})
+		return gen.Batches(n, o.batchSize)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	ring := dataplane.NewRingTrace(1 << 14)
+	cfg := dataplane.Config{PreserveOrder: true, Metrics: true, Trace: ring}
+	if d.Alloc != nil {
+		cfg.Assignment = d.Assignment
+		cfg.Offload = &dataplane.OffloadConfig{Platform: &o.platform}
+	}
+
+	var eng engine
+	if o.shards <= 1 {
+		pl, err := dataplane.New(d.Graph, cfg)
+		if err != nil {
+			return err
+		}
+		pl.Start(ctx)
+		eng = pl
+	} else {
+		build := func(shard int) (*element.Graph, error) {
+			if shard == 0 {
+				return d.Graph, nil
+			}
+			di, err := deploy()
+			if err != nil {
+				return nil, err
+			}
+			return di.Graph, nil
+		}
+		sp, err := dataplane.NewSharded(build, dataplane.ShardedConfig{
+			Config: cfg, Shards: o.shards, Ordered: true,
+		})
+		if err != nil {
+			return err
+		}
+		sp.Start(ctx)
+		eng = sp
+	}
+
+	// The adaptor gets its own deployment: Observe runs the graph
+	// functionally, which must not race the pipeline's element instances.
+	ad, err := deploy()
+	if err != nil {
+		return err
+	}
+	adaptor := core.NewAdaptor(ad, opt)
+	adaptor.Attach(eng)
+
+	srv, err := telemetry.New(telemetry.Config{
+		Source:   eng,
+		Done:     eng.Done(),
+		Trace:    ring,
+		Journal:  adaptor.Journal(),
+		Interval: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Start(o.addr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		srv.Shutdown(sctx)
+	}()
+	fmt.Printf("\ntelemetry plane on http://%s  (/metrics /snapshot /healthz /trace /decisions /debug/pprof)\n", addr)
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range eng.Out() {
+		}
+	}()
+
+	// The ordered release path sorts by injection ID, and each traffic
+	// generator restarts its IDs at zero, so renumber across generators.
+	var nextID uint64
+	inject := func(bs []*netpkt.Batch) bool {
+		for _, b := range bs {
+			b.ID = nextID
+			nextID++
+			select {
+			case eng.In() <- b:
+			case <-ctx.Done():
+				return false
+			}
+		}
+		return true
+	}
+
+	dur := o.duration
+	if dur <= 0 {
+		dur = time.Duration(1<<62 - 1) // until interrupted
+	}
+	start := time.Now()
+	deadline := start.Add(dur)
+	half := start.Add(dur / 2)
+	observeEvery := dur / 10
+	if observeEvery < 250*time.Millisecond {
+		observeEvery = 250 * time.Millisecond
+	}
+	if observeEvery > 2*time.Second {
+		observeEvery = 2 * time.Second
+	}
+
+	// Halfway through, the traffic profile shifts (packet sizes jump) so
+	// the adaptor sees a drift beyond its threshold and re-allocates live.
+	shiftTo := 1350
+	if o.pkt >= 512 || o.pkt == 0 {
+		shiftTo = 64
+	}
+
+	size := o.pkt
+	shifted := false
+	lastObs := time.Time{}
+	var off int64
+	if dur < time.Duration(1<<62-1) {
+		fmt.Printf("running for %s (traffic shift at %s); interrupt to stop early\n",
+			dur, dur/2)
+	} else {
+		fmt.Printf("running until interrupted (traffic shift after 15s)\n")
+		half = start.Add(15 * time.Second)
+	}
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		if !shifted && time.Now().After(half) {
+			size = shiftTo
+			shifted = true
+			fmt.Printf("traffic shift: packet size %s -> %d bytes\n",
+				sizeName(o.pkt), shiftTo)
+		}
+		if !inject(mk(size, 2000+off, 8)) {
+			break
+		}
+		off++
+		if time.Since(lastObs) >= observeEvery || lastObs.IsZero() {
+			lastObs = time.Now()
+			if changed, err := adaptor.Observe(mk(size, 6000+off, 4)); err != nil {
+				fmt.Fprintf(os.Stderr, "nfcompass: observe: %v\n", err)
+			} else if changed {
+				fmt.Printf("adaptor re-allocated: epoch hot-swapped onto the running pipeline\n")
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	eng.CloseInput()
+	<-drained
+	if err := eng.Wait(); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nfinal snapshot:\n%s", eng.Snapshot())
+	fmt.Printf("\ndecision journal (%d total):\n%s",
+		adaptor.Journal().Total(), adaptor.Journal())
+	return nil
+}
+
+func sizeName(pkt int) string {
+	if pkt <= 0 {
+		return "IMIX"
+	}
+	return fmt.Sprintf("%d", pkt)
+}

@@ -27,8 +27,9 @@ type Adaptor struct {
 	// Reallocations counts how many times Observe re-allocated.
 	Reallocations int
 
-	rt   Runtime
-	last trafficSig
+	rt      Runtime
+	last    trafficSig
+	journal *DecisionJournal
 }
 
 // Runtime is a running execution engine that can hot-swap its assignment —
@@ -45,6 +46,21 @@ type Runtime interface {
 // applied to it immediately, closing the adaptation loop end to end. A nil
 // rt detaches.
 func (a *Adaptor) Attach(rt Runtime) { a.rt = rt }
+
+// Journal returns the adaptor's decision journal: a bounded record of every
+// Observe outcome (accepted or rejected, with predicted vs. measured cost
+// and the resulting placement epoch), serveable live by the telemetry
+// server's /decisions endpoint.
+func (a *Adaptor) Journal() *DecisionJournal { return a.journal }
+
+// rtEpoch reads the attached runtime's placement epoch, when it exposes one
+// (dataplane.Pipeline and dataplane.ShardedPipeline both do).
+func (a *Adaptor) rtEpoch() uint64 {
+	if e, ok := a.rt.(interface{ Epoch() uint64 }); ok {
+		return e.Epoch()
+	}
+	return 0
+}
 
 // trafficSig fingerprints the traffic a deployment was tuned for.
 type trafficSig struct {
@@ -63,7 +79,8 @@ func NewAdaptor(d *Deployment, opt Options) *Adaptor {
 	if opt.Delta == 0 {
 		opt.Delta = DefaultDelta
 	}
-	return &Adaptor{d: d, opt: opt, Threshold: 0.25}
+	return &Adaptor{d: d, opt: opt, Threshold: 0.25,
+		journal: NewDecisionJournal(256)}
 }
 
 // Observe feeds a traffic sample to the adaptor. The sample is consumed
@@ -80,11 +97,19 @@ func (a *Adaptor) Observe(sample []*netpkt.Batch) (bool, error) {
 	selSample := cloneBatches(sample) // pristine copy for candidate validation
 	sig, in, err := a.capture(sample)
 	if err != nil {
+		a.journal.Record(Decision{Reason: "error", Threshold: a.Threshold,
+			Epoch: a.rtEpoch(), Err: err.Error()})
 		return false, err
 	}
 
-	if a.last.valid && a.drift(sig) <= a.Threshold {
+	drift := 0.0
+	if a.last.valid {
+		drift = a.drift(sig)
+	}
+	if a.last.valid && drift <= a.Threshold {
 		a.last = sig
+		a.journal.Record(Decision{Reason: "drift below threshold",
+			Drift: drift, Threshold: a.Threshold, Epoch: a.rtEpoch()})
 		return false, nil
 	}
 	first := !a.last.valid
@@ -93,38 +118,54 @@ func (a *Adaptor) Observe(sample []*netpkt.Batch) (bool, error) {
 	// First observation just primes the signature: the deployment was
 	// freshly tuned by Deploy.
 	if first {
+		a.journal.Record(Decision{Reason: "primed", Threshold: a.Threshold,
+			Epoch: a.rtEpoch()})
 		return false, nil
+	}
+
+	fail := func(err error) (bool, error) {
+		a.journal.Record(Decision{Reason: "error", Drift: drift,
+			Threshold: a.Threshold, Epoch: a.rtEpoch(), Err: err.Error()})
+		return false, err
 	}
 
 	// Re-profile against the new traffic and re-allocate.
 	dict, err := profile.OfflineProfile(a.d.Platform, a.d.Costs, a.d.Graph,
 		profile.OfflineConfig{BatchSize: a.opt.BatchSize, Sample: profSample})
 	if err != nil {
-		return false, err
+		return fail(err)
 	}
 	assign, rep, err := Allocate(a.d.Graph, dict, in, a.d.Platform, a.d.Costs,
 		a.opt.BatchSize, a.opt.Delta, a.opt.Algorithm)
 	if err != nil {
-		return false, err
+		return fail(err)
 	}
 	// Same sample-driven validation Deploy runs: the partition model is
 	// linear (and, with the segment-fusion contiguity reward, biased
 	// toward keeping fusable runs whole), so evaluate the candidate set on
 	// the observed traffic and keep the winner rather than trusting the
 	// raw model output.
-	name, best, err := a.d.selectAssignment(selSample, assign)
+	name, gbps, best, err := a.d.selectAssignment(selSample, assign)
 	if err != nil {
-		return false, err
+		return fail(err)
 	}
 	rep.Selected = name
 	a.d.Assignment = best
 	a.d.Alloc = rep
 	a.Reallocations++
+	d := Decision{Accepted: true, Reason: "reallocated", Drift: drift,
+		Threshold: a.Threshold, Candidate: name,
+		PredictedCostNs: rep.Cost, MeasuredGbps: gbps}
 	if a.rt != nil {
 		if err := a.rt.Apply(best); err != nil {
+			d.Reason, d.Err = "apply failed", err.Error()
+			d.Epoch = a.rtEpoch()
+			a.journal.Record(d)
 			return true, err
 		}
 	}
+	d.Epoch = a.rtEpoch()
+	a.journal.Record(d)
 	return true, nil
 }
 

@@ -192,7 +192,7 @@ func deployPlan(stages []Stage, p hetsim.Platform,
 	// PCIe in both directions at every stage). Evaluate a small candidate
 	// set on the sample and keep the winner — the profiling-guided
 	// refinement the runtime's measurements make cheap.
-	if name, best, err := d.selectAssignment(selSample, assign); err == nil {
+	if name, _, best, err := d.selectAssignment(selSample, assign); err == nil {
 		d.Assignment = best
 		d.Alloc.Selected = name
 	} else {
@@ -202,9 +202,10 @@ func deployPlan(stages []Stage, p hetsim.Platform,
 }
 
 // selectAssignment simulates candidate placements on the sample and
-// returns the best by throughput.
+// returns the best by throughput, along with its measured Gbps (the
+// decision journal's measured-cost column).
 func (d *Deployment) selectAssignment(sample []*netpkt.Batch,
-	model hetsim.Assignment) (string, hetsim.Assignment, error) {
+	model hetsim.Assignment) (string, float64, hetsim.Assignment, error) {
 
 	// Rounded variant: snap every split element to its majority side.
 	rounded := make(hetsim.Assignment, len(model))
@@ -251,18 +252,18 @@ func (d *Deployment) selectAssignment(sample []*netpkt.Batch,
 		resetDeployment(d)
 		sim, err := hetsim.NewSimulator(d.Platform, d.Costs, d.Graph, c.a)
 		if err != nil {
-			return "", nil, err
+			return "", 0, nil, err
 		}
 		res, err := sim.Run(cloneBatches(sample), 0)
 		if err != nil {
-			return "", nil, err
+			return "", 0, nil, err
 		}
 		if g := res.Throughput.Gbps(); g > bestGbps {
 			bestName, bestGbps, best = c.name, g, c.a
 		}
 	}
 	resetDeployment(d)
-	return bestName, best, nil
+	return bestName, bestGbps, best, nil
 }
 
 // buildGraph assembles the deployment element graph from the stage plan:

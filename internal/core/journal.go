@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Decision is one Adaptor.Observe outcome: what the adaptor saw, what the
+// allocator proposed, what the sample-driven validation measured, and what
+// actually happened to the running pipeline. Together the entries make
+// every hot-swap auditable end to end — the /decisions endpoint serves them
+// and the CLI prints them at the end of a -serve run.
+type Decision struct {
+	// Seq numbers decisions monotonically from 1 (it keeps counting past
+	// journal eviction, so gaps at the front reveal truncation).
+	Seq uint64 `json:"seq"`
+	// Wall is the wall-clock time the decision was taken.
+	Wall time.Time `json:"wall"`
+	// Accepted reports whether a re-allocation was adopted (and, when a
+	// runtime is attached, hot-swapped onto it).
+	Accepted bool `json:"accepted"`
+	// Reason explains the outcome: "primed" (first observation), "drift
+	// below threshold", "reallocated", "error".
+	Reason string `json:"reason"`
+	// Drift is the largest relative change versus the previous traffic
+	// signature; Threshold the trigger level it was compared against.
+	Drift     float64 `json:"drift"`
+	Threshold float64 `json:"threshold"`
+	// Candidate names the assignment that won the sample-driven validation
+	// ("model", "model-rounded", "cpu-only", ...); empty when no
+	// re-allocation ran.
+	Candidate string `json:"candidate,omitempty"`
+	// PredictedCostNs is the allocator's partition objective for the raw
+	// model assignment (ns per batch); MeasuredGbps is the validated
+	// winner's simulated throughput on the observed sample. Predicted vs.
+	// measured is the audit trail for the linear partition model.
+	PredictedCostNs float64 `json:"predicted_cost_ns,omitempty"`
+	MeasuredGbps    float64 `json:"measured_gbps,omitempty"`
+	// Epoch is the attached runtime's placement epoch after the decision
+	// (0 when no runtime is attached).
+	Epoch uint64 `json:"epoch"`
+	// Err carries the error text for Reason "error" decisions.
+	Err string `json:"err,omitempty"`
+}
+
+// String renders one journal row.
+func (d Decision) String() string {
+	verdict := "rejected"
+	if d.Accepted {
+		verdict = "accepted"
+	}
+	s := fmt.Sprintf("#%-3d %s %-8s drift=%.3f/%.2f", d.Seq,
+		d.Wall.Format("15:04:05.000"), verdict, d.Drift, d.Threshold)
+	if d.Candidate != "" {
+		s += fmt.Sprintf(" candidate=%s predicted=%.0fns measured=%.2fGbps",
+			d.Candidate, d.PredictedCostNs, d.MeasuredGbps)
+	}
+	s += fmt.Sprintf(" epoch=%d (%s)", d.Epoch, d.Reason)
+	if d.Err != "" {
+		s += " err=" + d.Err
+	}
+	return s
+}
+
+// DecisionJournal is a bounded in-memory record of Adaptor decisions: a
+// mutex-guarded ring that keeps the most recent entries. Appends are cheap
+// (decisions happen at observation cadence, not packet cadence) and readers
+// get copies, so it is safe to serve over HTTP while the adaptor runs.
+type DecisionJournal struct {
+	mu    sync.Mutex
+	buf   []Decision
+	next  int
+	total uint64
+}
+
+// NewDecisionJournal returns a journal retaining the last n decisions
+// (minimum 1).
+func NewDecisionJournal(n int) *DecisionJournal {
+	if n < 1 {
+		n = 1
+	}
+	return &DecisionJournal{buf: make([]Decision, 0, n)}
+}
+
+// Record appends one decision, stamping Seq and Wall (when unset). A nil
+// journal discards (an Adaptor constructed without NewAdaptor has none).
+func (j *DecisionJournal) Record(d Decision) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.total++
+	d.Seq = j.total
+	if d.Wall.IsZero() {
+		d.Wall = time.Now()
+	}
+	if len(j.buf) < cap(j.buf) {
+		j.buf = append(j.buf, d)
+	} else {
+		j.buf[j.next] = d
+		j.next = (j.next + 1) % cap(j.buf)
+	}
+	j.mu.Unlock()
+}
+
+// Total returns the number of decisions ever recorded (including evicted
+// ones).
+func (j *DecisionJournal) Total() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// Entries returns the retained decisions oldest-first.
+func (j *DecisionJournal) Entries() []Decision {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Decision, 0, len(j.buf))
+	out = append(out, j.buf[j.next:]...)
+	out = append(out, j.buf[:j.next]...)
+	return out
+}
+
+// String renders the retained entries one per line, newest last.
+func (j *DecisionJournal) String() string {
+	var sb strings.Builder
+	for _, d := range j.Entries() {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

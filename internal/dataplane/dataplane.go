@@ -78,10 +78,19 @@ type Pipeline struct {
 	// off); edgeCtr maps each graph edge to its traffic counter.
 	metrics []nodeMetrics
 	edgeCtr map[element.EdgeKey]*stats.Counter
+	// lat records per-batch inject→release latency (nil when Config.Metrics
+	// is off).
+	lat *e2eTracker
 	// inbox holds each element's input channel; Snapshot samples queue
 	// depths from it.
 	inbox []chan stageMsg
-	epoch time.Time
+	// start is the monotonic origin of every TraceEvent.NanosSinceStart and
+	// of ElapsedNs. It is fixed at construction and never reset — not by
+	// Apply hot-swaps, not by snapshots — so trace timelines from different
+	// placement epochs share one base and stay comparable. NewSharded
+	// overwrites it with the sharded pipeline's own origin so all replicas
+	// of one deployment trace against a single clock.
+	start time.Time
 
 	in      chan *netpkt.Batch
 	out     chan *netpkt.Batch
@@ -123,7 +132,7 @@ func New(g *element.Graph, cfg Config) (*Pipeline, error) {
 		g:     g,
 		cfg:   cfg,
 		inbox: make([]chan stageMsg, n),
-		epoch: time.Now(),
+		start: time.Now(),
 		in:    make(chan *netpkt.Batch, cfg.QueueDepth),
 		out:   make(chan *netpkt.Batch, cfg.QueueDepth),
 		done:  make(chan struct{}),
@@ -136,6 +145,7 @@ func New(g *element.Graph, cfg Config) (*Pipeline, error) {
 		for i := range p.metrics {
 			p.metrics[i].proc = stats.NewConcurrentHistogram(stats.DefaultLatencyBoundsNs())
 		}
+		p.lat = newE2ETracker()
 		p.edgeCtr = make(map[element.EdgeKey]*stats.Counter)
 		for _, e := range g.Edges() {
 			k := element.EdgeKey{From: e.From, Port: e.Port, To: e.To}
@@ -149,8 +159,9 @@ func New(g *element.Graph, cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
-// clock returns monotonic time since pipeline construction.
-func (p *Pipeline) clock() time.Duration { return time.Since(p.epoch) }
+// clock returns monotonic time since the pipeline's trace origin (see the
+// start field: construction time, or the sharded pipeline's origin).
+func (p *Pipeline) clock() time.Duration { return time.Since(p.start) }
 
 // trace emits an event if a sink is configured; the nil check is the whole
 // disabled-path cost.
@@ -302,6 +313,9 @@ func (p *Pipeline) Start(ctx context.Context) {
 			p.Stats.InBatches.Add(1)
 			p.Stats.InPackets.Add(uint64(live))
 			p.Stats.InBytes.Add(uint64(b.Bytes()))
+			if p.lat != nil {
+				p.lat.record(b.ID, p.clock().Nanoseconds())
+			}
 			p.trace(TraceInject, -1, b)
 			for _, s := range sources {
 				select {
@@ -326,6 +340,9 @@ func (p *Pipeline) Start(ctx context.Context) {
 			live := uint64(b.Live())
 			p.Stats.OutPackets.Add(live)
 			p.Stats.DropPackets.Add(uint64(b.Len()) - live)
+			if p.lat != nil {
+				p.lat.observe(b.ID, p.clock().Nanoseconds())
+			}
 			p.trace(TraceRelease, -1, b)
 			select {
 			case p.out <- b:
@@ -437,6 +454,14 @@ func (p *Pipeline) Wait() error {
 	<-p.done
 	return p.runErr
 }
+
+// Done returns a channel closed when the pipeline has fully drained (or
+// failed) — the non-blocking liveness signal the telemetry server's
+// /healthz endpoint watches.
+func (p *Pipeline) Done() <-chan struct{} { return p.done }
+
+// Epoch returns the current placement epoch (0 until the first Apply).
+func (p *Pipeline) Epoch() uint64 { return p.placements.Load().epoch }
 
 // RunBatches is the convenience one-shot: start, inject everything, drain,
 // and return the collected output batches in completion order plus the

@@ -1,0 +1,226 @@
+package dataplane
+
+import (
+	"context"
+	"testing"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/stats"
+)
+
+// The e2e tracker must record one latency sample per released batch, with
+// plausible (positive, bounded-by-elapsed) values.
+func TestE2ELatencySingle(t *testing.T) {
+	g := testChainGraph()
+	_, p, err := RunBatches(context.Background(), g,
+		Config{Metrics: true, PreserveOrder: true}, genBatches(30, 16, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Snapshot()
+	if rep.E2E.Count != 30 {
+		t.Fatalf("e2e samples = %d, want 30", rep.E2E.Count)
+	}
+	if rep.E2E.Min <= 0 {
+		t.Errorf("min latency = %v, want > 0", rep.E2E.Min)
+	}
+	if rep.E2E.Max > float64(rep.ElapsedNs) {
+		t.Errorf("max latency %v exceeds elapsed %d", rep.E2E.Max, rep.ElapsedNs)
+	}
+	p50, p99 := rep.E2E.Percentile(50), rep.E2E.Percentile(99)
+	if p50 <= 0 || p99 < p50 {
+		t.Errorf("quantiles p50=%v p99=%v", p50, p99)
+	}
+}
+
+// With metrics off the tracker must not exist: no samples, and the hot path
+// stays pointer-check only (the alloc guards assert the zero-cost side).
+func TestE2ELatencyDisabled(t *testing.T) {
+	g := testChainGraph()
+	_, p, err := RunBatches(context.Background(), g, Config{}, genBatches(10, 8, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.lat != nil {
+		t.Fatal("tracker allocated with Config.Metrics off")
+	}
+	if rep := p.Snapshot(); rep.E2E.Count != 0 {
+		t.Fatalf("e2e samples = %d with metrics off", rep.E2E.Count)
+	}
+}
+
+// The sharded aggregate must expose the boundary dispatch→release latency:
+// one sample per injected batch regardless of how many shards it split into.
+func TestE2ELatencySharded(t *testing.T) {
+	const batches = 40
+	_, sp, err := RunBatchesSharded(context.Background(),
+		func(int) (*element.Graph, error) { return testChainGraph(), nil },
+		ShardedConfig{
+			Shards:  3,
+			Ordered: true,
+			Config:  Config{Metrics: true},
+		}, seqTraffic(12, batches, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sp.Snapshot()
+	if rep.E2E.Count != batches {
+		t.Fatalf("boundary e2e samples = %d, want %d", rep.E2E.Count, batches)
+	}
+	if rep.E2E.Min <= 0 {
+		t.Errorf("min latency = %v", rep.E2E.Min)
+	}
+}
+
+// Trace timestamps must come from one monotonic origin that survives
+// Pipeline.Apply hot-swaps: events never jump backwards across a placement
+// epoch change, and the new epoch's events carry the same clock.
+func TestTraceOriginSurvivesApply(t *testing.T) {
+	const batches, perBatch = 60, 8
+	ring := NewRingTrace(batches * 32)
+	g := hotSwapChain()
+	p, err := New(g, Config{
+		QueueDepth: 2, PreserveOrder: true, Metrics: true, Trace: ring,
+		Offload: &OffloadConfig{MaxOutstanding: 2, AggregateLimit: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start(context.Background())
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for range p.Out() {
+		}
+	}()
+	swaps := hotSwapAssignments()
+	for i, b := range seqTraffic(5, batches, perBatch) {
+		if i == batches/2 {
+			if err := p.Apply(swaps[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.In() <- b
+	}
+	p.CloseInput()
+	<-collected
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := ring.Events()
+	if len(evs) == 0 {
+		t.Fatal("no trace events")
+	}
+	// Inject events come from the single injector goroutine and release
+	// events from the single collector goroutine, so within each kind the
+	// clock reads are strictly sequential: any backwards step means the
+	// monotonic origin was reset by the hot-swap.
+	epochs := map[uint64]bool{}
+	last := map[TraceKind]int64{}
+	for i, e := range evs {
+		if e.Kind == TraceInject || e.Kind == TraceRelease {
+			if e.NanosSinceStart < last[e.Kind] {
+				t.Fatalf("event %d (%s): timestamp %d < previous %d (origin reset across swap?)",
+					i, e.Kind, e.NanosSinceStart, last[e.Kind])
+			}
+			last[e.Kind] = e.NanosSinceStart
+		}
+		if e.Kind == TraceEnter {
+			epochs[e.Epoch] = true
+		}
+	}
+	if len(epochs) < 2 {
+		t.Fatalf("expected events from >=2 placement epochs, got %v", epochs)
+	}
+}
+
+// All shards of a sharded pipeline must share the sharded origin, so
+// cross-shard trace events interleave on one consistent clock (no per-shard
+// construction skew).
+func TestTraceOriginSharedAcrossShards(t *testing.T) {
+	sp, err := NewSharded(
+		func(int) (*element.Graph, error) { return testChainGraph(), nil },
+		ShardedConfig{Shards: 4, Config: Config{Metrics: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range sp.shards {
+		if !sh.start.Equal(sp.start) {
+			t.Fatalf("shard origin %v differs from sharded origin %v",
+				sh.start, sp.start)
+		}
+	}
+}
+
+// AggregateReports must sum the fusion counters and merge the e2e latency
+// histograms across shard reports.
+func TestAggregateReportsFusionAndLatency(t *testing.T) {
+	bounds := stats.DefaultLatencyBoundsNs()
+	mkHist := func(counts []uint64, sum, min, max float64) stats.HistSnapshot {
+		var n uint64
+		full := make([]uint64, len(bounds)+1)
+		copy(full, counts)
+		for _, c := range full {
+			n += c
+		}
+		return stats.HistSnapshot{Bounds: bounds, Counts: full,
+			Count: n, Sum: sum, Min: min, Max: max}
+	}
+	reps := []*Report{
+		{
+			InPackets: 100, OutPackets: 100, MetricsEnabled: true,
+			E2E: mkHist([]uint64{0, 2, 3}, 5000, 400, 900),
+			Offload: OffloadSnapshot{FusedSegments: 4, TransfersSaved: 12,
+				OverlapNs: 1000, Epoch: 2, Swaps: 1},
+		},
+		{
+			InPackets: 50, OutPackets: 50, MetricsEnabled: true,
+			E2E: mkHist([]uint64{1, 0, 2}, 2500, 200, 800),
+			Offload: OffloadSnapshot{FusedSegments: 1, TransfersSaved: 3,
+				OverlapNs: 500, Epoch: 3, Swaps: 2},
+		},
+		{
+			InPackets: 25, OutPackets: 25, MetricsEnabled: true,
+			E2E: mkHist([]uint64{0, 0, 4}, 3000, 600, 950),
+			Offload: OffloadSnapshot{FusedSegments: 2, TransfersSaved: 6,
+				OverlapNs: 250, Epoch: 1, Swaps: 0},
+		},
+	}
+	agg := AggregateReports(reps)
+
+	if agg.Offload.FusedSegments != 7 {
+		t.Errorf("FusedSegments = %d, want 7", agg.Offload.FusedSegments)
+	}
+	if agg.Offload.TransfersSaved != 21 {
+		t.Errorf("TransfersSaved = %d, want 21", agg.Offload.TransfersSaved)
+	}
+	if agg.Offload.OverlapNs != 1750 {
+		t.Errorf("OverlapNs = %d, want 1750", agg.Offload.OverlapNs)
+	}
+	if agg.Offload.Swaps != 3 {
+		t.Errorf("Swaps = %d, want 3", agg.Offload.Swaps)
+	}
+	if agg.Offload.Epoch != 3 {
+		t.Errorf("Epoch = %d, want max 3", agg.Offload.Epoch)
+	}
+	if agg.InPackets != 175 || agg.OutPackets != 175 {
+		t.Errorf("boundary totals = %d/%d", agg.InPackets, agg.OutPackets)
+	}
+
+	if agg.E2E.Count != 12 {
+		t.Fatalf("merged e2e count = %d, want 12", agg.E2E.Count)
+	}
+	if agg.E2E.Sum != 10500 {
+		t.Errorf("merged e2e sum = %v, want 10500", agg.E2E.Sum)
+	}
+	if agg.E2E.Min != 200 || agg.E2E.Max != 950 {
+		t.Errorf("merged min/max = %v/%v, want 200/950", agg.E2E.Min, agg.E2E.Max)
+	}
+	wantCounts := []uint64{1, 2, 9}
+	for i, want := range wantCounts {
+		if agg.E2E.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, agg.E2E.Counts[i], want)
+		}
+	}
+}

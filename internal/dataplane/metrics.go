@@ -77,14 +77,19 @@ type Report struct {
 	Elements []ElementStats
 	Edges    []EdgeStats
 	// Pipeline-boundary totals (mirrors Stats).
-	InBatches, OutBatches   uint64
-	InPackets, OutPackets   uint64
-	DropPackets, InBytes    uint64
+	InBatches, OutBatches uint64
+	InPackets, OutPackets uint64
+	DropPackets, InBytes  uint64
 	// ElapsedNs is time since pipeline construction, for rate derivation.
 	ElapsedNs int64
 	// MetricsEnabled records whether per-element instrumentation was on;
 	// when false only boundary totals and queue depths are meaningful.
 	MetricsEnabled bool
+	// E2E is the per-batch inject→release latency distribution in
+	// nanoseconds (empty when metrics are off). For sharded pipelines the
+	// aggregate report carries the boundary measurement — dispatch to
+	// ordered release — not the sum of per-shard sub-batch latencies.
+	E2E stats.HistSnapshot
 	// Offload is the emulated GPU device backend's activity (all zeros for
 	// a CPU-only assignment).
 	Offload OffloadSnapshot
@@ -104,6 +109,7 @@ func (p *Pipeline) Snapshot() *Report {
 		InBytes:        p.Stats.InBytes.Load(),
 		ElapsedNs:      p.clock().Nanoseconds(),
 		MetricsEnabled: p.metrics != nil,
+		E2E:            p.lat.snapshot(),
 		Offload:        p.snapshotOffload(),
 	}
 	tbl := p.placements.Load()
@@ -174,6 +180,7 @@ func AggregateReports(reps []*Report) *Report {
 			agg.ElapsedNs = r.ElapsedNs
 		}
 		agg.MetricsEnabled = agg.MetricsEnabled || r.MetricsEnabled
+		agg.E2E = agg.E2E.Merge(r.E2E)
 		agg.Offload.OffloadedBatches += r.Offload.OffloadedBatches
 		agg.Offload.SplitBatches += r.Offload.SplitBatches
 		agg.Offload.KernelLaunches += r.Offload.KernelLaunches
@@ -251,6 +258,11 @@ func (r *Report) String() string {
 		sb.WriteString("(per-element metrics disabled; set Config.Metrics)\n")
 		return sb.String()
 	}
+	if r.E2E.Count > 0 {
+		fmt.Fprintf(&sb, "e2e latency: n=%d p50=%.1fus p95=%.1fus p99=%.1fus p999=%.1fus max=%.1fus\n",
+			r.E2E.Count, r.E2E.Percentile(50)/1e3, r.E2E.Percentile(95)/1e3,
+			r.E2E.Percentile(99)/1e3, r.E2E.Percentile(99.9)/1e3, r.E2E.Max/1e3)
+	}
 	if o := r.Offload; o.OffloadedBatches > 0 || o.Swaps > 0 {
 		fmt.Fprintf(&sb, "offload: dev=%d batches=%d (split %d) launches=%d h2d=%dB/%dx d2h=%dB/%dx gpu-busy=%.2fms split-cpu=%.2fms epoch=%d swaps=%d\n",
 			o.Devices, o.OffloadedBatches, o.SplitBatches, o.KernelLaunches,
@@ -293,6 +305,18 @@ func (r *Report) WritePrometheus(w io.Writer) {
 	stats.PromCounter(w, p+"drop_packets_total", nil, r.DropPackets)
 	stats.PromHeader(w, p+"in_bytes_total", "counter", "live bytes injected")
 	stats.PromCounter(w, p+"in_bytes_total", nil, r.InBytes)
+	// End-to-end inject→release latency as summary-style quantiles (the SLO
+	// surface) plus the full cumulative histogram for aggregation-friendly
+	// scrapers.
+	if r.E2E.Count > 0 {
+		stats.PromHeader(w, "nfc_e2e_latency_ns", "summary",
+			"per-batch inject-to-release latency in nanoseconds")
+		stats.PromSummary(w, "nfc_e2e_latency_ns", nil, r.E2E,
+			[]float64{0.5, 0.95, 0.99, 0.999})
+		stats.PromHeader(w, p+"e2e_latency_ns", "histogram",
+			"per-batch inject-to-release latency in nanoseconds")
+		stats.PromHistogram(w, p+"e2e_latency_ns", nil, r.E2E)
+	}
 	// Offload metrics emit only when the device backend saw traffic, and
 	// per-device series only for devices that processed batches — idle
 	// devices would otherwise pollute every CPU-only scrape with zeros.

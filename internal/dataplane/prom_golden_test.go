@@ -1,0 +1,146 @@
+package dataplane
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport hand-builds a fully deterministic Report exercising every
+// family WritePrometheus emits, with element names containing every
+// character the exposition format requires escaping (backslash, double
+// quote, line feed).
+func goldenReport() *Report {
+	hist := stats.HistSnapshot{
+		Bounds: []float64{1000, 10000, 100000},
+		Counts: []uint64{2, 3, 4, 1},
+		Count:  10, Sum: 423456, Min: 512, Max: 250000,
+	}
+	mkEl := func(id int, name, kind string) ElementStats {
+		return ElementStats{
+			Node: element.NodeID(id), Name: name, Kind: kind,
+			Batches: 10, PktsIn: 160, PktsOut: 150, Drops: 10,
+			SendWaitNs: 5_000_000, QueueLen: 3, QueueCap: 16,
+			Proc: hist, ProcPkts: 160, Placement: "cpu",
+		}
+	}
+	return &Report{
+		Elements: []ElementStats{
+			mkEl(0, `plain`, "FromDevice"),
+			mkEl(1, `back\slash`, "ACL"),
+			mkEl(2, `quo"ted`, "NATRewrite"),
+			mkEl(3, "line\nfeed", "ToDevice"),
+		},
+		Edges: []EdgeStats{
+			{EdgeKey: element.EdgeKey{From: 0, Port: 0, To: 1}, Packets: 160},
+			{EdgeKey: element.EdgeKey{From: 1, Port: 0, To: 2}, Packets: 155},
+		},
+		InBatches: 10, OutBatches: 10,
+		InPackets: 160, OutPackets: 150,
+		DropPackets: 10, InBytes: 40960,
+		ElapsedNs:      2_000_000_000,
+		MetricsEnabled: true,
+		E2E:            hist,
+		Offload: OffloadSnapshot{
+			Devices: 1, OffloadedBatches: 6, SplitBatches: 2,
+			KernelLaunches: 4, H2DBytes: 8192, D2HBytes: 8192,
+			H2DTransfers: 4, D2HTransfers: 4,
+			GPUBusyNs: 1_500_000, SplitCPUNs: 300_000,
+			FusedSegments: 3, TransfersSaved: 9, OverlapNs: 700_000,
+			Epoch: 2, Swaps: 1,
+			PerDevice: []DeviceSnapshot{{Name: "gpu0", Batches: 6, BusyNs: 1_500_000}},
+		},
+	}
+}
+
+// The exposition output is golden-file pinned (regenerate with `go test
+// -run TestWritePrometheusGolden -update ./internal/dataplane`) and must
+// pass the minimal format validator.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenReport().WritePrometheus(&buf)
+
+	if err := stats.ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, buf.String())
+	}
+
+	golden := filepath.Join("testdata", "report.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden (run with -update to regenerate)\n--- got ---\n%s\n--- want ---\n%s",
+			buf.String(), string(want))
+	}
+}
+
+// Escape-worthy element names must round-trip into legal label values.
+func TestWritePrometheusEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	goldenReport().WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		`element="back\\slash"`,
+		`element="quo\"ted"`,
+		`element="line\nfeed"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing escaped label %s", want)
+		}
+	}
+	if strings.Contains(text, "line\nfeed") {
+		t.Error("raw newline leaked into a label value")
+	}
+}
+
+// Every emitted family must carry a HELP and TYPE preamble before its first
+// sample (the validator enforces grammar; this asserts coverage).
+func TestWritePrometheusHeaders(t *testing.T) {
+	var buf bytes.Buffer
+	goldenReport().WritePrometheus(&buf)
+
+	seen := map[string]bool{} // families with a TYPE line
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			seen[strings.Fields(line)[2]] = true
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if s, ok := strings.CutSuffix(name, suf); ok && seen[s] {
+				base = s
+				break
+			}
+		}
+		if !seen[base] {
+			t.Errorf("sample %q has no preceding TYPE for its family", name)
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d families emitted; expected full coverage", len(seen))
+	}
+}

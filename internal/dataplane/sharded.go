@@ -62,11 +62,20 @@ func DefaultShards() int {
 type ShardedPipeline struct {
 	cfg    ShardedConfig
 	shards []*Pipeline
-	epoch  time.Time
+	// start is the shared monotonic origin: every shard's trace clock is
+	// re-based onto it at construction, so TraceEvent.NanosSinceStart values
+	// from different replicas (and across Apply epochs) are comparable on
+	// one timeline.
+	start time.Time
 
 	// Stats counts batches/packets at the sharded boundary: In* at
 	// dispatch (before splitting), Out* at release (after merging).
 	Stats Stats
+
+	// lat records dispatch→release latency at the sharded boundary (nil
+	// when Config.Metrics is off); it covers dispatcher and merger queueing
+	// the per-shard trackers cannot see.
+	lat *e2eTracker
 
 	in     chan *netpkt.Batch
 	out    chan *netpkt.Batch
@@ -97,11 +106,14 @@ func NewSharded(build func(shard int) (*element.Graph, error), cfg ShardedConfig
 	sp := &ShardedPipeline{
 		cfg:    cfg,
 		shards: make([]*Pipeline, cfg.Shards),
-		epoch:  time.Now(),
+		start:  time.Now(),
 		in:     make(chan *netpkt.Batch, maxInt(cfg.QueueDepth, 16)),
 		out:    make(chan *netpkt.Batch, maxInt(cfg.QueueDepth, 16)),
 		done:   make(chan struct{}),
 		parts:  make(map[uint64]int),
+	}
+	if cfg.Metrics {
+		sp.lat = newE2ETracker()
 	}
 	var ref *element.Graph
 	for i := range sp.shards {
@@ -118,6 +130,11 @@ func NewSharded(build func(shard int) (*element.Graph, error), cfg ShardedConfig
 		if err != nil {
 			return nil, fmt.Errorf("dataplane: shard %d: %w", i, err)
 		}
+		// Re-base the shard's trace clock onto the sharded origin: replicas
+		// are constructed one after another, and without a shared base their
+		// NanosSinceStart timelines would drift apart by the construction
+		// skew.
+		p.start = sp.start
 		sp.shards[i] = p
 	}
 	return sp, nil
@@ -202,6 +219,9 @@ func (sp *ShardedPipeline) dispatch(ctx context.Context) {
 		sp.Stats.InBatches.Add(1)
 		sp.Stats.InPackets.Add(uint64(b.Live()))
 		sp.Stats.InBytes.Add(uint64(b.Bytes()))
+		if sp.lat != nil {
+			sp.lat.record(b.ID, time.Since(sp.start).Nanoseconds())
+		}
 		sp.mu.Lock()
 		if !sp.gotID {
 			sp.gotID = true
@@ -298,6 +318,9 @@ func (sp *ShardedPipeline) merge(ctx context.Context, merged <-chan *netpkt.Batc
 		live := uint64(b.Live())
 		sp.Stats.OutPackets.Add(live)
 		sp.Stats.DropPackets.Add(uint64(b.Len()) - live)
+		if sp.lat != nil {
+			sp.lat.observe(b.ID, time.Since(sp.start).Nanoseconds())
+		}
 		select {
 		case sp.out <- b:
 			return true
@@ -407,6 +430,23 @@ func (sp *ShardedPipeline) Wait() error {
 // NumShards returns the replica count.
 func (sp *ShardedPipeline) NumShards() int { return len(sp.shards) }
 
+// Done returns a channel closed when every shard has drained and the merger
+// has released everything — the telemetry server's liveness signal.
+func (sp *ShardedPipeline) Done() <-chan struct{} { return sp.done }
+
+// Epoch returns the highest placement epoch across replicas (replicas swap
+// independently at batch boundaries, so during an Apply they may briefly
+// straddle two epochs).
+func (sp *ShardedPipeline) Epoch() uint64 {
+	var e uint64
+	for _, s := range sp.shards {
+		if se := s.Epoch(); se > e {
+			e = se
+		}
+	}
+	return e
+}
+
 // Apply atomically swaps the placement on every replica (see
 // Pipeline.Apply). Replicas swap independently at their own next batch
 // boundary; flow affinity makes that safe — a flow only ever traverses one
@@ -442,7 +482,13 @@ func (sp *ShardedPipeline) Snapshot() *Report {
 	agg.OutPackets = sp.Stats.OutPackets.Load()
 	agg.DropPackets = sp.Stats.DropPackets.Load()
 	agg.InBytes = sp.Stats.InBytes.Load()
-	agg.ElapsedNs = time.Since(sp.epoch).Nanoseconds()
+	agg.ElapsedNs = time.Since(sp.start).Nanoseconds()
+	if sp.lat != nil {
+		// The boundary measurement (dispatch→ordered release) supersedes the
+		// merged per-shard histograms: it is the latency an external consumer
+		// of Out() actually observes, dispatcher and merger queueing included.
+		agg.E2E = sp.lat.snapshot()
+	}
 	return agg
 }
 

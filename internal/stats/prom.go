@@ -10,11 +10,26 @@ import (
 // Prometheus text-exposition encoding for the concurrent metric types, so a
 // live pipeline snapshot can be dumped or scraped without external
 // dependencies. Only the subset of the format the dataplane needs is
-// implemented: counter and gauge samples with labels, and cumulative
-// histogram series (`_bucket{le=...}`, `_sum`, `_count`).
+// implemented: counter and gauge samples with labels, cumulative histogram
+// series (`_bucket{le=...}`, `_sum`, `_count`), and summary-style quantile
+// series. ValidateExposition (promlint.go) checks emitted text against the
+// same grammar.
 
 // Labels is an ordered-on-render label set.
 type Labels map[string]string
+
+// labelEscaper applies the exposition-format label-value escapes: backslash,
+// double quote, and line feed. Element names are user-controlled (chain
+// specs, pcap-derived names), so every label value goes through this.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper applies the HELP-text escapes (backslash and line feed; quotes
+// are legal in help text).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// EscapeLabelValue returns s with the exposition-format label escapes
+// applied (\\, \", \n).
+func EscapeLabelValue(s string) string { return labelEscaper.Replace(s) }
 
 // render formats the label set as {k="v",...} with sorted keys (empty string
 // for no labels), escaping backslash, quote, and newline in values.
@@ -33,7 +48,10 @@ func (l Labels) render() string {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		fmt.Fprintf(&sb, "%s=%q", k, l[k])
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(EscapeLabelValue(l[k]))
+		sb.WriteByte('"')
 	}
 	sb.WriteByte('}')
 	return sb.String()
@@ -50,9 +68,9 @@ func PromGauge(w io.Writer, name string, labels Labels, v float64) {
 }
 
 // PromHeader writes the HELP/TYPE preamble for a metric family. typ is
-// "counter", "gauge", or "histogram".
+// "counter", "gauge", "histogram", or "summary".
 func PromHeader(w io.Writer, name, typ, help string) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, helpEscaper.Replace(help), name, typ)
 }
 
 // PromHistogram writes a histogram snapshot as cumulative buckets plus
@@ -74,4 +92,25 @@ func PromHistogram(w io.Writer, name string, labels Labels, s HistSnapshot) {
 	}
 	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels.render(), s.Sum)
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labels.render(), s.Count)
+}
+
+// PromSummary writes a histogram snapshot as summary-style quantile series
+// plus _sum and _count. quantiles are fractions in (0, 1], e.g. 0.5, 0.99,
+// 0.999; values come from HistSnapshot.Percentile interpolation.
+func PromSummary(w io.Writer, name string, labels Labels, s HistSnapshot, quantiles []float64) {
+	for _, q := range quantiles {
+		withQ := make(Labels, len(labels)+1)
+		for k, v := range labels {
+			withQ[k] = v
+		}
+		withQ["quantile"] = trimFloat(q)
+		fmt.Fprintf(w, "%s%s %g\n", name, withQ.render(), s.Percentile(q*100))
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels.render(), s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels.render(), s.Count)
+}
+
+// trimFloat renders a quantile fraction compactly ("0.5", "0.999").
+func trimFloat(q float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", q), "0"), ".")
 }

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`a\b`, `a\\b`},
+		{`say "hi"`, `say \"hi\"`},
+		{"two\nlines", `two\nlines`},
+		{"mix\\\"\n", `mix\\\"\n`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPromHeaderEscapesHelp(t *testing.T) {
+	var buf bytes.Buffer
+	PromHeader(&buf, "m", "counter", "line\nbreak and back\\slash")
+	want := "# HELP m line\\nbreak and back\\\\slash\n# TYPE m counter\n"
+	if buf.String() != want {
+		t.Errorf("header = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestPromSummary(t *testing.T) {
+	s := HistSnapshot{
+		Bounds: []float64{100, 1000},
+		Counts: []uint64{5, 5, 0},
+		Count:  10, Sum: 4000, Min: 10, Max: 900,
+	}
+	var buf bytes.Buffer
+	PromSummary(&buf, "lat", Labels{"shard": "0"}, s, []float64{0.5, 0.999})
+	out := buf.String()
+	for _, want := range []string{
+		`lat{quantile="0.5",shard="0"}`,
+		`lat{quantile="0.999",shard="0"}`,
+		`lat_sum{shard="0"} 4000`,
+		`lat_count{shard="0"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(
+		"# HELP lat l\n# TYPE lat summary\n" + out)); err != nil {
+		t.Errorf("summary output fails validation: %v", err)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}, {0.999, "0.999"}, {1, "1"}}
+	for _, c := range cases {
+		if got := trimFloat(c.in); got != c.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := `# HELP a total things
+# TYPE a counter
+a 1
+a{x="y"} 2
+# HELP h a histogram
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_sum 3.5
+h_count 2
+# HELP s a summary
+# TYPE s summary
+s{quantile="0.99"} 5
+s_sum 10
+s_count 2
+# HELP g a gauge
+# TYPE g gauge
+g{v="esc\\aped",w="qu\"ote",z="nl\n"} 0.25
+`
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"type without help":  "# TYPE a counter\na 1\n",
+		"unknown type":       "# HELP a x\n# TYPE a exotic\na 1\n",
+		"duplicate type":     "# HELP a x\n# TYPE a counter\n# TYPE a counter\na 1\n",
+		"bad metric name":    "# HELP a x\n# TYPE a counter\n9a 1\n",
+		"unquoted label":     "# HELP a x\n# TYPE a counter\na{x=y} 1\n",
+		"raw newline escape": "# HELP a x\n# TYPE a counter\na{x=\"b\\z\"} 1\n",
+		"missing value":      "# HELP a x\n# TYPE a counter\na\n",
+		"non-numeric value":  "# HELP a x\n# TYPE a counter\na one\n",
+		"summary no quantile": "# HELP s x\n# TYPE s summary\n" +
+			"s 1\n",
+		"histogram bucket no le": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket 1\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: invalid exposition accepted:\n%s", name, text)
+		}
+	}
+}

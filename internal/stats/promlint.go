@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks text against a minimal subset of the Prometheus
+// text exposition format (version 0.0.4): every sample must belong to a
+// family announced by `# HELP` and `# TYPE` lines, metric and label names
+// must match the identifier grammar, label values must be correctly quoted
+// and escaped, and sample values must parse as floats. Histogram and
+// summary families accept their derived series (_bucket/_sum/_count and
+// quantile samples respectively). It is the exporter-side counterpart of a
+// scraper's parser — strict enough to catch broken escaping or a family
+// emitted without its preamble, small enough to run in a golden-file test.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := make(map[string]string) // family -> counter|gauge|histogram|summary
+	helped := make(map[string]bool)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types, helped); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, types); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func validateComment(line string, types map[string]string, helped map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+		helped[fields[2]] = true
+	case "TYPE":
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("TYPE for invalid metric name %q", fields[2])
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line missing type: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if _, dup := types[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", fields[2])
+		}
+		if !helped[fields[2]] {
+			return fmt.Errorf("TYPE for %q without preceding HELP", fields[2])
+		}
+		types[fields[2]] = fields[3]
+	default:
+		return fmt.Errorf("unknown comment keyword %q", fields[1])
+	}
+	return nil
+}
+
+func validateSample(line string, types map[string]string) error {
+	name, rest := splitName(line)
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name in %q", line)
+	}
+	family, typ, err := familyOf(name, types)
+	if err != nil {
+		return err
+	}
+	rest = strings.TrimLeft(rest, " ")
+	hasQuantile, hasLe := false, false
+	if strings.HasPrefix(rest, "{") {
+		var labels map[string]string
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		_, hasQuantile = labels["quantile"]
+		_, hasLe = labels["le"]
+	}
+	if typ == "summary" && name == family && !hasQuantile {
+		return fmt.Errorf("summary sample %q lacks quantile label", line)
+	}
+	if strings.HasSuffix(name, "_bucket") && typ == "histogram" && !hasLe {
+		return fmt.Errorf("histogram bucket %q lacks le label", line)
+	}
+	val := strings.TrimSpace(rest)
+	if val == "" {
+		return fmt.Errorf("sample %q has no value", line)
+	}
+	// A trailing timestamp is allowed; the value is the first field.
+	val = strings.Fields(val)[0]
+	if _, err := strconv.ParseFloat(val, 64); err != nil {
+		return fmt.Errorf("sample value %q does not parse: %v", val, err)
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its announced family, accepting the
+// _bucket/_sum/_count derivations of histogram and summary families.
+func familyOf(name string, types map[string]string) (string, string, error) {
+	if t, ok := types[name]; ok {
+		return name, t, nil
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+			if suf == "_bucket" && t != "histogram" {
+				return "", "", fmt.Errorf("series %q on non-histogram family", name)
+			}
+			return base, t, nil
+		}
+	}
+	return "", "", fmt.Errorf("sample %q has no HELP/TYPE preamble", name)
+}
+
+// splitName cuts the metric name off the front of a sample line.
+func splitName(line string) (string, string) {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '{' || c == ' ' {
+			return line[:i], line[i:]
+		}
+	}
+	return line, ""
+}
+
+// parseLabels consumes a {k="v",...} block, validating names, quoting, and
+// escape sequences, and returns the label map plus the remaining line.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	s = s[1:] // consume '{'
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %q value not quoted", name)
+		}
+		val, rest, err := parseQuoted(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", name, err)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val
+		s = rest
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if !strings.HasPrefix(s, "}") {
+			return nil, "", fmt.Errorf("junk after label %q", name)
+		}
+	}
+}
+
+// parseQuoted consumes a double-quoted label value, checking that only the
+// legal escapes (\\, \", \n) appear, and returns the decoded value plus the
+// remaining input.
+func parseQuoted(s string) (string, string, error) {
+	var sb strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return sb.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling backslash")
+			}
+			i++
+			switch s[i] {
+			case '\\', '"':
+				sb.WriteByte(s[i])
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("illegal escape \\%c", s[i])
+			}
+		case '\n':
+			return "", "", fmt.Errorf("raw newline in label value")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"nfcompass/internal/core"
+	"nfcompass/internal/dataplane"
+)
+
+// Snapshotter is the pipeline surface the server scrapes; both
+// dataplane.Pipeline and dataplane.ShardedPipeline implement it.
+type Snapshotter interface {
+	Snapshot() *dataplane.Report
+}
+
+// Config wires a running pipeline into the admin server. Only Source is
+// required; endpoints whose input is absent serve empty collections rather
+// than erroring, so one dashboard works against any configuration.
+type Config struct {
+	// Source is the running pipeline (plain or sharded) to snapshot.
+	Source Snapshotter
+	// Done, when non-nil, signals pipeline termination: /healthz turns 503
+	// once it closes. Use Pipeline.Done() / ShardedPipeline.Done().
+	Done <-chan struct{}
+	// Trace, when non-nil, is the ring the pipeline emits TraceEvents into;
+	// /trace streams its retained events as NDJSON.
+	Trace *dataplane.RingTrace
+	// Journal, when non-nil, is the adaptor's decision journal served at
+	// /decisions.
+	Journal *core.DecisionJournal
+	// Interval is the periodic snapshot refresh period backing /metrics and
+	// /healthz (default 1s). /snapshot always takes a fresh snapshot.
+	Interval time.Duration
+}
+
+// Server is an embeddable admin HTTP server for a running pipeline:
+//
+//	/metrics       Prometheus text exposition (from periodic snapshots)
+//	/snapshot      full Report as JSON (fresh snapshot per request)
+//	/healthz       liveness + backpressure signal as JSON
+//	/trace         retained TraceEvents as NDJSON (?n= limits to the tail)
+//	/decisions     the adaptor's decision journal as JSON
+//	/debug/pprof/  the standard Go profiling endpoints
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	srv *http.Server
+	lis net.Listener
+
+	// cur is the latest periodic snapshot; the refresher goroutine replaces
+	// it every Interval while the pipeline runs.
+	cur  atomic.Pointer[dataplane.Report]
+	stop chan struct{}
+}
+
+// New validates the configuration and builds a server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("telemetry: Config.Source is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), stop: make(chan struct{})}
+	s.cur.Store(cfg.Source.Snapshot())
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/decisions", s.handleDecisions)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s, nil
+}
+
+// Handler returns the server's routing handler, for embedding into an
+// existing http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (":9090", "127.0.0.1:0", ...), serves in the
+// background, and starts the periodic snapshot refresher. The returned
+// address carries the resolved port when addr asked for :0.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	s.lis = lis
+	s.srv = &http.Server{Handler: s.mux}
+	go s.srv.Serve(lis)
+	go s.refresh()
+	return lis.Addr(), nil
+}
+
+// Shutdown stops the refresher and gracefully closes the listener.
+func (s *Server) Shutdown(ctx context.Context) error {
+	close(s.stop)
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// refresh keeps the cached snapshot current while the pipeline runs; after
+// the pipeline drains it takes one final snapshot so post-mortem scrapes see
+// the complete totals.
+func (s *Server) refresh() {
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.cur.Store(s.cfg.Source.Snapshot())
+		case <-s.cfg.Done:
+			s.cur.Store(s.cfg.Source.Snapshot())
+			return
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cur.Load().WritePrometheus(w)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	rep := s.cfg.Source.Snapshot()
+	s.cur.Store(rep)
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// Health is the /healthz body.
+type Health struct {
+	// Status is "ok" while the pipeline runs, "stopped" once Done closes.
+	Status string `json:"status"`
+	// Backpressure is the fullest element inbox as a 0..1 fill ratio — the
+	// saturation signal (which element is the bottleneck is in /snapshot's
+	// SendWaitNs column).
+	Backpressure float64 `json:"backpressure"`
+	// InPackets/OutPackets/DropPackets are the pipeline boundary totals at
+	// the last periodic snapshot.
+	InPackets   uint64 `json:"in_packets"`
+	OutPackets  uint64 `json:"out_packets"`
+	DropPackets uint64 `json:"drop_packets"`
+	// Epoch is the placement epoch, Swaps the number of hot-swaps so far.
+	Epoch uint64 `json:"epoch"`
+	Swaps uint64 `json:"swaps"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	rep := s.cur.Load()
+	h := Health{
+		Status:      "ok",
+		InPackets:   rep.InPackets,
+		OutPackets:  rep.OutPackets,
+		DropPackets: rep.DropPackets,
+		Epoch:       rep.Offload.Epoch,
+		Swaps:       rep.Offload.Swaps,
+	}
+	for _, e := range rep.Elements {
+		if e.QueueCap > 0 {
+			if f := float64(e.QueueLen) / float64(e.QueueCap); f > h.Backpressure {
+				h.Backpressure = f
+			}
+		}
+	}
+	code := http.StatusOK
+	select {
+	case <-s.cfg.Done:
+		h.Status = "stopped"
+		code = http.StatusServiceUnavailable
+	default:
+	}
+	writeJSON(w, code, h)
+}
+
+// traceJSON is the NDJSON shape of one TraceEvent (kind rendered as its
+// lifecycle name, timestamp shortened to "ns").
+type traceJSON struct {
+	Kind      string `json:"kind"`
+	Node      int    `json:"node"`
+	Batch     uint64 `json:"batch"`
+	Packets   int    `json:"packets"`
+	Ns        int64  `json:"ns"`
+	Epoch     uint64 `json:"epoch,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	Segment   int    `json:"segment,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if s.cfg.Trace == nil {
+		return
+	}
+	evs := s.cfg.Trace.Events()
+	if v := r.URL.Query().Get("n"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(evs) {
+			evs = evs[len(evs)-n:]
+		}
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range evs {
+		seg := 0
+		if e.Segment >= 0 {
+			seg = e.Segment + 1 // 1-based on the wire so omitempty drops "none"
+		}
+		enc.Encode(traceJSON{
+			Kind: e.Kind.String(), Node: int(e.Node), Batch: e.Batch,
+			Packets: e.Packets, Ns: e.NanosSinceStart,
+			Epoch: e.Epoch, Placement: e.Placement, Segment: seg,
+		})
+	}
+}
+
+// decisionsBody is the /decisions payload: total ever recorded plus the
+// retained tail, oldest first.
+type decisionsBody struct {
+	Total   uint64          `json:"total"`
+	Entries []core.Decision `json:"entries"`
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, _ *http.Request) {
+	body := decisionsBody{
+		Total:   s.cfg.Journal.Total(),
+		Entries: s.cfg.Journal.Entries(),
+	}
+	if body.Entries == nil {
+		body.Entries = []core.Decision{}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
