@@ -51,6 +51,8 @@ func main() {
 		"print the task allocator's report (algorithm, objective, cut/load split, per-element offload ratios) and execute the chain on the live dataplane under that assignment: ModeGPU/ModeSplit elements run through the emulated GPU device backend")
 	noFusion := flag.Bool("no-fusion", false,
 		"disable device-resident segment fusion in the -assign dataplane run: every GPU element pays its own H2D/D2H round trip (A/B lever for the fusion saving)")
+	noCompile := flag.Bool("no-compile", false,
+		"disable compiled CPU stage-loops in dataplane runs: every CPU element keeps its own goroutine and channel hop (A/B lever for the compilation saving)")
 	serve := flag.String("serve", "",
 		"run the chain continuously on the live dataplane and serve the telemetry plane (/metrics /snapshot /healthz /trace /decisions /debug/pprof) on this address, e.g. :9090")
 	duration := flag.Duration("duration", 30*time.Second,
@@ -149,7 +151,7 @@ func main() {
 		if err := runServe(d, deploy, opt, serveOpts{
 			addr: *serve, duration: *duration, shards: *shards,
 			pkt: *pkt, batchSize: *batchSize, seed: *seed,
-			platform: p,
+			platform: p, noCompile: *noCompile,
 		}); err != nil {
 			fatal(err)
 		}
@@ -212,8 +214,9 @@ func main() {
 		_, pl, err := dataplane.RunBatches(context.Background(), d.Graph,
 			dataplane.Config{
 				PreserveOrder: true, Metrics: true,
-				Assignment: d.Assignment,
-				Offload:    &dataplane.OffloadConfig{Platform: &p, DisableFusion: *noFusion},
+				DisableCompile: *noCompile,
+				Assignment:     d.Assignment,
+				Offload:        &dataplane.OffloadConfig{Platform: &p, DisableFusion: *noFusion},
 			}, mkBatches(4000))
 		if err != nil {
 			fatal(err)
@@ -230,7 +233,8 @@ func main() {
 		var rep *dataplane.Report
 		if *shards == 1 {
 			_, pl, err := dataplane.RunBatches(context.Background(), d.Graph,
-				dataplane.Config{PreserveOrder: true, Metrics: true}, mkBatches(3000))
+				dataplane.Config{PreserveOrder: true, Metrics: true,
+					DisableCompile: *noCompile}, mkBatches(3000))
 			if err != nil {
 				fatal(err)
 			}
@@ -255,7 +259,7 @@ func main() {
 			}
 			_, sp, err := dataplane.RunBatchesSharded(context.Background(), build,
 				dataplane.ShardedConfig{
-					Config:  dataplane.Config{Metrics: true},
+					Config:  dataplane.Config{Metrics: true, DisableCompile: *noCompile},
 					Shards:  *shards,
 					Ordered: true,
 				}, mkBatches(3000))

@@ -37,6 +37,7 @@ type serveOpts struct {
 	batchSize int
 	seed      int64
 	platform  hetsim.Platform
+	noCompile bool
 }
 
 // runServe is the `-serve` continuous mode: deploy the chain onto the live
@@ -52,7 +53,10 @@ type serveOpts struct {
 // share element instances with the running pipeline).
 func runServe(d *core.Deployment, deploy func() (*core.Deployment, error),
 	opt core.Options, o serveOpts) error {
-	mk := func(size int, off int64, n int) []*netpkt.Batch {
+	// bl is the packets-per-batch: the injector passes the adaptor's live
+	// interference-aware batch size; Observe samples keep the configured
+	// size so the traffic profile stays comparable across observations.
+	mk := func(size int, off int64, n, bl int) []*netpkt.Batch {
 		var sd traffic.SizeDist = traffic.IMIX{}
 		if size > 0 {
 			sd = traffic.Fixed(size)
@@ -60,7 +64,7 @@ func runServe(d *core.Deployment, deploy func() (*core.Deployment, error),
 		gen := traffic.NewGenerator(traffic.Config{
 			Size: sd, Seed: o.seed + off, Flows: 256,
 		})
-		return gen.Batches(n, o.batchSize)
+		return gen.Batches(n, bl)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(),
@@ -68,7 +72,8 @@ func runServe(d *core.Deployment, deploy func() (*core.Deployment, error),
 	defer cancel()
 
 	ring := dataplane.NewRingTrace(1 << 14)
-	cfg := dataplane.Config{PreserveOrder: true, Metrics: true, Trace: ring}
+	cfg := dataplane.Config{PreserveOrder: true, Metrics: true, Trace: ring,
+		DisableCompile: o.noCompile}
 	if d.Alloc != nil {
 		cfg.Assignment = d.Assignment
 		cfg.Offload = &dataplane.OffloadConfig{Platform: &o.platform}
@@ -181,6 +186,7 @@ func runServe(d *core.Deployment, deploy func() (*core.Deployment, error),
 	size := o.pkt
 	shifted := false
 	lastObs := time.Time{}
+	batch := adaptor.BatchSize()
 	var off int64
 	if dur < time.Duration(1<<62-1) {
 		fmt.Printf("running for %s (traffic shift at %s); interrupt to stop early\n",
@@ -196,16 +202,20 @@ func runServe(d *core.Deployment, deploy func() (*core.Deployment, error),
 			fmt.Printf("traffic shift: packet size %s -> %d bytes\n",
 				sizeName(o.pkt), shiftTo)
 		}
-		if !inject(mk(size, 2000+off, 8)) {
+		if !inject(mk(size, 2000+off, 8, batch)) {
 			break
 		}
 		off++
 		if time.Since(lastObs) >= observeEvery || lastObs.IsZero() {
 			lastObs = time.Now()
-			if changed, err := adaptor.Observe(mk(size, 6000+off, 4)); err != nil {
+			if changed, err := adaptor.Observe(mk(size, 6000+off, 4, o.batchSize)); err != nil {
 				fmt.Fprintf(os.Stderr, "nfcompass: observe: %v\n", err)
 			} else if changed {
 				fmt.Printf("adaptor re-allocated: epoch hot-swapped onto the running pipeline\n")
+			}
+			if nb := adaptor.BatchSize(); nb != batch {
+				fmt.Printf("batch controller: %d -> %d packets/batch\n", batch, nb)
+				batch = nb
 			}
 		}
 		time.Sleep(time.Millisecond)

@@ -78,24 +78,10 @@ func BuildTree(l *List, binth int) *Tree {
 }
 
 // ruleRange projects rule r onto dimension d as an inclusive interval.
+// Delegates to projectRule so both classifier engines cut the 5-tuple
+// space with identical geometry.
 func (t *Tree) ruleRange(r *Rule, d Dimension) (uint64, uint64) {
-	switch d {
-	case DimSrcAddr:
-		lo := uint64(maskAddr(r.SrcAddr, r.SrcPlen))
-		return lo, lo + uint64(hostMask(r.SrcPlen))
-	case DimDstAddr:
-		lo := uint64(maskAddr(r.DstAddr, r.DstPlen))
-		return lo, lo + uint64(hostMask(r.DstPlen))
-	case DimSrcPort:
-		return uint64(r.SrcPort.Lo), uint64(r.SrcPort.Hi)
-	case DimDstPort:
-		return uint64(r.DstPort.Lo), uint64(r.DstPort.Hi)
-	default:
-		if r.ProtoAny {
-			return 0, 255
-		}
-		return uint64(r.Proto), uint64(r.Proto)
-	}
+	return projectRule(r, d)
 }
 
 func overlaps(rlo, rhi, lo, hi uint64) bool { return rlo <= hi && rhi >= lo }

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"nfcompass/internal/acl"
+	"nfcompass/internal/dataplane"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/nf"
+)
+
+// Compile is the A/B experiment for the PR-6 hot-path compilation pair on
+// the telco chain of Figs. 16-17 (firewall → IPv4 router → NAT, traffic
+// synthesized from the firewall's own rules). "Compiled" means both legs of
+// the compilation: the CPU stage-loop (maximal sole-path same-placement runs
+// collapsed into one goroutine, dataplane/compile.go — the whole telco chain
+// folds into a single loop) and the flat ACL decision table (acl.Table,
+// Lucent bit-vector) in place of the per-packet HiCuts tree walk.
+// "Interpreted" is the same graph with `-no-compile` per-element goroutine
+// hops and the tree classifier. The middle columns attribute the gain to
+// each leg separately. Rates are live wall-clock Mpps (best of a few
+// trials), so numbers compare across columns of one run, not across
+// machines.
+//
+// Columns per (ACL size, packet size) row:
+//
+//	interpreted  tree classifier, DisableCompile (per-element goroutines)
+//	+loops       tree classifier, compiled stage-loops
+//	+table       acl.Table classifier, DisableCompile
+//	compiled     acl.Table classifier, compiled stage-loops
+//	speedup      compiled / interpreted
+//
+// The stage-loop leg pays off in proportion to hop cost over per-batch
+// work (a few percent at batch 64 on this chain); the decision-table leg
+// pays off in proportion to rule count (the tree deepens, the table stays
+// O(dims) lookups) — which is exactly the ACL-scaling regime the paper's
+// telco-chain evaluation targets.
+func Compile(cfg Config) (*Table, error) {
+	cfg.defaults()
+	aclSizes := []int{200, 1000, 10000}
+	pktSizes := []int{64, 1500}
+	trials := 3
+	if cfg.Quick {
+		aclSizes = []int{200, 1000}
+		trials = 2
+	}
+
+	t := &Table{
+		ID:      "compile",
+		Title:   "Compiled hot path on FW→Router→NAT: Mpps live (wall-clock)",
+		Headers: []string{"ACL", "pkt", "interpreted", "+loops", "+table", "compiled", "speedup"},
+	}
+
+	for ai, rules := range aclSizes {
+		list := acl.Generate(acl.DefaultGenConfig(rules, 7))
+		mkChain := func(useTable bool) []*nf.NF {
+			fw := nf.NewFirewall("fw", list, true)
+			if useTable {
+				fw = nf.NewFirewallTable("fw", list, true)
+			}
+			return []*nf.NF{fw, mkIPv4("router", cfg.Seed), mkNAT("nat")}
+		}
+		for pi, pkt := range pktSizes {
+			seedBase := cfg.Seed + int64(600+ai*10+pi)
+
+			// One live drain per trial: fresh graph (elements are stateful),
+			// fresh traffic (RunBatches takes ownership), wall-clock packet
+			// rate from the boundary report. Metrics stay off so the
+			// compiled arms take the direct zero-alloc stage-loop, the
+			// production fast path.
+			measure := func(useTable bool, dcfg dataplane.Config) (float64, error) {
+				best := 0.0
+				for tr := 0; tr < trials; tr++ {
+					g, _, _ := nf.BuildChain(mkChain(useTable))
+					batches := aclTraffic(list, cfg.Batches, cfg.BatchSize, pkt,
+						seedBase+int64(tr))
+					_, p, err := dataplane.RunBatches(context.Background(), g, dcfg, batches)
+					if err != nil {
+						return 0, err
+					}
+					rep := p.Snapshot()
+					if rep.ElapsedNs <= 0 {
+						continue
+					}
+					if mpps := float64(rep.OutPackets) * 1e3 / float64(rep.ElapsedNs); mpps > best {
+						best = mpps
+					}
+				}
+				if best == 0 {
+					return 0, fmt.Errorf("bench: compile: no packets drained")
+				}
+				return best, nil
+			}
+
+			interp, err := measure(false, dataplane.Config{DisableCompile: true})
+			if err != nil {
+				return nil, err
+			}
+			loops, err := measure(false, dataplane.Config{})
+			if err != nil {
+				return nil, err
+			}
+			tabOnly, err := measure(true, dataplane.Config{DisableCompile: true})
+			if err != nil {
+				return nil, err
+			}
+			compiled, err := measure(true, dataplane.Config{})
+			if err != nil {
+				return nil, err
+			}
+
+			t.AddRow(fmt.Sprintf("%d", rules), fmt.Sprintf("%dB", pkt),
+				f2(interp), f2(loops), f2(tabOnly), f2(compiled),
+				f2(compiled/interp)+"x")
+		}
+	}
+	t.Notes = append(t.Notes,
+		"compiled = stage-loops + acl.Table: the sole-path CPU run src→fw→router→nat→dst folds into one stage-loop goroutine and classification is five index walks + a bitset AND",
+		"interpreted = -no-compile per-element goroutine hops + per-packet HiCuts tree walk; the +loops/+table columns attribute the gain to each leg",
+		"table equivalence to the tree is fuzz-verified (acl.FuzzTableVsTree); stage-loop equivalence by dataplane.FuzzCompiledVsInterpreted")
+	return t, nil
+}
+
+// compiledHops sanity-probes that a config actually engages (or disables)
+// the stage-loop: it runs one tiny drain and returns the CompiledBatches
+// counter. Used by tests to pin the A and B arms to different code paths.
+func compiledHops(dcfg dataplane.Config, list *acl.List, seed int64) (uint64, error) {
+	g, _, _ := nf.BuildChain([]*nf.NF{
+		nf.NewFirewall("fw", list, true), mkNAT("nat"),
+	})
+	var batches []*netpkt.Batch = aclTraffic(list, 4, 16, 64, seed)
+	_, p, err := dataplane.RunBatches(context.Background(), g, dcfg, batches)
+	if err != nil {
+		return 0, err
+	}
+	return p.Snapshot().Offload.CompiledBatches, nil
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"nfcompass/internal/acl"
+	"nfcompass/internal/dataplane"
+)
+
+// TestCompileABArmsDiverge pins the experiment's two arms to different code
+// paths: the default config must execute batches through the compiled
+// stage-loop, DisableCompile must execute none — otherwise the speedup
+// column would compare the same pipeline against itself.
+func TestCompileABArmsDiverge(t *testing.T) {
+	list := acl.Generate(acl.DefaultGenConfig(64, 7))
+	on, err := compiledHops(dataplane.Config{}, list, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on == 0 {
+		t.Fatal("default config ran zero compiled batches: the A arm is not compiled")
+	}
+	off, err := compiledHops(dataplane.Config{DisableCompile: true}, list, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0 {
+		t.Fatalf("DisableCompile ran %d compiled batches: the B arm is not interpreted", off)
+	}
+}
+
+// TestCompileExperimentShape runs the quick experiment end to end and checks
+// the table carries the speedup columns the regression pipeline parses.
+func TestCompileExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live drains are long")
+	}
+	tbl, err := Compile(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, r := range tbl.Rows {
+		if len(r) != len(tbl.Headers) {
+			t.Fatalf("row %v has %d cells, want %d", r, len(r), len(tbl.Headers))
+		}
+		for _, cell := range r[2:6] {
+			if parseF(t, cell) <= 0 {
+				t.Fatalf("non-positive rate in row %v", r)
+			}
+		}
+		if !strings.HasSuffix(r[6], "x") {
+			t.Fatalf("speedup cell not ratio-formatted in row %v", r)
+		}
+	}
+}

@@ -24,6 +24,7 @@ var Registry = map[string]Experiment{
 	"fig15":    {ID: "fig15", Paper: "Figure 15", Run: Fig15},
 	"fig17":    {ID: "fig17", Paper: "Figures 16-17", Run: Fig17},
 	"ablation": {ID: "ablation", Paper: "DESIGN.md E13", Run: Ablation},
+	"compile":  {ID: "compile", Paper: "DESIGN.md §12 A/B", Run: Compile},
 	"algos":    {ID: "algos", Paper: "§IV-C-3 tradeoff", Run: Algos},
 	"micro":    {ID: "micro", Paper: "§IV-C-2 dictionary", Run: Micro},
 	"scaling":  {ID: "scaling", Paper: "§II-A-2 SFC length", Run: Scaling},

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"nfcompass/internal/element"
 	"nfcompass/internal/hetsim"
 	"nfcompass/internal/netpkt"
 	"nfcompass/internal/profile"
+	"nfcompass/internal/stats"
 )
 
 // Adaptor implements NFCompass's dynamic task adaption: the runtime keeps
@@ -27,9 +29,28 @@ type Adaptor struct {
 	// Reallocations counts how many times Observe re-allocated.
 	Reallocations int
 
+	// MinBatch/MaxBatch bound the interference-aware batch controller
+	// (defaults 16 and 1024). ShrinkFactor is the baseline-relative p99
+	// multiple that marks interference and halves the batch (default 1.5);
+	// GrowFactor the multiple under which the batch grows additively
+	// (default 1.1). BatchResizes counts adopted resizes.
+	MinBatch     int
+	MaxBatch     int
+	ShrinkFactor float64
+	GrowFactor   float64
+	BatchResizes int
+
 	rt      Runtime
 	last    trafficSig
 	journal *DecisionJournal
+
+	// Interference-aware batch sizing state: the live batch size (read by
+	// the traffic feeder via BatchSize, hence atomic), the cumulative e2e
+	// histogram at the previous observation (windows are bucket deltas),
+	// and the best windowed p99 seen — the interference-free baseline.
+	batch   atomic.Int64
+	lastE2E stats.HistSnapshot
+	baseP99 float64
 }
 
 // Runtime is a running execution engine that can hot-swap its assignment —
@@ -79,9 +100,19 @@ func NewAdaptor(d *Deployment, opt Options) *Adaptor {
 	if opt.Delta == 0 {
 		opt.Delta = DefaultDelta
 	}
-	return &Adaptor{d: d, opt: opt, Threshold: 0.25,
+	a := &Adaptor{d: d, opt: opt, Threshold: 0.25,
+		MinBatch: 16, MaxBatch: 1024,
+		ShrinkFactor: 1.5, GrowFactor: 1.1,
 		journal: NewDecisionJournal(256)}
+	a.batch.Store(int64(clampInt(opt.BatchSize, a.MinBatch, a.MaxBatch)))
+	return a
 }
+
+// BatchSize returns the controller's current batch size. The traffic
+// feeder reads it per batch (it is atomic), closing the loop: the adaptor
+// shrinks the batch when co-located work inflates tail latency and grows
+// it back when the interference subsides.
+func (a *Adaptor) BatchSize() int { return int(a.batch.Load()) }
 
 // Observe feeds a traffic sample to the adaptor. The sample is consumed
 // (it runs through the deployment graph functionally). When the observed
@@ -92,6 +123,7 @@ func (a *Adaptor) Observe(sample []*netpkt.Batch) (bool, error) {
 	if len(sample) == 0 {
 		return false, fmt.Errorf("core: empty adaptation sample")
 	}
+	a.adaptBatch()
 
 	profSample := cloneBatches(sample)
 	selSample := cloneBatches(sample) // pristine copy for candidate validation
@@ -240,4 +272,86 @@ func (a *Adaptor) drift(now trafficSig) float64 {
 func relDelta(a, b float64) float64 {
 	den := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
 	return math.Abs(a-b) / den
+}
+
+// batchWindowMin is the fewest e2e samples a window needs before the batch
+// controller acts on its p99 (smaller windows are tail-latency noise).
+const batchWindowMin = 8
+
+// adaptBatch runs the interference-aware batch controller: probe the
+// attached runtime's live e2e latency ring, window it against the previous
+// observation, and AIMD the batch size against the baseline p99 — halve on
+// interference (p99 beyond ShrinkFactor× the best windowed p99 seen), grow
+// additively while the tail stays within GrowFactor×. This is the
+// mitigation for the paper's observation that consolidated NFs contend for
+// shared cache/memory bandwidth: when a co-located chain inflates our tail,
+// smaller batches shorten the per-stage occupancy the interference
+// multiplies. Every adopted resize is journaled.
+func (a *Adaptor) adaptBatch() {
+	rt, ok := a.rt.(interface{ E2E() stats.HistSnapshot })
+	if !ok {
+		return
+	}
+	cur := rt.E2E()
+	win := histWindow(cur, a.lastE2E)
+	a.lastE2E = cur
+	if win.Count < batchWindowMin {
+		return
+	}
+	p99 := win.Percentile(99)
+	if a.baseP99 == 0 || p99 < a.baseP99 {
+		a.baseP99 = p99
+	}
+	old := a.BatchSize()
+	next := old
+	switch {
+	case p99 > a.baseP99*a.ShrinkFactor:
+		next = clampInt(old/2, a.MinBatch, a.MaxBatch)
+	case p99 <= a.baseP99*a.GrowFactor:
+		next = clampInt(old+a.MinBatch, a.MinBatch, a.MaxBatch)
+	}
+	if next == old {
+		return
+	}
+	a.batch.Store(int64(next))
+	a.BatchResizes++
+	reason := "batch grow"
+	if next < old {
+		reason = "batch shrink"
+	}
+	a.journal.Record(Decision{Accepted: true, Reason: reason,
+		Threshold: a.Threshold, Epoch: a.rtEpoch(),
+		BatchSize: next, PrevBatchSize: old,
+		P99Ns: p99, BaselineP99Ns: a.baseP99})
+}
+
+// histWindow returns cur minus prev bucket-wise — the samples recorded
+// between two cumulative snapshots. Falls back to cur when the shapes
+// disagree (tracker replaced) or prev is empty. Min/Max keep the
+// cumulative values: the windowed percentile only reads Bounds and Counts.
+func histWindow(cur, prev stats.HistSnapshot) stats.HistSnapshot {
+	if prev.Count == 0 || len(cur.Counts) != len(prev.Counts) ||
+		cur.Count < prev.Count {
+		return cur
+	}
+	w := cur
+	w.Counts = make([]uint64, len(cur.Counts))
+	for i := range cur.Counts {
+		if cur.Counts[i] >= prev.Counts[i] {
+			w.Counts[i] = cur.Counts[i] - prev.Counts[i]
+		}
+	}
+	w.Count = cur.Count - prev.Count
+	w.Sum = cur.Sum - prev.Sum
+	return w
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }

@@ -23,6 +23,9 @@
 //   - expand.go — fine-grained element expansion for offload ratios.
 //   - allocator.go — the GTA graph-partition allocator.
 //   - adapt.go — the Adaptor re-allocation loop driven by observed
-//     traffic drift.
+//     traffic drift, plus the interference-aware AIMD batch-size
+//     controller fed by the attached runtime's live e2e latency
+//     histogram; every re-allocation and batch resize is journaled
+//     (journal.go).
 //   - describe.go — human-readable deployment rendering.
 package core

@@ -41,6 +41,14 @@ type Decision struct {
 	// Epoch is the attached runtime's placement epoch after the decision
 	// (0 when no runtime is attached).
 	Epoch uint64 `json:"epoch"`
+	// BatchSize/PrevBatchSize record an interference-aware batch resize
+	// ("batch grow" / "batch shrink" decisions); P99Ns is the windowed e2e
+	// tail latency that triggered it and BaselineP99Ns the interference-free
+	// baseline it was compared against. All zero for placement decisions.
+	BatchSize     int     `json:"batch_size,omitempty"`
+	PrevBatchSize int     `json:"prev_batch_size,omitempty"`
+	P99Ns         float64 `json:"p99_ns,omitempty"`
+	BaselineP99Ns float64 `json:"baseline_p99_ns,omitempty"`
 	// Err carries the error text for Reason "error" decisions.
 	Err string `json:"err,omitempty"`
 }
@@ -56,6 +64,10 @@ func (d Decision) String() string {
 	if d.Candidate != "" {
 		s += fmt.Sprintf(" candidate=%s predicted=%.0fns measured=%.2fGbps",
 			d.Candidate, d.PredictedCostNs, d.MeasuredGbps)
+	}
+	if d.BatchSize != 0 {
+		s += fmt.Sprintf(" batch=%d→%d p99=%.0fns base=%.0fns",
+			d.PrevBatchSize, d.BatchSize, d.P99Ns, d.BaselineP99Ns)
 	}
 	s += fmt.Sprintf(" epoch=%d (%s)", d.Epoch, d.Reason)
 	if d.Err != "" {

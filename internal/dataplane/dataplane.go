@@ -47,6 +47,12 @@ type Config struct {
 	Assignment hetsim.Assignment
 	// Offload tunes the emulated GPU device backend (nil = defaults).
 	Offload *OffloadConfig
+	// DisableCompile turns off compiled CPU stage-loops (see compile.go):
+	// every ModeCPU element keeps its own goroutine+channel hop per batch,
+	// the pre-compile behaviour. The compile differential tests use it as
+	// the A/B lever (`nfcompass -no-compile`); leave it off in production
+	// configurations.
+	DisableCompile bool
 }
 
 // Stats counts pipeline activity with atomics (safe to read live).
@@ -73,6 +79,10 @@ type Pipeline struct {
 	// new one. pool owns the emulated devices.
 	placements atomic.Pointer[placementTable]
 	pool       *devicePool
+	// markers recycles compiled stage-loop pass-through markers (*workItem)
+	// so the observability path of a compiled segment allocates nothing per
+	// batch in steady state.
+	markers sync.Pool
 
 	// metrics is the per-element registry (nil when Config.Metrics is
 	// off); edgeCtr maps each graph edge to its traffic counter.
@@ -154,6 +164,7 @@ func New(g *element.Graph, cfg Config) (*Pipeline, error) {
 			}
 		}
 	}
+	p.markers.New = func() any { return new(workItem) }
 	p.pool = newDevicePool(p, cfg.Offload)
 	p.placements.Store(p.resolvePlacements(cfg.Assignment, 0))
 	return p, nil

@@ -36,6 +36,20 @@
 // explicit Release at the sink. TestPooledHotPathAllocs guards the
 // 0 allocs/op property in CI; BenchmarkPipelineHotPath measures it.
 //
+// # Compiled stage-loops
+//
+// Unless Config.DisableCompile is set, maximal sole-path runs of
+// same-placement CPU elements execute as one compiled stage-loop
+// (compile.go): the run's head receives a batch, chains every member's
+// Process call inline, and sends once to the tail's successor — the CPU
+// dual of the GPU segment fusion in offload.go, removing the per-element
+// goroutine+channel hop. With metrics or tracing on, a pooled
+// pass-through marker walks the member goroutines so per-element
+// accounting and epoch semantics stay byte-identical to interpreted
+// execution. FuzzCompiledVsInterpreted and the TestCompiled* differential
+// suite gate the equivalence; TestCompiledHotPathAllocs keeps the direct
+// path at 0 allocs/op. See DESIGN.md §12.
+//
 // # Observability
 //
 // With Config.Metrics on, the pipeline keeps a per-element registry

@@ -80,3 +80,8 @@ func (t *e2eTracker) snapshot() stats.HistSnapshot {
 	}
 	return t.hist.Snapshot()
 }
+
+// E2E returns the live inject→release latency distribution without
+// assembling a full Report — the cheap accessor the core adaptor probes
+// for interference-aware batch sizing. Zero-valued when metrics are off.
+func (p *Pipeline) E2E() stats.HistSnapshot { return p.lat.snapshot() }

@@ -193,6 +193,8 @@ func AggregateReports(reps []*Report) *Report {
 		agg.Offload.FusedSegments += r.Offload.FusedSegments
 		agg.Offload.TransfersSaved += r.Offload.TransfersSaved
 		agg.Offload.OverlapNs += r.Offload.OverlapNs
+		agg.Offload.CompiledBatches += r.Offload.CompiledBatches
+		agg.Offload.CompiledHopsSaved += r.Offload.CompiledHopsSaved
 		agg.Offload.Swaps += r.Offload.Swaps
 		agg.Offload.Devices += r.Offload.Devices
 		if r.Offload.Epoch > agg.Offload.Epoch {
@@ -277,6 +279,10 @@ func (r *Report) String() string {
 				d.Name, d.Batches, float64(d.BusyNs)/1e6)
 		}
 	}
+	if o := r.Offload; o.CompiledBatches > 0 {
+		fmt.Fprintf(&sb, "compiled: batches=%d hops-saved=%d\n",
+			o.CompiledBatches, o.CompiledHopsSaved)
+	}
 	fmt.Fprintf(&sb, "%-3s %-22s %-14s %-12s %9s %9s %7s %6s %9s %9s %9s %9s\n",
 		"id", "element", "kind", "place", "pkts-in", "pkts-out", "drops", "queue",
 		"ns/pkt", "p50-ns", "p99-ns", "wait-ms")
@@ -357,6 +363,16 @@ func (r *Report) WritePrometheus(w io.Writer) {
 					stats.Labels{"device": d.Name}, d.BusyNs)
 			}
 		}
+	}
+	// Compiled CPU stage-loop counters, gated like the offload block so
+	// interpreted-only runs emit no zero-value series.
+	if o := r.Offload; o.CompiledBatches > 0 {
+		stats.PromHeader(w, p+"compiled_batches_total", "counter",
+			"batches executed through a compiled CPU stage-loop")
+		stats.PromCounter(w, p+"compiled_batches_total", nil, o.CompiledBatches)
+		stats.PromHeader(w, p+"compiled_hops_saved_total", "counter",
+			"goroutine+channel handoffs elided by the compiled fast path")
+		stats.PromCounter(w, p+"compiled_hops_saved_total", nil, o.CompiledHopsSaved)
 	}
 	if !r.MetricsEnabled {
 		return

@@ -18,7 +18,7 @@ type delay struct {
 	d    time.Duration
 }
 
-func (e *delay) Name() string      { return e.name }
+func (e *delay) Name() string { return e.name }
 func (e *delay) Traits() element.Traits {
 	return element.Traits{Kind: "Delay", Class: element.ClassModifier}
 }

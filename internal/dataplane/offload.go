@@ -77,6 +77,13 @@ type OffloadStats struct {
 	FusedSegments  atomic.Uint64
 	TransfersSaved atomic.Uint64
 	OverlapNs      atomic.Uint64
+	// CompiledBatches counts batches executed through a compiled CPU
+	// stage-loop (see compile.go); CompiledHopsSaved counts the
+	// goroutine+channel handoffs the direct fast path elided (interior
+	// hops actually executed, zero when observability keeps the
+	// pass-through markers flowing).
+	CompiledBatches   atomic.Uint64
+	CompiledHopsSaved atomic.Uint64
 	// Swaps counts Apply calls that published a new placement epoch.
 	Swaps atomic.Uint64
 }
@@ -97,6 +104,7 @@ type OffloadSnapshot struct {
 	H2DTransfers, D2HTransfers                     uint64
 	GPUBusyNs, SplitCPUNs                          uint64
 	FusedSegments, TransfersSaved, OverlapNs       uint64
+	CompiledBatches, CompiledHopsSaved             uint64
 	Swaps                                          uint64
 	// Epoch is the placement epoch current at snapshot time.
 	Epoch uint64
@@ -148,6 +156,19 @@ type workItem struct {
 	executed int
 	final    *netpkt.Batch
 	fidx     int
+	// sampled reports whether per-member procNs was measured for this item.
+	// Device submissions are always timed (the worker's wall clock doubles
+	// as the cost-model input); compiled CPU stage-loops time 1 in
+	// Config.TimingSample batches, like the plain inline path. Members
+	// must not book unsampled (zero) durations into their histograms.
+	sampled bool
+	// compiled marks a CPU stage-loop marker drawn from Pipeline.markers;
+	// the last member to touch it recycles it there.
+	compiled bool
+	// fence, when non-nil, marks an epoch-transition fence walking a
+	// compiled segment (see compile.go): no batch, no stats — the tail
+	// closes the channel to acknowledge the chain has drained.
+	fence chan struct{}
 }
 
 // device is one emulated GPU: a FIFO submission queue drained by a single
@@ -497,21 +518,23 @@ func (dp *devicePool) executeFused(d *device, st *OffloadStats, it *workItem, h2
 func (p *Pipeline) snapshotOffload() OffloadSnapshot {
 	st := &p.Offload
 	o := OffloadSnapshot{
-		OffloadedBatches: st.OffloadedBatches.Load(),
-		SplitBatches:     st.SplitBatches.Load(),
-		KernelLaunches:   st.KernelLaunches.Load(),
-		H2DBytes:         st.H2DBytes.Load(),
-		D2HBytes:         st.D2HBytes.Load(),
-		H2DTransfers:     st.H2DTransfers.Load(),
-		D2HTransfers:     st.D2HTransfers.Load(),
-		GPUBusyNs:        st.GPUBusyNs.Load(),
-		SplitCPUNs:       st.SplitCPUNs.Load(),
-		FusedSegments:    st.FusedSegments.Load(),
-		TransfersSaved:   st.TransfersSaved.Load(),
-		OverlapNs:        st.OverlapNs.Load(),
-		Swaps:            st.Swaps.Load(),
-		Epoch:            p.placements.Load().epoch,
-		Devices:          len(p.pool.devs),
+		OffloadedBatches:  st.OffloadedBatches.Load(),
+		SplitBatches:      st.SplitBatches.Load(),
+		KernelLaunches:    st.KernelLaunches.Load(),
+		H2DBytes:          st.H2DBytes.Load(),
+		D2HBytes:          st.D2HBytes.Load(),
+		H2DTransfers:      st.H2DTransfers.Load(),
+		D2HTransfers:      st.D2HTransfers.Load(),
+		GPUBusyNs:         st.GPUBusyNs.Load(),
+		SplitCPUNs:        st.SplitCPUNs.Load(),
+		FusedSegments:     st.FusedSegments.Load(),
+		TransfersSaved:    st.TransfersSaved.Load(),
+		OverlapNs:         st.OverlapNs.Load(),
+		CompiledBatches:   st.CompiledBatches.Load(),
+		CompiledHopsSaved: st.CompiledHopsSaved.Load(),
+		Swaps:             st.Swaps.Load(),
+		Epoch:             p.placements.Load().epoch,
+		Devices:           len(p.pool.devs),
 	}
 	for _, d := range p.pool.devs {
 		if b := d.batches.Load(); b > 0 {

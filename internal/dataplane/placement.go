@@ -38,10 +38,11 @@ func (pl nodePlacement) String() string {
 	}
 }
 
-// segmentPlan is one epoch's fused device-resident segment: the chain of
-// elements a head submits as a single device item. Immutable once the table
-// is published; the device worker and pass-through runners read it
-// concurrently.
+// segmentPlan is one epoch's fused segment: the chain of elements a head
+// executes as a single unit — a device-resident submission for GPU
+// segments, a compiled stage-loop for CPU segments (cpu true). Immutable
+// once the table is published; the device worker and pass-through runners
+// read it concurrently.
 type segmentPlan struct {
 	nodes []element.NodeID
 	els   []element.Element
@@ -52,6 +53,15 @@ type segmentPlan struct {
 	// unfused submissions did.
 	sig string
 	dev int
+	// cpu marks a compiled CPU stage-loop segment (see compile.go): the
+	// head runs every member's Process inline on its own goroutine instead
+	// of submitting to a device.
+	cpu bool
+	// tailSucc is the tail element's successor lists (port → targets),
+	// resolved at table-build time so the head can forward the stage-loop's
+	// output directly — the "one send" of the compiled fast path — without
+	// touching the tail's runner state.
+	tailSucc [][]element.NodeID
 }
 
 // placementTable is one immutable epoch of per-node placements. The running
@@ -142,6 +152,37 @@ func (p *Pipeline) resolvePlacements(a hetsim.Assignment, epoch uint64) *placeme
 			plan.sig = strings.Join(plan.kinds, "+")
 		}
 		t.segs[si] = plan
+	}
+
+	// CPU stage-loop compilation: the host-side dual of device-segment
+	// fusion. Maximal sole-path runs of ModeCPU elements (same structural
+	// predicate as FusableEdges, with "on device" replaced by "on host")
+	// collapse into compiled segments the head executes inline — one inbox
+	// receive, member Process calls chained per batch, one send.
+	// Singletons keep the plain per-goroutine path (seg stays -1), so
+	// nothing changes for elements that cannot chain.
+	if !p.cfg.DisableCompile {
+		onCPU := func(id element.NodeID) bool {
+			return t.nodes[id].mode == hetsim.ModeCPU
+		}
+		for _, s := range hetsim.DeviceSegments(p.g, onCPU) {
+			if len(s.Nodes) < 2 {
+				continue
+			}
+			si := len(t.segs)
+			plan := segmentPlan{cpu: true, dev: -1}
+			for pos, id := range s.Nodes {
+				el := p.g.Node(id)
+				plan.nodes = append(plan.nodes, id)
+				plan.els = append(plan.els, el)
+				plan.kinds = append(plan.kinds, el.Traits().Kind)
+				t.nodes[id].seg = si
+				t.nodes[id].head = pos == 0
+			}
+			plan.sig = strings.Join(plan.kinds, "+")
+			plan.tailSucc = p.g.Successors(plan.nodes[len(plan.nodes)-1])
+			t.segs = append(t.segs, plan)
+		}
 	}
 	return t
 }

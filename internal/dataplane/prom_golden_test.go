@@ -55,6 +55,7 @@ func goldenReport() *Report {
 			H2DTransfers: 4, D2HTransfers: 4,
 			GPUBusyNs: 1_500_000, SplitCPUNs: 300_000,
 			FusedSegments: 3, TransfersSaved: 9, OverlapNs: 700_000,
+			CompiledBatches: 10, CompiledHopsSaved: 30,
 			Epoch: 2, Swaps: 1,
 			PerDevice: []DeviceSnapshot{{Name: "gpu0", Batches: 6, BusyNs: 1_500_000}},
 		},

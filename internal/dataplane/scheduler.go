@@ -97,19 +97,33 @@ func (nr *nodeRunner) handle(ctx context.Context, msg stageMsg) bool {
 		// Epoch boundary: drain the old placement's in-flight work before
 		// executing anything under the new one. Markers cross this barrier
 		// too, so a member's own stale offloads forward first and arrival
-		// order is preserved.
+		// order is preserved. A head entering a compiled CPU placement
+		// additionally fences its chain (compile.go) before inlining any
+		// member execution.
 		if !nr.flushLane(ctx) {
 			return false
 		}
 		nr.epoch = tbl.epoch
+		if !nr.fenceCompiled(ctx, tbl) {
+			return false
+		}
 	}
 	if msg.fused != nil {
+		if msg.fused.fence != nil {
+			return nr.passFence(ctx, msg.fused)
+		}
 		return nr.passThrough(ctx, msg.fused)
 	}
 	pl := tbl.nodes[nr.id]
 	nr.p.traceEnter(nr.id, msg.b, pl, tbl.epoch)
 	if pl.mode != hetsim.ModeCPU {
 		return nr.offload(ctx, msg, pl, tbl)
+	}
+	if pl.head && pl.seg >= 0 && tbl.segs[pl.seg].cpu {
+		// This node heads a compiled CPU stage-loop: execute the whole
+		// segment inline (compile.go). Non-head members keep the plain
+		// path below for epoch-transition stragglers.
+		return nr.runCompiled(ctx, msg, pl, tbl)
 	}
 
 	// Inline host-CPU path (the original dataplane fast path).
@@ -162,6 +176,8 @@ func (nr *nodeRunner) offload(ctx context.Context, msg stageMsg, pl nodePlacemen
 		lane: nr.lane, el: nr.el, kind: nr.kind,
 		b: msg.b, live: msg.live, mode: pl.mode, frac: pl.frac,
 		epoch: tbl.epoch, segID: pl.seg,
+		// Device submissions are always wall-clock timed by the worker.
+		sampled: true,
 	}
 	if pl.mode == hetsim.ModeGPU && pl.head {
 		if plan := &tbl.segs[pl.seg]; len(plan.nodes) > 1 {
@@ -225,9 +241,11 @@ func (nr *nodeRunner) deliverFused(ctx context.Context, it *workItem) bool {
 }
 
 // passThrough is a chain member's side of a fused segment: the work already
-// executed device-side, so the member only books its recorded share
-// (metrics, trace, edge counters) and forwards the marker — or, at the last
-// executed member, strips it and forwards the final batch normally.
+// executed elsewhere — device-side for GPU segments, on the head's
+// goroutine for compiled CPU stage-loops — so the member only books its
+// recorded share (metrics, trace, edge counters) and forwards the marker —
+// or, at the last executed member, strips it and forwards the final batch
+// normally (recycling compiled markers back to the pipeline's pool).
 func (nr *nodeRunner) passThrough(ctx context.Context, it *workItem) bool {
 	i := it.fidx
 	if it.plan == nil || i < 1 || i >= len(it.plan.nodes) || it.plan.nodes[i] != nr.id {
@@ -244,8 +262,10 @@ func (nr *nodeRunner) passThrough(ctx context.Context, it *workItem) bool {
 	if nr.m != nil {
 		nr.m.batches.Inc()
 		nr.m.pktsIn.Add(uint64(ms.liveIn))
-		nr.m.proc.Add(float64(ms.procNs))
-		nr.m.procPkts.Add(uint64(ms.liveIn))
+		if it.sampled {
+			nr.m.proc.Add(float64(ms.procNs))
+			nr.m.procPkts.Add(uint64(ms.liveIn))
+		}
 		if !last {
 			// The tail's output accounting happens in forward below.
 			nr.m.pktsOut.Add(uint64(ms.liveOut))
@@ -256,12 +276,18 @@ func (nr *nodeRunner) passThrough(ctx context.Context, it *workItem) bool {
 	}
 	nr.p.trace(TraceExit, nr.id, vb)
 	if last {
-		if it.final == nil {
+		// ms is a value copy, so the marker can be recycled before the
+		// tail's forward (which may block) touches nothing of it.
+		final := it.final
+		if it.compiled {
+			nr.p.recycleMarker(it)
+		}
+		if final == nil {
 			// The chain died at this member; nothing flows downstream.
 			return true
 		}
-		nr.tailOuts[0] = it.final
-		return nr.forward(ctx, it.final, ms.liveIn, nr.tailOuts[:])
+		nr.tailOuts[0] = final
+		return nr.forward(ctx, final, ms.liveIn, nr.tailOuts[:])
 	}
 	it.fidx = i + 1
 	if nr.m != nil {

@@ -10,6 +10,7 @@ import (
 	"nfcompass/internal/element"
 	"nfcompass/internal/hetsim"
 	"nfcompass/internal/netpkt"
+	"nfcompass/internal/stats"
 )
 
 // This file implements the sharded execution layer: N replicas of one
@@ -446,6 +447,13 @@ func (sp *ShardedPipeline) Epoch() uint64 {
 	}
 	return e
 }
+
+// E2E returns the live dispatch→release latency distribution recorded at
+// the sharded boundary (covering dispatcher and merger queueing), the same
+// distribution Snapshot reports — the cheap accessor the core adaptor
+// probes for interference-aware batch sizing. Zero-valued when metrics are
+// off.
+func (sp *ShardedPipeline) E2E() stats.HistSnapshot { return sp.lat.snapshot() }
 
 // Apply atomically swaps the placement on every replica (see
 // Pipeline.Apply). Replicas swap independently at their own next batch

@@ -14,25 +14,27 @@ import (
 	"nfcompass/internal/trie"
 )
 
-// ACLFilter classifies packets against an access-control list using the
-// HiCuts decision tree and drops denied packets. When NeverDrop is set the
+// ACLFilter classifies packets against an access-control list and drops
+// denied packets. The classification engine is pluggable behind
+// acl.Classifier — the HiCuts decision tree or the compiled flat decision
+// table — with identical match semantics. When NeverDrop is set the
 // classification still runs (costing the same work) but denied packets pass
 // — the configuration the paper uses to measure pure throughput ("the rules
 // of firewall are modified to never drop packets").
 type ACLFilter struct {
 	name      string
-	tree      *acl.Tree
+	cls       acl.Classifier
 	sig       string
 	NeverDrop bool
 	Denied    uint64
-	// CostAccum sums tree traversal costs, feeding the simulator's
+	// CostAccum sums classification lookup costs, feeding the simulator's
 	// per-packet classification cost.
 	CostAccum uint64
 	canDrop   bool
 }
 
-// NewACLFilter builds the firewall classification element. sig must
-// fingerprint the rule set.
+// NewACLFilter builds the firewall classification element over the default
+// engine (HiCuts tree). sig must fingerprint the rule set.
 func NewACLFilter(name, sig string, list *acl.List, neverDrop bool) *ACLFilter {
 	return NewACLFilterTree(name, sig, acl.BuildTree(list, 8), neverDrop)
 }
@@ -41,9 +43,20 @@ func NewACLFilter(name, sig string, list *acl.List, neverDrop bool) *ACLFilter {
 // tree, letting replicated firewall instances share one (read-mostly)
 // tree instead of rebuilding it per instance.
 func NewACLFilterTree(name, sig string, tree *acl.Tree, neverDrop bool) *ACLFilter {
+	return newACLFilter(name, sig, tree, neverDrop)
+}
+
+// NewACLFilterTable builds the element over a compiled flat decision table
+// (acl.CompileTable) — same match semantics as the tree, flat per-lookup
+// cost. Replicated instances may share one table.
+func NewACLFilterTable(name, sig string, table *acl.Table, neverDrop bool) *ACLFilter {
+	return newACLFilter(name, sig, table, neverDrop)
+}
+
+func newACLFilter(name, sig string, cls acl.Classifier, neverDrop bool) *ACLFilter {
 	return &ACLFilter{
 		name: name, sig: sig,
-		tree:      tree,
+		cls:       cls,
 		NeverDrop: neverDrop,
 		canDrop:   !neverDrop,
 	}
@@ -77,8 +90,8 @@ func (e *ACLFilter) Process(b *netpkt.Batch) []*netpkt.Batch {
 			p.Drop(e.name)
 			continue
 		}
-		action, _ := e.tree.Match(k)
-		e.CostAccum += uint64(e.tree.LastCost())
+		action, _ := e.cls.Match(k)
+		e.CostAccum += uint64(e.cls.LastCost())
 		if action == acl.Deny {
 			e.Denied++
 			if !e.NeverDrop {
@@ -93,9 +106,13 @@ func (e *ACLFilter) Process(b *netpkt.Batch) []*netpkt.Batch {
 func (e *ACLFilter) Reset() { e.Denied, e.CostAccum = 0, 0 }
 
 // TreeStats exposes the classification-tree size (nodes, leaves, depth),
-// the quantity that blows up with large ACLs in Fig. 17.
+// the quantity that blows up with large ACLs in Fig. 17. Zero for the
+// table engine, which has no tree.
 func (e *ACLFilter) TreeStats() (nodes, leaves, depth int) {
-	return e.tree.Nodes(), e.tree.Leaves(), e.tree.MaxDepth()
+	if t, ok := e.cls.(*acl.Tree); ok {
+		return t.Nodes(), t.Leaves(), t.MaxDepth()
+	}
+	return 0, 0, 0
 }
 
 // AhoCorasickMatch scans payloads against a multi-pattern set (the IDS /
@@ -666,9 +683,13 @@ func (e *AhoCorasickMatch) MemAccesses() uint64 { return e.DeepStates }
 // MemAccesses reports the cumulative LPM hash probes (hetsim.MemProber).
 func (e *V6Lookup) MemAccesses() uint64 { return e.ProbesAccum }
 
-// FootprintBytes reports the classification tree's real working-set size
-// (hetsim.Footprinter): tree nodes plus the rule array.
+// FootprintBytes reports the classification engine's real working-set
+// size (hetsim.Footprinter): tree nodes plus leaf rule buckets for the
+// HiCuts engine, or the decision table's lookup structures.
 func (e *ACLFilter) FootprintBytes() float64 {
+	if tab, ok := e.cls.(*acl.Table); ok {
+		return float64(tab.MemBytes())
+	}
 	nodes, leaves, _ := e.TreeStats()
 	return float64(nodes)*64 + float64(leaves)*8*8 // nodes + leaf rule buckets
 }
