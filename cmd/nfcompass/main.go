@@ -53,6 +53,14 @@ func main() {
 		"disable device-resident segment fusion in the -assign dataplane run: every GPU element pays its own H2D/D2H round trip (A/B lever for the fusion saving)")
 	noCompile := flag.Bool("no-compile", false,
 		"disable compiled CPU stage-loops in dataplane runs: every CPU element keeps its own goroutine and channel hop (A/B lever for the compilation saving)")
+	source := flag.String("source", "",
+		"drive the chain from the ingress plane: pcap:FILE (capture replay), udp:ADDR (one frame per datagram), or nic:queues=N[,pcap=FILE] (emulated RSS NIC, per-queue injection into N shards)")
+	pin := flag.Bool("pin", false,
+		"lock each shard's element goroutines to dedicated OS threads (runtime.LockOSThread) in the -source run")
+	loops := flag.Int("loops", 1,
+		"replay passes over the -source capture; passes after the first present rekeyed flows (sustained churn)")
+	pps := flag.Float64("pps", 0,
+		"pace the -source capture replay at this packet rate (0 = as fast as the pipeline pulls)")
 	serve := flag.String("serve", "",
 		"run the chain continuously on the live dataplane and serve the telemetry plane (/metrics /snapshot /healthz /trace /decisions /debug/pprof) on this address, e.g. :9090")
 	duration := flag.Duration("duration", 30*time.Second,
@@ -137,6 +145,34 @@ func main() {
 	// Report the pipeline's decisions.
 	fmt.Printf("chain: %s\n", flag.Arg(0))
 	fmt.Print(d.Describe())
+
+	// Ingress mode: replay a packet source through the deployed chain and
+	// report the run (see source.go).
+	if *source != "" {
+		build := func(shard int) (*element.Graph, error) {
+			if shard == 0 {
+				return d.Graph, nil
+			}
+			var s []*netpkt.Batch
+			if opt.GTA {
+				s = mkBatches(1000)
+			}
+			di, err := core.Deploy(chain, p, s, opt)
+			if err != nil {
+				return nil, err
+			}
+			return di.Graph, nil
+		}
+		if err := runSource(build, sourceOpts{
+			spec: *source, shards: *shards, pin: *pin,
+			loops: *loops, pps: *pps,
+			batchSize: *batchSize, noCompile: *noCompile,
+			mkBatches: mkBatches,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	// Continuous telemetry mode: skip the batch comparisons and keep the
 	// deployment running on the live dataplane behind the admin server.

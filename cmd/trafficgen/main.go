@@ -5,10 +5,14 @@
 // suitable for feeding external tools or inspecting what the evaluation
 // traffic looks like.
 //
+// It can also serialize the trace to a pcap file (-pcap) or emit the raw
+// frames as UDP datagrams (-udp ADDR, optionally paced with -pps) — the
+// sending side of nfcompass's `-source udp:ADDR` ingress mode.
+//
 // Usage:
 //
 //	trafficgen [-n N] [-size 64|imix|uniform] [-tcp] [-ipv6] [-match]
-//	           [-seed N] [-hex]
+//	           [-seed N] [-hex] [-pcap FILE] [-udp ADDR [-pps N]]
 package main
 
 import (
@@ -16,7 +20,9 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"time"
 
 	"nfcompass/internal/netpkt"
 	"nfcompass/internal/traffic"
@@ -32,6 +38,8 @@ func main() {
 	flows := flag.Int("flows", 64, "distinct flows")
 	hexDump := flag.Bool("hex", false, "dump raw packet bytes as hex")
 	pcapOut := flag.String("pcap", "", "write packets to this pcap file instead of text")
+	udpOut := flag.String("udp", "", "emit packets as UDP datagrams (one frame per datagram) to this address — the wire feeding nfcompass -source udp:ADDR")
+	pps := flag.Float64("pps", 0, "pace -udp emission at this packet rate (0 = as fast as possible)")
 	flag.Parse()
 
 	var size traffic.SizeDist
@@ -58,6 +66,40 @@ func main() {
 		Payload: payload, MatchTokens: []string{"attack", "malware"},
 		Seed: *seed, Flows: *flows,
 	})
+
+	if *udpOut != "" {
+		conn, err := net.Dial("udp", *udpOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trafficgen:", err)
+			os.Exit(1)
+		}
+		defer conn.Close()
+		var interval time.Duration
+		if *pps > 0 {
+			interval = time.Duration(float64(time.Second) / *pps)
+		}
+		start := time.Now()
+		var sent, bytes int
+		for i := 0; i < *n; i++ {
+			p := gen.NextPacket()
+			if _, err := conn.Write(p.Data); err != nil {
+				fmt.Fprintln(os.Stderr, "trafficgen:", err)
+				os.Exit(1)
+			}
+			sent++
+			bytes += p.Len()
+			if interval > 0 {
+				// Pace against the wall clock so short write times don't drift.
+				if next := start.Add(time.Duration(i+1) * interval); time.Until(next) > 0 {
+					time.Sleep(time.Until(next))
+				}
+			}
+		}
+		el := time.Since(start)
+		fmt.Fprintf(os.Stderr, "trafficgen: sent %d datagrams (%d bytes) to %s in %v (%.0f pps)\n",
+			sent, bytes, *udpOut, el.Round(time.Millisecond), float64(sent)/el.Seconds())
+		return
+	}
 
 	if *pcapOut != "" {
 		pkts := make([]*netpkt.Packet, *n)

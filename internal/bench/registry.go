@@ -28,6 +28,7 @@ var Registry = map[string]Experiment{
 	"algos":    {ID: "algos", Paper: "§IV-C-3 tradeoff", Run: Algos},
 	"micro":    {ID: "micro", Paper: "§IV-C-2 dictionary", Run: Micro},
 	"scaling":  {ID: "scaling", Paper: "§II-A-2 SFC length", Run: Scaling},
+	"soak":     {ID: "soak", Paper: "Fig. 7 sustained soak", Run: Soak},
 }
 
 // IDs returns the registered experiment ids in order.

@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,16 @@ type Config struct {
 	// the A/B lever (`nfcompass -no-compile`); leave it off in production
 	// configurations.
 	DisableCompile bool
+	// PinOSThread wires each element goroutine (and so each compiled
+	// stage-loop) to a dedicated OS thread via runtime.LockOSThread — the
+	// NUMA-style worker pinning a DPDK dataplane gets from lcore affinity.
+	// The Go runtime cannot choose the physical core, but pinning stops
+	// the scheduler from migrating a shard's hot loop between threads
+	// mid-run, which keeps its packet buffers and flow state cache-warm.
+	// Meaningful for long-lived deployments (ingress soak, -serve); leave
+	// off for short test drains where thread churn costs more than it
+	// saves.
+	PinOSThread bool
 }
 
 // Stats counts pipeline activity with atomics (safe to read live).
@@ -280,6 +291,10 @@ func (p *Pipeline) Start(ctx context.Context) {
 		wg.Add(1)
 		go func(nr *nodeRunner, succ [][]element.NodeID, isSink bool) {
 			defer wg.Done()
+			if p.cfg.PinOSThread {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			defer func() {
 				// Decrement writer counts downstream; close inboxes
 				// that have no writers left.

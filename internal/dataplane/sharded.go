@@ -41,6 +41,14 @@ type ShardedConfig struct {
 	// sink, one output batch per input batch, consecutive ascending batch
 	// IDs.
 	Ordered bool
+	// ShardBy overrides the dispatcher's flow→shard mapping (default
+	// FlowKey() % shards). An emulated multi-queue NIC passes its RSS
+	// hash+indirection here so the funnel path (In()) and the direct
+	// per-queue path (InjectShard) agree on which replica owns a flow —
+	// required for the two paths to produce identical per-shard streams,
+	// and so byte-identical stateful NF behaviour. Must be pure
+	// (packet-determined): the mapping IS the flow-affinity contract.
+	ShardBy func(p *netpkt.Packet, shards int) int
 }
 
 // DefaultShards derives the shard count from the machine: one replica per
@@ -242,7 +250,7 @@ func (sp *ShardedPipeline) dispatch(ctx context.Context) {
 		}
 		first, mixed := -1, false
 		for _, p := range b.Packets {
-			s := int(p.FlowKey() % uint64(n))
+			s := sp.shardOf(p, n)
 			if first == -1 {
 				first = s
 			} else if s != first {
@@ -296,6 +304,22 @@ func (sp *ShardedPipeline) register(id uint64, parts int) {
 	sp.mu.Unlock()
 }
 
+// shardOf maps a packet to its owning replica: cfg.ShardBy when set,
+// otherwise FlowKey modulo the shard count. A ShardBy result outside
+// [0, shards) is a broken affinity contract and panics loudly — silently
+// remapping it would split flows across replicas and corrupt NF state in
+// ways that only surface as wrong answers much later.
+func (sp *ShardedPipeline) shardOf(p *netpkt.Packet, n int) int {
+	if f := sp.cfg.ShardBy; f != nil {
+		s := f(p, n)
+		if s < 0 || s >= n {
+			panic(fmt.Sprintf("dataplane: ShardBy returned %d for %d shards", s, n))
+		}
+		return s
+	}
+	return int(p.FlowKey() % uint64(n))
+}
+
 func (sp *ShardedPipeline) sendShard(ctx context.Context, shard int, b *netpkt.Batch) bool {
 	select {
 	case sp.shards[shard].In() <- b:
@@ -303,6 +327,34 @@ func (sp *ShardedPipeline) sendShard(ctx context.Context, shard int, b *netpkt.B
 	case <-ctx.Done():
 		return false
 	}
+}
+
+// InjectShard bypasses the funnel dispatcher and hands a batch directly to
+// one replica — the emulated multi-queue NIC's per-queue path, where RSS
+// already decided flow placement the way real hardware steers flows to
+// queues. The caller owns the affinity contract: every packet of a flow
+// must always land on the same shard (use the same mapping ShardBy would),
+// and batch IDs must be unique across all queues while in flight (the
+// latency probe is keyed by ID). Boundary accounting and the
+// dispatch→release latency probe behave exactly as funnel injection.
+//
+// InjectShard cannot be combined with Ordered — per-queue IDs are not
+// globally dense, so the completion queue would stall forever waiting for
+// gaps; it panics if cfg.Ordered is set. Shutdown still flows through the
+// funnel: stop all InjectShard callers first, then CloseInput() — the
+// dispatcher draining sp.in and closing the shard inputs is what
+// propagates the close downstream.
+func (sp *ShardedPipeline) InjectShard(ctx context.Context, shard int, b *netpkt.Batch) bool {
+	if sp.cfg.Ordered {
+		panic("dataplane: InjectShard is incompatible with ShardedConfig.Ordered")
+	}
+	sp.Stats.InBatches.Add(1)
+	sp.Stats.InPackets.Add(uint64(b.Live()))
+	sp.Stats.InBytes.Add(uint64(b.Bytes()))
+	if sp.lat != nil {
+		sp.lat.record(b.ID, time.Since(sp.start).Nanoseconds())
+	}
+	return sp.sendShard(ctx, shard, b)
 }
 
 // merge drains the fan-in of shard outputs. In unordered mode it is a pass

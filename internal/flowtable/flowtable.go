@@ -1,9 +1,19 @@
-// Package flowtable provides the bounded per-flow state store the stateful
-// network functions share (NAT port mappings, TCP reassembly contexts,
-// stream-scanner automaton states). Real NFV deployments bound flow state
-// and evict — an unbounded map is a memory leak under flow churn — so the
-// table keeps at most Capacity entries with least-recently-used eviction
-// and an eviction callback for owners that must release resources.
+// Package flowtable provides the bounded per-flow state stores the
+// stateful network functions and the ingress plane share (NAT port
+// mappings, TCP reassembly contexts, stream-scanner automaton states,
+// connection tracking). Real NFV deployments bound flow state and evict —
+// an unbounded map is a memory leak under flow churn — so every table
+// keeps at most Capacity entries with least-recently-used eviction and an
+// eviction callback for owners that must release resources.
+//
+// Two table shapes:
+//
+//   - Table is single-goroutine (each stateful element owns one and runs
+//     on one goroutine) with optional lazy TTL expiry.
+//   - Sharded stripes many Tables behind per-stripe locks, scaling to
+//     millions of concurrent flows touched from many shards at once —
+//     expiry stays incremental (a few tail entries per operation), never a
+//     stop-the-world sweep.
 package flowtable
 
 // Table is a bounded flow-keyed store with LRU eviction. The zero value is
@@ -14,17 +24,27 @@ type Table[V any] struct {
 	entries  map[uint64]*entry[V]
 	// Doubly-linked LRU list: head = most recent, tail = next victim.
 	head, tail *entry[V]
-	// OnEvict, when set, observes each evicted key/value.
+	// OnEvict, when set, observes each evicted key/value (LRU evictions and
+	// TTL expiries alike).
 	OnEvict func(key uint64, value V)
 
 	// Evictions counts LRU evictions (the churn metric).
 	Evictions uint64
+	// Expired counts TTL expiries (see SetTTL).
+	Expired uint64
+
+	// ttl and now implement lazy expiry; zero ttl disables it.
+	ttl int64
+	now func() int64
 }
 
 type entry[V any] struct {
 	key        uint64
 	value      V
 	prev, next *entry[V]
+	// stamp is the clock value of the last touch; meaningful only when the
+	// table has a TTL.
+	stamp int64
 }
 
 // New creates a table bounded to capacity entries (minimum 1).
@@ -38,16 +58,68 @@ func New[V any](capacity int) *Table[V] {
 	}
 }
 
-// Len returns the number of live entries.
+// Len returns the number of resident entries. With a TTL set this may
+// include entries that are already stale but not yet lazily reclaimed.
 func (t *Table[V]) Len() int { return len(t.entries) }
 
 // Capacity returns the bound.
 func (t *Table[V]) Capacity() int { return t.capacity }
 
-// Get returns the value for key, marking it most recently used.
+// SetTTL enables lazy expiry: entries untouched (no Get/Put) for longer
+// than ttl clock units are treated as gone and reclaimed incrementally —
+// a lookup that hits a stale entry removes it and reports a miss, and each
+// Put additionally retires a couple of stale entries from the LRU tail.
+// now supplies the clock (monotonic nanoseconds, a packet counter, any
+// non-decreasing scale ttl is expressed in). ttl <= 0 disables expiry.
+func (t *Table[V]) SetTTL(ttl int64, now func() int64) {
+	t.ttl, t.now = ttl, now
+	if ttl > 0 {
+		stamp := now()
+		for e := t.head; e != nil; e = e.next {
+			e.stamp = stamp
+		}
+	}
+}
+
+// stale reports whether e's TTL has lapsed.
+func (t *Table[V]) stale(e *entry[V]) bool {
+	return t.ttl > 0 && t.now()-e.stamp > t.ttl
+}
+
+// expire removes e, counting it as a TTL expiry.
+func (t *Table[V]) expire(e *entry[V]) {
+	t.unlink(e)
+	delete(t.entries, e.key)
+	t.Expired++
+	if t.OnEvict != nil {
+		t.OnEvict(e.key, e.value)
+	}
+}
+
+// ExpireTail reclaims up to max stale entries from the LRU tail, returning
+// how many were removed. The tail holds the least recently touched entries,
+// so the scan stops at the first live one — each call is O(removed+1),
+// never a full-table sweep. Owners that want reclamation decoupled from
+// write traffic call this on their own cadence.
+func (t *Table[V]) ExpireTail(max int) int {
+	n := 0
+	for n < max && t.tail != nil && t.stale(t.tail) {
+		t.expire(t.tail)
+		n++
+	}
+	return n
+}
+
+// Get returns the value for key, marking it most recently used. A stale
+// entry (see SetTTL) is reclaimed and reported as a miss.
 func (t *Table[V]) Get(key uint64) (V, bool) {
 	e, ok := t.entries[key]
 	if !ok {
+		var zero V
+		return zero, false
+	}
+	if t.stale(e) {
+		t.expire(e)
 		var zero V
 		return zero, false
 	}
@@ -55,19 +127,30 @@ func (t *Table[V]) Get(key uint64) (V, bool) {
 	return e.value, true
 }
 
-// Peek returns the value without touching recency.
+// Peek returns the value without touching recency. Stale entries read as
+// absent but are left for the lazy reclaim paths.
 func (t *Table[V]) Peek(key uint64) (V, bool) {
 	e, ok := t.entries[key]
-	if !ok {
+	if !ok || t.stale(e) {
 		var zero V
 		return zero, false
 	}
 	return e.value, true
 }
 
+// putExpiryBudget is how many stale tail entries each Put retires: enough
+// that steady write traffic keeps pace with steady expiry, small enough
+// that no single operation stalls.
+const putExpiryBudget = 2
+
 // Put inserts or replaces the value for key (most recently used), evicting
-// the LRU entry if the table is full.
+// the LRU entry if the table is full. With a TTL set, each Put also lazily
+// retires up to putExpiryBudget stale entries from the tail, so room is
+// reclaimed from dead flows before a live one is evicted.
 func (t *Table[V]) Put(key uint64, value V) {
+	if t.ttl > 0 {
+		t.ExpireTail(putExpiryBudget)
+	}
 	if e, ok := t.entries[key]; ok {
 		e.value = value
 		t.touch(e)
@@ -77,6 +160,9 @@ func (t *Table[V]) Put(key uint64, value V) {
 		t.evict()
 	}
 	e := &entry[V]{key: key, value: value}
+	if t.ttl > 0 {
+		e.stamp = t.now()
+	}
 	t.entries[key] = e
 	t.pushFront(e)
 }
@@ -107,6 +193,7 @@ func (t *Table[V]) Reset() {
 	t.entries = make(map[uint64]*entry[V], t.capacity)
 	t.head, t.tail = nil, nil
 	t.Evictions = 0
+	t.Expired = 0
 }
 
 // Range visits every entry from most to least recently used; returning
@@ -133,6 +220,9 @@ func (t *Table[V]) evict() {
 }
 
 func (t *Table[V]) touch(e *entry[V]) {
+	if t.ttl > 0 {
+		e.stamp = t.now()
+	}
 	if t.head == e {
 		return
 	}

@@ -1,0 +1,209 @@
+package flowtable
+
+import "sync"
+
+// Sharded is a concurrent flow-keyed store striped across many bounded LRU
+// Tables, each behind its own mutex. Keys are spread across stripes by a
+// 64-bit mixer, so a table sized for millions of flows sees its lock
+// contention and its eviction/expiry work divided by the stripe count —
+// the ingress plane's connection tracker updates it from every shard's
+// injection goroutine at line rate.
+//
+// Expiry remains incremental per stripe (see Table.SetTTL): an operation
+// touches at most a couple of stale tail entries of its own stripe, so
+// there is never a stop-the-world sweep no matter how many flows die at
+// once.
+type Sharded[V any] struct {
+	stripes []shardedStripe[V]
+	mask    uint64
+}
+
+type shardedStripe[V any] struct {
+	mu sync.Mutex
+	t  *Table[V]
+	// pad spaces the stripes a cache line apart so neighbouring locks do
+	// not false-share under per-shard update traffic.
+	_ [40]byte
+}
+
+// NewSharded builds a sharded table bounded to capacity entries in total,
+// split across stripes (rounded up to a power of two, minimum 1; <= 0
+// selects 64). Each stripe enforces its share of the bound, so a pathological
+// key skew can evict within one stripe while others have room — the price
+// of never taking a global lock.
+func NewSharded[V any](stripes, capacity int) *Sharded[V] {
+	if stripes <= 0 {
+		stripes = 64
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	s := &Sharded[V]{stripes: make([]shardedStripe[V], n), mask: uint64(n - 1)}
+	for i := range s.stripes {
+		s.stripes[i].t = New[V](per)
+	}
+	return s
+}
+
+// SetTTL enables lazy expiry on every stripe (see Table.SetTTL). now must
+// be safe for concurrent use (e.g. an atomic counter or a monotonic clock
+// read).
+func (s *Sharded[V]) SetTTL(ttl int64, now func() int64) {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		st.t.SetTTL(ttl, now)
+		st.mu.Unlock()
+	}
+}
+
+// mixKey is the splitmix64 finalizer — near-sequential flow keys must land
+// on distinct stripes.
+func mixKey(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (s *Sharded[V]) stripe(key uint64) *shardedStripe[V] {
+	return &s.stripes[mixKey(key)&s.mask]
+}
+
+// Get returns the value for key, marking it most recently used in its
+// stripe.
+func (s *Sharded[V]) Get(key uint64) (V, bool) {
+	st := s.stripe(key)
+	st.mu.Lock()
+	v, ok := st.t.Get(key)
+	st.mu.Unlock()
+	return v, ok
+}
+
+// Put inserts or replaces the value for key.
+func (s *Sharded[V]) Put(key uint64, value V) {
+	st := s.stripe(key)
+	st.mu.Lock()
+	st.t.Put(key, value)
+	st.mu.Unlock()
+}
+
+// GetOrCreate returns the existing value or installs the one produced by
+// mk (called with the stripe lock held), reporting whether it was created.
+func (s *Sharded[V]) GetOrCreate(key uint64, mk func() V) (V, bool) {
+	st := s.stripe(key)
+	st.mu.Lock()
+	v, created := st.t.GetOrCreate(key, mk)
+	st.mu.Unlock()
+	return v, created
+}
+
+// Touch is Put for presence-only values: it refreshes key's recency (and
+// TTL stamp), inserting it if absent, and reports whether the flow is new.
+// This is the connection-tracker fast path — one lock, one map operation.
+func (s *Sharded[V]) Touch(key uint64, mk func() V) bool {
+	_, created := s.GetOrCreate(key, mk)
+	return created
+}
+
+// Delete removes key if present.
+func (s *Sharded[V]) Delete(key uint64) {
+	st := s.stripe(key)
+	st.mu.Lock()
+	st.t.Delete(key)
+	st.mu.Unlock()
+}
+
+// Len sums the resident entries across stripes. With a TTL set this may
+// include stale entries not yet reclaimed; pair with ExpireTail for a
+// tighter figure.
+func (s *Sharded[V]) Len() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.t.Len()
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total bound across stripes.
+func (s *Sharded[V]) Capacity() int {
+	n := 0
+	for i := range s.stripes {
+		n += s.stripes[i].t.Capacity()
+	}
+	return n
+}
+
+// Stripes returns the stripe count.
+func (s *Sharded[V]) Stripes() int { return len(s.stripes) }
+
+// Evictions sums LRU evictions across stripes.
+func (s *Sharded[V]) Evictions() uint64 {
+	var n uint64
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.t.Evictions
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Expired sums TTL expiries across stripes.
+func (s *Sharded[V]) Expired() uint64 {
+	var n uint64
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.t.Expired
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// ExpireTail reclaims up to max stale entries from every stripe's LRU tail
+// (so up to max*Stripes() total), returning how many were removed. Cheap
+// enough to call on a timer: stripes with nothing stale cost one lock and
+// one tail check each.
+func (s *Sharded[V]) ExpireTail(max int) int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.t.ExpireTail(max)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Range visits entries stripe by stripe (most to least recently used
+// within each stripe) with that stripe's lock held; returning false stops
+// the walk. visit must not call back into the table.
+func (s *Sharded[V]) Range(visit func(key uint64, value V) bool) {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		stop := false
+		st.mu.Lock()
+		st.t.Range(func(k uint64, v V) bool {
+			if !visit(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		st.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package flowtable
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// manualClock is a test clock for TTL expiry, safe for concurrent use.
+type manualClock struct{ t atomic.Int64 }
+
+func (c *manualClock) now() int64      { return c.t.Load() }
+func (c *manualClock) advance(d int64) { c.t.Add(d) }
+
+func TestTTLLazyExpiry(t *testing.T) {
+	var clk manualClock
+	tab := New[int](100)
+	tab.SetTTL(10, clk.now)
+
+	tab.Put(1, 11)
+	clk.advance(5)
+	tab.Put(2, 22)
+	clk.advance(6) // key 1 is now 11 old (stale), key 2 is 6 old (live)
+
+	if _, ok := tab.Get(1); ok {
+		t.Fatal("stale entry served")
+	}
+	if v, ok := tab.Get(2); !ok || v != 22 {
+		t.Fatalf("live entry lost: %v %v", v, ok)
+	}
+	if tab.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", tab.Expired)
+	}
+
+	// Get refreshes the stamp: key 2 survives another near-TTL advance.
+	clk.advance(9)
+	if _, ok := tab.Get(2); !ok {
+		t.Fatal("touched entry expired early")
+	}
+}
+
+func TestTTLPutReclaimsBeforeEvicting(t *testing.T) {
+	var clk manualClock
+	tab := New[int](4)
+	tab.SetTTL(10, clk.now)
+	for k := uint64(0); k < 4; k++ {
+		tab.Put(k, int(k))
+	}
+	clk.advance(100) // everything stale
+	tab.Put(9, 9)
+	if tab.Evictions != 0 {
+		t.Fatalf("LRU-evicted a flow while stale entries were reclaimable (evictions=%d)", tab.Evictions)
+	}
+	if tab.Expired == 0 {
+		t.Fatal("Put reclaimed nothing")
+	}
+}
+
+func TestTTLExpireTailBudget(t *testing.T) {
+	var clk manualClock
+	tab := New[int](100)
+	tab.SetTTL(10, clk.now)
+	for k := uint64(0); k < 50; k++ {
+		tab.Put(k, 0)
+	}
+	clk.advance(100)
+	if n := tab.ExpireTail(7); n != 7 {
+		t.Fatalf("ExpireTail removed %d, want exactly the budget 7", n)
+	}
+	if tab.Len() != 43 {
+		t.Fatalf("Len = %d after budgeted expiry", tab.Len())
+	}
+}
+
+func TestShardedBasics(t *testing.T) {
+	s := NewSharded[int](8, 1024)
+	if s.Stripes() != 8 {
+		t.Fatalf("stripes = %d", s.Stripes())
+	}
+	for k := uint64(0); k < 500; k++ {
+		s.Put(k, int(k)*2)
+	}
+	for k := uint64(0); k < 500; k++ {
+		if v, ok := s.Get(k); !ok || v != int(k)*2 {
+			t.Fatalf("key %d: %v %v", k, v, ok)
+		}
+	}
+	s.Delete(7)
+	if _, ok := s.Get(7); ok {
+		t.Fatal("deleted key resurfaced")
+	}
+	if got := s.Len(); got != 499 {
+		t.Fatalf("Len = %d", got)
+	}
+}
+
+// TestShardedMillionFlowChurn is the million-flow soak invariant: the
+// sharded table absorbs over a million concurrent flows plus ongoing churn
+// from many goroutines, stays within its capacity bound (bounded memory),
+// reclaims dead flows via lazy expiry only, and never loses an established
+// (recently refreshed) flow.
+func TestShardedMillionFlowChurn(t *testing.T) {
+	const (
+		capacity    = 1 << 21 // 2M bound, so 1.2M concurrent flows fit
+		established = 4096    // flows we keep alive throughout
+		churn       = 1_200_000
+		ttl         = int64(1_000_000)
+	)
+	if testing.Short() {
+		t.Skip("million-flow churn is a long test")
+	}
+	var clk manualClock
+	s := NewSharded[uint64](128, capacity)
+	s.SetTTL(ttl, clk.now)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	per := churn / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * uint64(per)
+			for i := 0; i < per; i++ {
+				key := 1 + base + uint64(i) // transient flow, inserted once
+				s.Put(key, key)
+				// Refresh one established flow every few inserts so the
+				// whole established set stays live from every worker.
+				if i%4 == 0 {
+					ek := uint64(1<<40) + uint64((int(base)+i)%established)
+					s.Put(ek, ek)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	peak := s.Len()
+	if peak < 1_000_000 {
+		t.Fatalf("concurrent flows = %d, want >= 1M", peak)
+	}
+	if peak > s.Capacity() {
+		t.Fatalf("table exceeded its bound: %d > %d", peak, s.Capacity())
+	}
+
+	// The churn flows age out; the established set is refreshed and must
+	// survive incremental reclamation sweeps.
+	clk.advance(ttl / 2)
+	for k := 0; k < established; k++ {
+		s.Put(uint64(1<<40)+uint64(k), 1)
+	}
+	clk.advance(ttl/2 + 1) // transients now stale, established refreshed
+	for reclaimed := 1; reclaimed > 0; {
+		reclaimed = s.ExpireTail(256)
+	}
+	if got := s.Len(); got > established+s.Stripes() {
+		t.Fatalf("lazy expiry left %d entries (want ~%d)", got, established)
+	}
+	for k := 0; k < established; k++ {
+		if _, ok := s.Get(uint64(1<<40) + uint64(k)); !ok {
+			t.Fatalf("established flow %d lost during churn/expiry", k)
+		}
+	}
+	if s.Expired() == 0 {
+		t.Fatal("no TTL expiries recorded")
+	}
+}
+
+// TestShardedConcurrentTouch exercises the conntrack fast path under the
+// race detector.
+func TestShardedConcurrentTouch(t *testing.T) {
+	s := NewSharded[struct{}](16, 1<<14)
+	var news atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if s.Touch(uint64(i%1000), func() struct{} { return struct{}{} }) {
+					news.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != 1000 {
+		t.Fatalf("Len = %d, want 1000", got)
+	}
+	if n := news.Load(); n != 1000 {
+		t.Fatalf("new-flow count = %d, want 1000", n)
+	}
+}

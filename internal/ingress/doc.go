@@ -1,0 +1,65 @@
+// Package ingress is the packet I/O plane: pluggable Sources that feed the
+// dataplane and Sinks that consume what it emits, plus an emulated
+// multi-queue RSS NIC and the replay pump that drives sustained runs.
+//
+// The paper's testbed receives traffic from two 40 Gbps generator machines
+// through multi-queue NICs whose receive-side scaling spreads flows across
+// cores. This package reproduces that boundary in software so the rest of
+// the framework is exercised the way a deployment would be — packets
+// arriving from outside (a capture file, a socket), classified to queues
+// by the NIC's hash, and handed to per-core pipeline replicas — instead of
+// being pre-batched in memory by the benchmark itself.
+//
+// # Sources and sinks
+//
+// A Source yields one packet per Next call and reports end-of-stream with
+// io.EOF; a Sink consumes completed batches and owns releasing them.
+// Three sources ship:
+//
+//   - PcapSource replays a classic pcap capture (internal/traffic's
+//     streaming reader: both byte orders, microsecond and nanosecond
+//     magics, snaplen-truncated records as captured). Optional pacing
+//     honours the capture's inter-arrival gaps or a fixed packet rate,
+//     and loop mode replays the trace repeatedly for sustained soaks.
+//   - UDPSource binds a UDP socket and treats each datagram payload as
+//     one Ethernet frame — the counterpart of trafficgen's -udp emitter,
+//     and a way to drive the dataplane from another process or machine.
+//   - Generator traffic needs no Source: it is already in memory, and
+//     RunBatches injects it directly.
+//
+// Every source stamps FlowID with traffic.FlowHash so stateful elements
+// see per-flow state exactly as generated traffic does.
+//
+// # The emulated NIC
+//
+// NIC models the receive side of a multi-queue NIC: a Toeplitz RSS hash
+// (rss.go, Microsoft key and known-answer-vector exact) over the flow
+// tuple selects a 128-entry indirection slot, which names the receive
+// queue. Pump in NIC mode demultiplexes each read batch per queue and
+// injects sub-batches directly into the owning pipeline shard
+// (ShardedPipeline.InjectShard), bypassing the single-funnel dispatcher —
+// the software analogue of queues raising interrupts on their own cores.
+// Queue count must equal the shard count; the same mapping is exported as
+// a ShardedConfig.ShardBy (NIC.ShardBy) so a funnel-fed pipeline spreads
+// flows identically, which is what makes the two paths differentially
+// comparable even for order-sensitive NFs like NAT.
+//
+// # Memory and threads
+//
+// Each queue owns a netpkt.Arena: packet buffers and batch headers for
+// shard k recycle through arena k instead of one global pool, and the
+// sink's release routes every object back to the arena it came from
+// (netpkt ownership rules). Combined with dataplane.Config.PinOSThread —
+// each shard's element goroutines locked to OS threads — a shard keeps
+// its buffers, its state, and its execution on the same core the way a
+// DPDK lcore does.
+//
+// # Flow accounting
+//
+// The pump tracks live flows in a sharded flowtable (flowtable.Sharded)
+// with lazy TTL expiry: every batch advances a replay clock from packet
+// timestamps and reclaims a bounded number of stale entries, so the soak
+// experiment can hold >1M concurrent flows without stop-the-world sweeps.
+// PumpStats reports distinct and peak-concurrent flow counts alongside
+// throughput.
+package ingress

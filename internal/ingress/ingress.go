@@ -1,0 +1,74 @@
+package ingress
+
+import (
+	"sync/atomic"
+
+	"nfcompass/internal/netpkt"
+)
+
+// Source yields packets pulled from outside the process. Next returns
+// io.EOF when the source is exhausted (a non-looping capture fully
+// replayed, a closed socket); any other error is fatal to the replay.
+// Sources are single-consumer: one goroutine calls Next.
+type Source interface {
+	Next() (*netpkt.Packet, error)
+	// Close releases the source's resources. Closing concurrently with
+	// Next is allowed and unblocks it (sockets return io.EOF).
+	Close() error
+}
+
+// Sink consumes batches leaving the dataplane. Consume takes ownership of
+// the batch: the sink must release it (Batch.Release) or retain it, and
+// the caller never touches it again. Sinks are single-consumer: one
+// goroutine calls Consume.
+type Sink interface {
+	Consume(b *netpkt.Batch) error
+	Close() error
+}
+
+// DiscardSink counts and releases everything — the terminal device of
+// throughput runs, where output bytes have already been measured by the
+// pipeline and only recycling matters.
+type DiscardSink struct {
+	Packets atomic.Uint64
+	Bytes   atomic.Uint64
+}
+
+// Consume implements Sink.
+func (d *DiscardSink) Consume(b *netpkt.Batch) error {
+	d.Packets.Add(uint64(b.Live()))
+	d.Bytes.Add(uint64(b.Bytes()))
+	b.Release()
+	return nil
+}
+
+// Close implements Sink.
+func (d *DiscardSink) Close() error { return nil }
+
+// CollectSink retains every live packet's bytes and drop state — the
+// differential harness's sink, where outputs are compared as multisets.
+// It releases the batches after copying, so pooled replay still recycles.
+type CollectSink struct {
+	// Outputs holds one key per packet: the wire bytes of live packets,
+	// or "drop:"+reason for dropped ones.
+	Outputs []string
+}
+
+// Consume implements Sink.
+func (c *CollectSink) Consume(b *netpkt.Batch) error {
+	for _, p := range b.Packets {
+		if p == nil {
+			continue
+		}
+		if p.Dropped {
+			c.Outputs = append(c.Outputs, "drop:"+p.DropReason)
+		} else {
+			c.Outputs = append(c.Outputs, string(p.Data))
+		}
+	}
+	b.Release()
+	return nil
+}
+
+// Close implements Sink.
+func (c *CollectSink) Close() error { return nil }

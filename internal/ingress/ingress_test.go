@@ -1,0 +1,422 @@
+package ingress
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"nfcompass/internal/acl"
+	"nfcompass/internal/dataplane"
+	"nfcompass/internal/element"
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/nf"
+	"nfcompass/internal/traffic"
+	"nfcompass/internal/trie"
+)
+
+// capture builds an in-memory pcap of n generated packets with spread-out
+// timestamps.
+func capture(t *testing.T, n, flows int, seed int64) []byte {
+	t.Helper()
+	gen := traffic.NewGenerator(traffic.Config{Size: traffic.IMIX{}, Flows: flows, Seed: seed})
+	pkts := make([]*netpkt.Packet, n)
+	for i := range pkts {
+		pkts[i] = gen.NextPacket()
+		pkts[i].Arrival = int64(i) * 10_000 // 10 µs apart
+	}
+	var buf bytes.Buffer
+	if err := traffic.WritePcap(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func memSource(t *testing.T, capt []byte, cfg PcapConfig) *PcapSource {
+	t.Helper()
+	src, err := NewPcapSource(func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(capt)), nil
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestPcapSourceLoopAndRekey(t *testing.T) {
+	capt := capture(t, 40, 16, 3)
+	src := memSource(t, capt, PcapConfig{Loops: 3, RekeyPerPass: true})
+	defer src.Close()
+
+	var flowIDs [][]uint64
+	pass := []uint64{}
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pass = append(pass, p.FlowID)
+		if len(pass) == 40 {
+			flowIDs = append(flowIDs, pass)
+			pass = []uint64{}
+		}
+	}
+	if len(flowIDs) != 3 || len(pass) != 0 {
+		t.Fatalf("replayed %d full passes (+%d stragglers), want 3", len(flowIDs), len(pass))
+	}
+	if src.Passes() != 3 || src.Count() != 120 {
+		t.Fatalf("Passes=%d Count=%d", src.Passes(), src.Count())
+	}
+	// Pass 0 keeps the plain flow hash (so it matches BatchesFromPcap);
+	// later passes are salted into fresh flow identities.
+	same01, same12 := 0, 0
+	for i := range flowIDs[0] {
+		if flowIDs[0][i] == flowIDs[1][i] {
+			same01++
+		}
+		if flowIDs[1][i] == flowIDs[2][i] {
+			same12++
+		}
+	}
+	if same01 != 0 || same12 != 0 {
+		t.Fatalf("rekey left %d/%d flow ids unchanged across passes", same01, same12)
+	}
+}
+
+func TestPcapSourcePacing(t *testing.T) {
+	// 50 packets at 10000 pps: the run cannot finish faster than ~4.9 ms.
+	capt := capture(t, 50, 8, 5)
+	src := memSource(t, capt, PcapConfig{PacePPS: 10000})
+	defer src.Close()
+	start := time.Now()
+	n := 0
+	for {
+		if _, err := src.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("paced replay of %d packets finished in %v, too fast for 10kpps", n, elapsed)
+	}
+
+	// Timestamp pacing: 10 µs gaps over 50 packets ≈ 490 µs floor, scaled
+	// 0.1 → 4.9 ms floor.
+	src2 := memSource(t, capt, PcapConfig{PaceTimestamps: true, TimeScale: 0.1})
+	defer src2.Close()
+	start = time.Now()
+	for {
+		if _, err := src2.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("timestamp-paced replay finished in %v, too fast for 0.1x", elapsed)
+	}
+}
+
+func TestPcapSourceArenaAlloc(t *testing.T) {
+	capt := capture(t, 30, 8, 7)
+	arena := netpkt.NewArena()
+	src := memSource(t, capt, PcapConfig{Arena: arena})
+	defer src.Close()
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Data) == 0 || p.FlowID == 0 {
+			t.Fatal("arena-allocated packet not filled in")
+		}
+		netpkt.PutPacket(p) // must route back to arena without panicking
+	}
+}
+
+func TestUDPSourceSinkLoopback(t *testing.T) {
+	src, err := NewUDPSource("127.0.0.1:0", netpkt.NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := NewUDPSink(src.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	gen := traffic.NewGenerator(traffic.Config{Size: traffic.Fixed(128), Flows: 8, Seed: 11})
+	const n = 24
+	want := make(map[string]int, n)
+	b := netpkt.NewBatch(0, nil)
+	for i := 0; i < n; i++ {
+		p := gen.NextPacket()
+		want[string(p.Data)]++
+		b.Packets = append(b.Packets, p)
+	}
+	if err := sink.Consume(b); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		p, err := src.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if p.FlowID == 0 {
+			t.Fatal("UDP source did not stamp FlowID")
+		}
+		got[string(p.Data)]++
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("frame %.30q: sent %d, received %d", k, c, got[k])
+		}
+	}
+
+	// Close unblocks a pending read with io.EOF.
+	done := make(chan error, 1)
+	go func() { _, err := src.Next(); done <- err }()
+	time.Sleep(10 * time.Millisecond)
+	src.Close()
+	if err := <-done; err != io.EOF {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+}
+
+// chainBuild constructs the paper's fw→router→nat service chain, one fresh
+// stateful replica per shard.
+func chainBuild(shard int) (*element.Graph, error) {
+	var tr trie.IPv4Trie
+	_ = tr.Insert(0, 0, 1)
+	_ = tr.Insert(0xc0a80000, 16, 2)
+	_ = tr.Insert(0x0a000000, 8, 3)
+	g, _, _ := nf.BuildChain([]*nf.NF{
+		nf.NewFirewall("fw", acl.Generate(acl.DefaultGenConfig(64, 7)), true),
+		nf.NewIPv4Router("router", trie.BuildDir24_8(&tr), "ingress-test"),
+		nf.NewNAT("nat", 0x01020304),
+	})
+	return g, nil
+}
+
+// TestPumpDifferentialNICvsFunnel is the PR's acceptance differential:
+// replaying a capture through the ingress plane (RSS NIC demux +
+// InjectShard) must produce the exact multiset of outputs that funnel
+// injection (RunBatchesSharded over BatchesFromPcap) produces, at every
+// shard count — including the order-sensitive NAT, because NIC.ShardBy
+// gives both paths the same flow→shard mapping.
+func TestPumpDifferentialNICvsFunnel(t *testing.T) {
+	capt := capture(t, 3000, 400, 17)
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			nic := NewNIC(shards)
+
+			// Path A: ingress plane.
+			sp, err := dataplane.NewSharded(chainBuild, dataplane.ShardedConfig{
+				Shards: shards,
+				Config: dataplane.Config{QueueDepth: 4, Metrics: true},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			collect := &CollectSink{}
+			src := memSource(t, capt, PcapConfig{Arena: nic.Arena(0)})
+			st, err := Pump(context.Background(), src, sp, collect, PumpConfig{
+				BatchSize: 32,
+				NIC:       nic,
+				FlowTTL:   int64(time.Hour),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Packets != 3000 {
+				t.Fatalf("pump injected %d packets, want 3000", st.Packets)
+			}
+			if st.OutPackets+st.Drops != 3000 {
+				t.Fatalf("pipeline accounted %d+%d packets, want 3000", st.OutPackets, st.Drops)
+			}
+			if st.Flows == 0 || st.PeakFlows == 0 {
+				t.Fatalf("no conntrack activity: flows=%d peak=%d", st.Flows, st.PeakFlows)
+			}
+
+			// Path B: funnel injection with the NIC's flow→shard mapping.
+			batches, err := traffic.BatchesFromPcap(bytes.NewReader(capt), 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs, _, err := dataplane.RunBatchesSharded(context.Background(), chainBuild,
+				dataplane.ShardedConfig{
+					Shards:  shards,
+					Config:  dataplane.Config{QueueDepth: 4},
+					ShardBy: nic.ShardBy,
+				}, batches)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var funnel []string
+			for _, b := range outs {
+				for _, p := range b.Packets {
+					if p == nil {
+						continue
+					}
+					if p.Dropped {
+						funnel = append(funnel, "drop:"+p.DropReason)
+					} else {
+						funnel = append(funnel, string(p.Data))
+					}
+				}
+			}
+
+			ing := append([]string(nil), collect.Outputs...)
+			sort.Strings(ing)
+			sort.Strings(funnel)
+			if len(ing) != len(funnel) {
+				t.Fatalf("output counts differ: ingress=%d funnel=%d", len(ing), len(funnel))
+			}
+			for i := range ing {
+				if ing[i] != funnel[i] {
+					t.Fatalf("output multiset diverges at %d of %d", i, len(ing))
+				}
+			}
+		})
+	}
+}
+
+// TestPumpFunnelMode: without a NIC the pump feeds sp.In() and everything
+// still drains and accounts.
+func TestPumpFunnelMode(t *testing.T) {
+	capt := capture(t, 500, 64, 23)
+	sp, err := dataplane.NewSharded(chainBuild, dataplane.ShardedConfig{
+		Shards: 2,
+		Config: dataplane.Config{QueueDepth: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &DiscardSink{}
+	st, err := Pump(context.Background(), memSource(t, capt, PcapConfig{}), sp, sink, PumpConfig{BatchSize: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets != 500 || st.OutPackets+st.Drops != 500 {
+		t.Fatalf("accounting: in=%d out=%d drops=%d", st.Packets, st.OutPackets, st.Drops)
+	}
+	if got := sink.Packets.Load(); got != st.OutPackets {
+		t.Fatalf("sink saw %d packets, pump counted %d", got, st.OutPackets)
+	}
+}
+
+// TestPumpConntrackExpiry: a trace whose flows go idle must shed them via
+// the per-batch incremental sweeps, not keep them forever.
+func TestPumpConntrackExpiry(t *testing.T) {
+	// Two bursts 10 s of trace time apart; TTL 1 s. The first burst's
+	// flows are stale while the second burst replays, and the per-batch
+	// ExpireTail sweeps must reclaim them.
+	gen := traffic.NewGenerator(traffic.Config{Size: traffic.Fixed(96), Flows: 200, Seed: 29})
+	var pkts []*netpkt.Packet
+	for i := 0; i < 400; i++ {
+		p := gen.NextPacket()
+		p.Arrival = int64(i) * 1000
+		pkts = append(pkts, p)
+	}
+	gen2 := traffic.NewGenerator(traffic.Config{Size: traffic.Fixed(96), Flows: 200, Seed: 31})
+	for i := 0; i < 400; i++ {
+		p := gen2.NextPacket()
+		p.Arrival = 10*int64(time.Second) + int64(i)*1000
+		pkts = append(pkts, p)
+	}
+	var buf bytes.Buffer
+	if err := traffic.WritePcap(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+
+	sp, err := dataplane.NewSharded(chainBuild, dataplane.ShardedConfig{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Pump(context.Background(), memSource(t, buf.Bytes(), PcapConfig{}), sp, nil, PumpConfig{
+		BatchSize:    32,
+		FlowTTL:      int64(time.Second),
+		ExpiryBudget: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpiredFlows == 0 {
+		t.Fatal("no conntrack entries expired across a 10s idle gap with 1s TTL")
+	}
+	if st.Flows == 0 || st.PeakFlows == 0 {
+		t.Fatalf("flows=%d peak=%d", st.Flows, st.PeakFlows)
+	}
+}
+
+// TestUDPEndToEnd drives the pipeline from a real socket: an emitter
+// writes frames to the UDP source while the pump replays them through the
+// chain, NIC demux and all.
+func TestUDPEndToEnd(t *testing.T) {
+	arena := netpkt.NewArena()
+	src, err := NewUDPSource("127.0.0.1:0", arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 200
+	sink := &DiscardSink{}
+	go func() {
+		defer src.Close() // end of stream → pump drains
+		conn, err := net.Dial("udp", src.LocalAddr().String())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		gen := traffic.NewGenerator(traffic.Config{Size: traffic.Fixed(128), Flows: 32, Seed: 41})
+		for i := 0; i < frames; i++ {
+			if _, err := conn.Write(gen.NextPacket().Data); err != nil {
+				return
+			}
+			if i%32 == 31 {
+				time.Sleep(time.Millisecond) // let the reader keep up on lossy loopback
+			}
+		}
+		// Close only once the pipeline has digested everything that will
+		// arrive (loopback can still drop under memory pressure), so the
+		// pump is never cut off before it started reading.
+		deadline := time.Now().Add(5 * time.Second)
+		for sink.Packets.Load() < frames && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	nic := NewNIC(2)
+	sp, err := dataplane.NewSharded(chainBuild, dataplane.ShardedConfig{
+		Shards: 2,
+		Config: dataplane.Config{QueueDepth: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Pump(context.Background(), src, sp, sink, PumpConfig{BatchSize: 16, NIC: nic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UDP loopback may drop under pressure; demand most frames arrived and
+	// everything that arrived was fully accounted.
+	if st.Packets < frames/2 {
+		t.Fatalf("received only %d of %d frames", st.Packets, frames)
+	}
+	if st.OutPackets+st.Drops != st.Packets {
+		t.Fatalf("accounting: in=%d out=%d drops=%d", st.Packets, st.OutPackets, st.Drops)
+	}
+}

@@ -1,0 +1,56 @@
+package ingress
+
+import (
+	"fmt"
+
+	"nfcompass/internal/netpkt"
+)
+
+// NIC emulates the receive side of a multi-queue RSS NIC: Toeplitz hash
+// over the flow tuple, 128-entry indirection table, one receive queue per
+// pipeline shard, and one netpkt.Arena per queue so each shard's buffers
+// recycle through its own pool. The NIC itself holds no packets — Pump
+// does the demultiplexing — it is the classification contract plus the
+// per-queue memory domains.
+type NIC struct {
+	rss    *RSS
+	queues int
+	arenas []*netpkt.Arena
+}
+
+// NewNIC builds a NIC with the given queue count and the default RSS key.
+func NewNIC(queues int) *NIC {
+	if queues < 1 {
+		queues = 1
+	}
+	n := &NIC{rss: NewRSS(queues), queues: queues, arenas: make([]*netpkt.Arena, queues)}
+	for i := range n.arenas {
+		n.arenas[i] = netpkt.NewArena()
+	}
+	return n
+}
+
+// Queues reports the queue count.
+func (n *NIC) Queues() int { return n.queues }
+
+// Queue classifies a packet to its receive queue (RSS hash + indirection).
+func (n *NIC) Queue(p *netpkt.Packet) int { return n.rss.Queue(p) }
+
+// Arena returns queue q's buffer pool.
+func (n *NIC) Arena(q int) *netpkt.Arena { return n.arenas[q] }
+
+// ShardBy adapts the NIC's classification to dataplane.ShardedConfig.ShardBy,
+// so a funnel-fed sharded pipeline places flows exactly where the NIC's
+// queues would. With shards == Queues the mapping is the RSS mapping
+// verbatim — the configuration that makes the funnel path and the
+// InjectShard path produce identical per-shard packet streams (and so
+// byte-identical stateful NF behaviour). Other shard counts fold queues
+// onto shards round-robin, preserving flow affinity but not queue identity.
+func (n *NIC) ShardBy(p *netpkt.Packet, shards int) int {
+	return n.Queue(p) % shards
+}
+
+// String describes the NIC for logs.
+func (n *NIC) String() string {
+	return fmt.Sprintf("nic(queues=%d, rss=toeplitz/%d)", n.queues, rssIndirection)
+}

@@ -1,0 +1,173 @@
+package ingress
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/traffic"
+)
+
+// PcapConfig tunes capture replay.
+type PcapConfig struct {
+	// Loops is the total number of replay passes over the capture
+	// (<= 1 means one pass). Loop mode turns a finite trace into a
+	// sustained load for soak runs.
+	Loops int
+	// PaceTimestamps honours the capture's inter-arrival gaps: packet i
+	// is released no earlier than its timestamp delta (divided by
+	// TimeScale) after packet 0. Without pacing the source releases as
+	// fast as the pipeline pulls.
+	PaceTimestamps bool
+	// TimeScale speeds up (<1 slows down) timestamp pacing: 2 replays a
+	// trace at twice its captured rate. 0 means 1.
+	TimeScale float64
+	// PacePPS releases packets at a fixed rate instead of the capture's
+	// gaps. Takes precedence over PaceTimestamps when nonzero.
+	PacePPS float64
+	// Arena, when set, supplies record buffers from a recycling pool
+	// instead of the garbage collector — the pump's per-queue arenas end
+	// up here via round-robin (see Pump).
+	Arena *netpkt.Arena
+	// RekeyPerPass salts FlowID on passes after the first, so loop-mode
+	// replay presents each pass as fresh flows (the way sustained real
+	// traffic recycles ephemeral ports) instead of re-touching the same
+	// ones. Wire bytes are untouched — only the synthetic flow identity
+	// changes — so per-flow state in the pipeline still behaves, while
+	// conntrack sees genuine churn.
+	RekeyPerPass bool
+}
+
+// PcapSource replays a classic pcap capture as a Source. Construct with
+// NewPcapSource or PcapFileSource.
+type PcapSource struct {
+	open func() (io.ReadCloser, error)
+	cfg  PcapConfig
+
+	rc   io.ReadCloser
+	pr   *traffic.PcapReader
+	pass int
+
+	count     uint64    // packets released
+	start     time.Time // wall anchor for pacing, set on first Next
+	prevArr   int64     // previous record timestamp within the pass
+	paceAccum int64     // accumulated trace ns across passes
+	closed    bool
+}
+
+// NewPcapSource replays whatever open returns; open is called once per
+// pass, so loop mode re-reads the capture from the start each time.
+func NewPcapSource(open func() (io.ReadCloser, error), cfg PcapConfig) (*PcapSource, error) {
+	s := &PcapSource{open: open, cfg: cfg}
+	if err := s.reopen(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PcapFileSource replays a capture file.
+func PcapFileSource(path string, cfg PcapConfig) (*PcapSource, error) {
+	return NewPcapSource(func() (io.ReadCloser, error) { return os.Open(path) }, cfg)
+}
+
+func (s *PcapSource) reopen() error {
+	rc, err := s.open()
+	if err != nil {
+		return fmt.Errorf("ingress: pcap pass %d: %w", s.pass, err)
+	}
+	pr, err := traffic.NewPcapReader(rc)
+	if err != nil {
+		rc.Close()
+		return fmt.Errorf("ingress: pcap pass %d: %w", s.pass, err)
+	}
+	if s.cfg.Arena != nil {
+		pr.SetAlloc(s.cfg.Arena.GetPacket)
+	}
+	s.rc, s.pr = rc, pr
+	s.prevArr = -1
+	return nil
+}
+
+// Next implements Source: the next record of the current pass, rolling into
+// the next pass (or io.EOF) at end of capture, paced if configured.
+func (s *PcapSource) Next() (*netpkt.Packet, error) {
+	if s.closed {
+		return nil, io.EOF
+	}
+	for {
+		p, err := s.pr.Next()
+		if err == io.EOF {
+			s.rc.Close()
+			s.pass++
+			if s.pass >= s.cfg.Loops || s.cfg.Loops <= 1 {
+				return nil, io.EOF
+			}
+			if err := s.reopen(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.pace(p.Arrival)
+		p.FlowID = traffic.FlowHash(p)
+		if s.cfg.RekeyPerPass && s.pass > 0 {
+			// splitmix64 of the pass number decorrelates the salt from
+			// the hash without touching wire bytes.
+			z := uint64(s.pass) + 0x9e3779b97f4a7c15
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			p.FlowID ^= z ^ (z >> 31)
+		}
+		s.count++
+		return p, nil
+	}
+}
+
+// pace sleeps until the packet's release time under the configured policy.
+func (s *PcapSource) pace(arrival int64) {
+	if s.cfg.PacePPS <= 0 && !s.cfg.PaceTimestamps {
+		return
+	}
+	if s.start.IsZero() {
+		s.start = time.Now()
+	}
+	var targetNs int64
+	if s.cfg.PacePPS > 0 {
+		targetNs = int64(float64(s.count) / s.cfg.PacePPS * 1e9)
+	} else {
+		if s.prevArr >= 0 && arrival > s.prevArr {
+			s.paceAccum += arrival - s.prevArr
+		}
+		s.prevArr = arrival
+		scale := s.cfg.TimeScale
+		if scale <= 0 {
+			scale = 1
+		}
+		targetNs = int64(float64(s.paceAccum) / scale)
+	}
+	if d := time.Duration(targetNs) - time.Since(s.start); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Passes reports how many full passes have completed.
+func (s *PcapSource) Passes() int { return s.pass }
+
+// Count reports how many packets have been released.
+func (s *PcapSource) Count() uint64 { return s.count }
+
+// Close implements Source.
+func (s *PcapSource) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.rc != nil {
+		return s.rc.Close()
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package ingress
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"nfcompass/internal/dataplane"
+	"nfcompass/internal/flowtable"
+	"nfcompass/internal/netpkt"
+)
+
+// PumpConfig tunes a replay run.
+type PumpConfig struct {
+	// BatchSize is how many packets are read from the source per injected
+	// batch (default 64).
+	BatchSize int
+	// NIC switches to direct per-queue injection: each read batch is
+	// demultiplexed by RSS queue and the per-queue sub-batches go straight
+	// to the owning shard (ShardedPipeline.InjectShard), bypassing the
+	// funnel dispatcher. NIC.Queues() must equal the pipeline's shard
+	// count. Nil feeds everything through sp.In().
+	NIC *NIC
+	// FlowTTL expires conntrack entries idle longer than this many
+	// replay-clock nanoseconds (capture timestamps when the source has
+	// them, wall time otherwise). 0 keeps flows until capacity eviction.
+	FlowTTL int64
+	// FlowCapacity bounds the conntrack table (default 2^21 ≈ 2M flows).
+	FlowCapacity int
+	// FlowStripes is the conntrack stripe count (default 64).
+	FlowStripes int
+	// ExpiryBudget caps how many stale conntrack entries are lazily
+	// reclaimed per injected batch (default 64) — the incremental sweep
+	// that replaces stop-the-world expiry.
+	ExpiryBudget int
+}
+
+// PumpStats reports what a replay run did.
+type PumpStats struct {
+	Packets uint64 // packets read from the source and injected
+	Bytes   uint64 // wire bytes injected
+	Batches uint64 // batches injected (sub-batches in NIC mode)
+
+	Flows        uint64 // distinct flows seen (conntrack insertions)
+	PeakFlows    int    // max concurrent tracked flows
+	ExpiredFlows uint64 // conntrack entries reclaimed by TTL
+
+	OutPackets uint64 // live packets the pipeline emitted
+	Drops      uint64 // packets dropped inside the pipeline
+
+	Duration time.Duration // injection start → pipeline drained
+	PPS      float64       // Packets / Duration
+	P99      time.Duration // p99 dispatch→release latency (Metrics runs)
+}
+
+// Pump replays a source through a sharded pipeline until the source is
+// exhausted (io.EOF) or ctx is cancelled, then drains and returns the run's
+// statistics. Pump owns the pipeline lifecycle: sp must be built
+// (dataplane.NewSharded) but not started. The sink receives every output
+// batch and owns releasing it; nil uses a DiscardSink.
+//
+// Flow accounting runs inline: every packet touches a sharded conntrack
+// table keyed by FlowID, stale entries are reclaimed incrementally
+// (ExpiryBudget per batch), and the peak concurrent count is sampled at
+// every batch boundary.
+func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink Sink, cfg PumpConfig) (*PumpStats, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.FlowCapacity <= 0 {
+		cfg.FlowCapacity = 1 << 21
+	}
+	if cfg.FlowStripes <= 0 {
+		cfg.FlowStripes = 64
+	}
+	if cfg.ExpiryBudget <= 0 {
+		cfg.ExpiryBudget = 64
+	}
+	if cfg.NIC != nil && cfg.NIC.Queues() != sp.NumShards() {
+		return nil, fmt.Errorf("ingress: NIC has %d queues but pipeline has %d shards",
+			cfg.NIC.Queues(), sp.NumShards())
+	}
+	if sink == nil {
+		sink = &DiscardSink{}
+	}
+
+	ft := flowtable.NewSharded[struct{}](cfg.FlowStripes, cfg.FlowCapacity)
+	var clock atomic.Int64
+	if cfg.FlowTTL > 0 {
+		ft.SetTTL(cfg.FlowTTL, clock.Load)
+	}
+
+	st := &PumpStats{}
+	start := time.Now()
+	sp.Start(ctx)
+
+	// Drain concurrently with injection; counts are taken before the sink
+	// consumes (it may release the batch).
+	var sinkErr error
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for b := range sp.Out() {
+			live := uint64(b.Live())
+			st.OutPackets += live
+			st.Drops += uint64(b.Len()) - live
+			if err := sink.Consume(b); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+		}
+	}()
+
+	var (
+		pkts    = make([]*netpkt.Packet, 0, cfg.BatchSize)
+		byQueue [][]*netpkt.Packet
+		nextID  uint64
+		runErr  error
+	)
+	if cfg.NIC != nil {
+		byQueue = make([][]*netpkt.Packet, cfg.NIC.Queues())
+	}
+
+	flush := func() bool {
+		if len(pkts) == 0 {
+			return true
+		}
+		if cfg.NIC == nil {
+			b := netpkt.NewBatch(nextID, append(make([]*netpkt.Packet, 0, len(pkts)), pkts...))
+			nextID++
+			select {
+			case sp.In() <- b:
+			case <-ctx.Done():
+				return false
+			}
+			st.Batches++
+		} else {
+			for q := range byQueue {
+				byQueue[q] = byQueue[q][:0]
+			}
+			for _, p := range pkts {
+				q := cfg.NIC.Queue(p)
+				byQueue[q] = append(byQueue[q], p)
+			}
+			for q, qp := range byQueue {
+				if len(qp) == 0 {
+					continue
+				}
+				sb := cfg.NIC.Arena(q).GetBatch(len(qp))
+				sb.Packets = append(sb.Packets, qp...)
+				sb.ID = nextID
+				nextID++
+				if !sp.InjectShard(ctx, q, sb) {
+					return false
+				}
+				st.Batches++
+			}
+		}
+		pkts = pkts[:0]
+		if cfg.FlowTTL > 0 {
+			st.ExpiredFlows += uint64(ft.ExpireTail(cfg.ExpiryBudget))
+		}
+		if n := ft.Len(); n > st.PeakFlows {
+			st.PeakFlows = n
+		}
+		return true
+	}
+
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			runErr = err
+			break
+		}
+		now := p.Arrival
+		if now <= 0 {
+			now = time.Since(start).Nanoseconds()
+		}
+		if now > clock.Load() {
+			clock.Store(now)
+		}
+		if ft.Touch(p.FlowID, func() struct{} { return struct{}{} }) {
+			st.Flows++
+		}
+		st.Packets++
+		st.Bytes += uint64(len(p.Data))
+		pkts = append(pkts, p)
+		if len(pkts) >= cfg.BatchSize {
+			if !flush() {
+				runErr = ctx.Err()
+				break
+			}
+		}
+	}
+	if runErr == nil && !flush() {
+		runErr = ctx.Err()
+	}
+
+	sp.CloseInput()
+	<-drained
+	if err := sp.Wait(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if sinkErr != nil && runErr == nil {
+		runErr = sinkErr
+	}
+
+	st.Duration = time.Since(start)
+	if s := st.Duration.Seconds(); s > 0 {
+		st.PPS = float64(st.Packets) / s
+	}
+	st.P99 = time.Duration(sp.E2E().Percentile(99))
+	return st, runErr
+}

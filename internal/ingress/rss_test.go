@@ -1,0 +1,90 @@
+package ingress
+
+import (
+	"testing"
+
+	"nfcompass/internal/netpkt"
+)
+
+// ip4 packs dotted-quad octets.
+func ip4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// TestToeplitzKnownAnswers pins the hash to the known-answer vectors of the
+// Microsoft RSS verification suite (IPv4 with and without ports, default
+// key) — the same vectors NIC drivers validate against.
+func TestToeplitzKnownAnswers(t *testing.T) {
+	r := NewRSS(4)
+	vectors := []struct {
+		dst, src         uint32
+		dstPort, srcPort uint16
+		wantTCP, wantIP  uint32
+	}{
+		{ip4(161, 142, 100, 80), ip4(66, 9, 149, 187), 1766, 2794, 0x51ccc178, 0x323e8fc2},
+		{ip4(65, 69, 140, 83), ip4(199, 92, 111, 2), 4739, 14230, 0xc626b0ea, 0xd718262a},
+		{ip4(12, 22, 207, 184), ip4(24, 19, 198, 95), 38024, 12898, 0x5c2b394a, 0xd2d0a5de},
+		{ip4(209, 142, 163, 6), ip4(38, 27, 205, 30), 2217, 48228, 0xafc7327f, 0x82989176},
+		{ip4(202, 188, 127, 2), ip4(153, 39, 163, 191), 1303, 44251, 0x10e828a2, 0x5d1809c5},
+	}
+	for i, v := range vectors {
+		if got := r.Hash4(v.src, v.dst, v.srcPort, v.dstPort); got != v.wantTCP {
+			t.Errorf("vector %d: 4-tuple hash = %#x, want %#x", i, got, v.wantTCP)
+		}
+		var in [8]byte
+		in[0], in[1], in[2], in[3] = byte(v.src>>24), byte(v.src>>16), byte(v.src>>8), byte(v.src)
+		in[4], in[5], in[6], in[7] = byte(v.dst>>24), byte(v.dst>>16), byte(v.dst>>8), byte(v.dst)
+		if got := r.Hash(in[:]); got != v.wantIP {
+			t.Errorf("vector %d: 2-tuple hash = %#x, want %#x", i, got, v.wantIP)
+		}
+	}
+}
+
+// TestHashPacketMatchesHash4: the packet classifier must extract exactly
+// the 4-tuple the spec hashes.
+func TestHashPacketMatchesHash4(t *testing.T) {
+	r := NewRSS(8)
+	p := netpkt.BuildUDPv4(netpkt.UDPPacketSpec{
+		SrcIP: netpkt.IPv4Addr(ip4(66, 9, 149, 187)), DstIP: netpkt.IPv4Addr(ip4(161, 142, 100, 80)),
+		SrcPort: 2794, DstPort: 1766,
+	})
+	if err := p.Parse(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.HashPacket(p); got != 0x51ccc178 {
+		t.Errorf("HashPacket = %#x, want 0x51ccc178", got)
+	}
+	if q := r.Queue(p); q != r.indirection[0x51ccc178&127] {
+		t.Errorf("Queue = %d, not the indirection of the hash", q)
+	}
+}
+
+// TestRSSQueueSpread: across many flows the indirection table must use
+// every queue, and the mapping must be deterministic per flow.
+func TestRSSQueueSpread(t *testing.T) {
+	const queues = 4
+	r := NewRSS(queues)
+	seen := make(map[int]int)
+	for f := 0; f < 512; f++ {
+		p := netpkt.BuildUDPv4(netpkt.UDPPacketSpec{
+			SrcIP: netpkt.IPv4Addr(0x0a000000 + uint32(f)), DstIP: 0x0a000001,
+			SrcPort: uint16(1024 + f), DstPort: 80,
+		})
+		if err := p.Parse(); err != nil {
+			t.Fatal(err)
+		}
+		q := r.Queue(p)
+		if q < 0 || q >= queues {
+			t.Fatalf("queue %d out of range", q)
+		}
+		if again := r.Queue(p); again != q {
+			t.Fatalf("non-deterministic queue for flow %d", f)
+		}
+		seen[q]++
+	}
+	for q := 0; q < queues; q++ {
+		if seen[q] == 0 {
+			t.Errorf("queue %d never selected across 512 flows", q)
+		}
+	}
+}

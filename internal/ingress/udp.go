@@ -1,0 +1,97 @@
+package ingress
+
+import (
+	"errors"
+	"io"
+	"net"
+
+	"nfcompass/internal/netpkt"
+	"nfcompass/internal/traffic"
+)
+
+// udpMaxFrame bounds one datagram payload — a jumbo Ethernet frame.
+const udpMaxFrame = 9216
+
+// UDPSource receives Ethernet frames as UDP datagram payloads — the
+// socket counterpart of trafficgen's -udp emitter, so another process (or
+// machine) can drive the dataplane without shared memory. One datagram
+// carries exactly one frame; datagrams longer than 9216 bytes are
+// truncated by the read.
+type UDPSource struct {
+	conn  net.PacketConn
+	arena *netpkt.Arena
+}
+
+// NewUDPSource binds addr (e.g. "127.0.0.1:9000", ":9000"). A nil arena
+// uses the netpkt default arena for frame buffers.
+func NewUDPSource(addr string, arena *netpkt.Arena) (*UDPSource, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPSource{conn: conn, arena: arena}, nil
+}
+
+// LocalAddr reports the bound address (useful with port 0).
+func (s *UDPSource) LocalAddr() net.Addr { return s.conn.LocalAddr() }
+
+// Next implements Source: one datagram becomes one packet. Close from any
+// goroutine unblocks a pending read with io.EOF.
+func (s *UDPSource) Next() (*netpkt.Packet, error) {
+	var p *netpkt.Packet
+	if s.arena != nil {
+		p = s.arena.GetPacket(udpMaxFrame)
+	} else {
+		p = netpkt.GetPacket(udpMaxFrame)
+	}
+	n, _, err := s.conn.ReadFrom(p.Data)
+	if err != nil {
+		netpkt.PutPacket(p)
+		if errors.Is(err, net.ErrClosed) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	p.Data = p.Data[:n]
+	_ = p.Parse() // best effort; non-IP frames keep offsets unset
+	p.FlowID = traffic.FlowHash(p)
+	return p, nil
+}
+
+// Close implements Source.
+func (s *UDPSource) Close() error { return s.conn.Close() }
+
+// UDPSink emits each live output packet as one UDP datagram to a fixed
+// destination — the transmit half of socket I/O, closing the loop for
+// chained processes (one nfcompass's sink feeding another's source).
+type UDPSink struct {
+	conn net.Conn
+}
+
+// NewUDPSink dials the destination address.
+func NewUDPSink(addr string) (*UDPSink, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPSink{conn: conn}, nil
+}
+
+// Consume implements Sink: live packets go on the wire, everything is
+// released.
+func (k *UDPSink) Consume(b *netpkt.Batch) error {
+	var firstErr error
+	for _, p := range b.Packets {
+		if p == nil || p.Dropped {
+			continue
+		}
+		if _, err := k.conn.Write(p.Data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	b.Release()
+	return firstErr
+}
+
+// Close implements Sink.
+func (k *UDPSink) Close() error { return k.conn.Close() }

@@ -19,6 +19,9 @@ type Batch struct {
 	// pooled marks the batch header as resident in the arena (see pool.go);
 	// PutBatch uses it to panic on double release.
 	pooled bool
+	// arena is the recycling domain this header was drawn from (nil for
+	// batches built outside any arena); PutBatch routes the release there.
+	arena *Arena
 }
 
 // NewBatch wraps pkts in a batch and stamps each packet's SeqInBatch.
@@ -127,10 +130,16 @@ func (b *Batch) Clone() *Batch {
 
 // CloneInto deep-copies b into dst, reusing dst's packet objects and buffer
 // capacity where possible. dst's previous contents are discarded; packets
-// dst no longer needs go back to the arena.
+// dst no longer needs go back to the arena. Packets dst newly acquires come
+// from dst's own arena (the default when dst was built outside one), so a
+// per-shard clone never leaks storage into a foreign pool.
 func (b *Batch) CloneInto(dst *Batch) {
+	a := dst.arena
+	if a == nil {
+		a = defaultArena
+	}
 	for len(dst.Packets) < len(b.Packets) {
-		dst.Packets = append(dst.Packets, GetPacket(0))
+		dst.Packets = append(dst.Packets, a.GetPacket(0))
 	}
 	for i := len(b.Packets); i < len(dst.Packets); i++ {
 		PutPacket(dst.Packets[i])
@@ -140,7 +149,7 @@ func (b *Batch) CloneInto(dst *Batch) {
 	for i, p := range b.Packets {
 		q := dst.Packets[i]
 		if q == nil {
-			q = GetPacket(0)
+			q = a.GetPacket(0)
 			dst.Packets[i] = q
 		}
 		p.CloneInto(q)
@@ -148,11 +157,20 @@ func (b *Batch) CloneInto(dst *Batch) {
 	dst.ID, dst.Branch = b.ID, b.Branch
 }
 
-// ClonePooled is Clone backed by the arena: batch header and packet storage
-// come from GetBatch/GetPacket. The consumer of the clone calls Release
-// exactly once when done with it.
+// ClonePooled is Clone backed by the default arena: batch header and packet
+// storage come from GetBatch/GetPacket. The consumer of the clone calls
+// Release exactly once when done with it.
 func (b *Batch) ClonePooled() *Batch {
 	dst := GetBatch(len(b.Packets))
+	b.CloneInto(dst)
+	return dst
+}
+
+// ClonePooled is Batch.ClonePooled drawing the header and all packet
+// storage from this arena — the per-shard injection path's way to keep a
+// replica's working set inside its own recycling domain.
+func (a *Arena) ClonePooled(b *Batch) *Batch {
+	dst := a.GetBatch(len(b.Packets))
 	b.CloneInto(dst)
 	return dst
 }

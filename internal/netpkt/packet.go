@@ -89,6 +89,9 @@ type Packet struct {
 	// pooled marks the packet as currently resident in the arena; PutPacket
 	// uses it to panic on double release.
 	pooled bool
+	// arena is the recycling domain this packet was drawn from (nil for
+	// packets built outside any arena); PutPacket routes the release there.
+	arena *Arena
 }
 
 // NewPacket returns a packet wrapping data. Offsets are unset (-1).
@@ -102,14 +105,17 @@ func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Data = make([]byte, len(p.Data))
 	copy(q.Data, p.Data)
-	q.shared, q.pooled = false, false
+	q.shared, q.pooled, q.arena = false, false, nil
 	return &q
 }
 
 // CloneInto deep-copies p into q, reusing q's buffer capacity when it
-// suffices. q's previous contents are discarded.
+// suffices. q's previous contents are discarded, but q keeps its own arena
+// affinity: the copy releases back to the pool it was drawn from, not to
+// the source packet's.
 func (p *Packet) CloneInto(q *Packet) {
 	data := q.Data
+	arena := q.arena
 	if cap(data) < len(p.Data) {
 		data = make([]byte, len(p.Data))
 	} else {
@@ -118,6 +124,7 @@ func (p *Packet) CloneInto(q *Packet) {
 	copy(data, p.Data)
 	*q = *p
 	q.Data = data
+	q.arena = arena
 	q.shared, q.pooled = false, false
 }
 
@@ -140,7 +147,7 @@ func (p *Packet) ClonePooled() *Packet {
 func (p *Packet) ShallowClone() *Packet {
 	p.shared = true
 	q := *p
-	q.pooled = false
+	q.pooled, q.arena = false, nil
 	return &q
 }
 

@@ -24,6 +24,15 @@ import (
 //   - SetPoolPoison(true) (tests) overwrites released buffers with
 //     PoisonByte, converting any use-after-release into a loud payload
 //     mismatch.
+//
+// Arenas: recycling is organized into Arena domains. The package-level
+// GetPacket/GetBatch draw from one process-wide default arena; callers that
+// want isolation — one arena per dataplane shard, so replicas stop
+// contending on (and cross-pollinating) a single global pool — construct
+// their own with NewArena and allocate through its methods. Every packet
+// and batch remembers its origin arena, so the release side stays uniform:
+// PutPacket/PutBatch/Batch.Release route each object back to the arena it
+// came from, whichever goroutine releases it.
 
 // PoisonByte fills released buffers when poisoning is enabled.
 const PoisonByte = 0xDB
@@ -35,28 +44,68 @@ var poisonPut atomic.Bool
 // instead of plausible stale data.
 func SetPoolPoison(on bool) { poisonPut.Store(on) }
 
-var packetPool = sync.Pool{New: func() any { return &Packet{L3Offset: -1, L4Offset: -1} }}
+// Arena is one packet/batch recycling domain. The zero value is not usable;
+// construct with NewArena. All methods are safe for concurrent use (the
+// underlying sync.Pools are per-P sharded), but the point of multiple
+// arenas is affinity: a shard that allocates and releases from its own
+// arena keeps its buffers hot in its own cache and never steals capacity
+// from a neighbour.
+type Arena struct {
+	packets sync.Pool
+	batches sync.Pool
+}
 
-var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+// NewArena constructs an empty recycling domain.
+func NewArena() *Arena {
+	a := &Arena{}
+	a.packets.New = func() any { return &Packet{L3Offset: -1, L4Offset: -1, arena: a} }
+	a.batches.New = func() any { return &Batch{arena: a} }
+	return a
+}
 
-// GetPacket returns a reset packet from the arena with an n-byte buffer,
+// defaultArena backs the package-level GetPacket/GetBatch.
+var defaultArena = NewArena()
+
+// GetPacket returns a reset packet from this arena with an n-byte buffer,
 // reusing the recycled buffer's capacity when it suffices. The buffer
 // contents are unspecified; callers overwrite them (CloneInto, copy).
-func GetPacket(n int) *Packet {
-	p := packetPool.Get().(*Packet)
+func (a *Arena) GetPacket(n int) *Packet {
+	p := a.packets.Get().(*Packet)
 	data := p.Data
 	if cap(data) < n {
 		data = make([]byte, n)
 	} else {
 		data = data[:n]
 	}
-	*p = Packet{Data: data, L3Offset: -1, L4Offset: -1}
+	*p = Packet{Data: data, L3Offset: -1, L4Offset: -1, arena: a}
 	return p
 }
 
-// PutPacket returns a packet to the arena. The caller must not touch the
-// packet afterwards. Double release panics (see the ownership rules above);
-// buffers aliased by a shallow clone are dropped rather than recycled.
+// GetBatch returns an empty batch from this arena whose Packets slice has
+// at least the given capacity.
+func (a *Arena) GetBatch(capacity int) *Batch {
+	b := a.batches.Get().(*Batch)
+	pkts := b.Packets[:0]
+	if cap(pkts) < capacity {
+		pkts = make([]*Packet, 0, capacity)
+	}
+	*b = Batch{Packets: pkts, arena: a}
+	return b
+}
+
+// GetPacket returns a reset packet from the default arena (see
+// Arena.GetPacket).
+func GetPacket(n int) *Packet { return defaultArena.GetPacket(n) }
+
+// GetBatch returns an empty batch from the default arena (see
+// Arena.GetBatch).
+func GetBatch(capacity int) *Batch { return defaultArena.GetBatch(capacity) }
+
+// PutPacket returns a packet to the arena it was drawn from (packets that
+// never came from an arena — builders, Clone — join the default arena's
+// pool). The caller must not touch the packet afterwards. Double release
+// panics (see the ownership rules above); buffers aliased by a shallow
+// clone are dropped rather than recycled.
 func PutPacket(p *Packet) {
 	if p == nil {
 		return
@@ -74,22 +123,15 @@ func PutPacket(p *Packet) {
 			p.Data[i] = PoisonByte
 		}
 	}
-	packetPool.Put(p)
-}
-
-// GetBatch returns an empty batch from the arena whose Packets slice has at
-// least the given capacity.
-func GetBatch(capacity int) *Batch {
-	b := batchPool.Get().(*Batch)
-	pkts := b.Packets[:0]
-	if cap(pkts) < capacity {
-		pkts = make([]*Packet, 0, capacity)
+	a := p.arena
+	if a == nil {
+		a = defaultArena
+		p.arena = a
 	}
-	*b = Batch{Packets: pkts}
-	return b
+	a.packets.Put(p)
 }
 
-// PutBatch returns the batch header (not its packets) to the arena. Use
+// PutBatch returns the batch header (not its packets) to its arena. Use
 // Batch.Release to return both. Double release panics.
 func PutBatch(b *Batch) {
 	if b == nil {
@@ -104,13 +146,18 @@ func PutBatch(b *Batch) {
 	b.Packets = b.Packets[:0]
 	b.ID, b.Branch = 0, 0
 	b.pooled = true
-	batchPool.Put(b)
+	a := b.arena
+	if a == nil {
+		a = defaultArena
+		b.arena = a
+	}
+	a.batches.Put(b)
 }
 
-// Release returns the batch and every packet it holds to the arena. It is
-// the sink-side counterpart of ClonePooled: whoever consumes a pooled batch
-// calls Release exactly once, after which neither the batch nor its packets
-// may be used.
+// Release returns the batch and every packet it holds to their arenas. It
+// is the sink-side counterpart of ClonePooled: whoever consumes a pooled
+// batch calls Release exactly once, after which neither the batch nor its
+// packets may be used.
 func (b *Batch) Release() {
 	for _, p := range b.Packets {
 		PutPacket(p)

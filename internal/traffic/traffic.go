@@ -5,6 +5,17 @@
 // profiles (full-match vs. no-match, Fig. 8). Generation is deterministic
 // under a seed, replacing the paper's two 40 Gbps packet-generator
 // machines.
+//
+// The package also reads and writes packet captures (pcap.go) so traces
+// interoperate with tcpdump/Wireshark and captured traffic can drive the
+// framework, with deliberate format limits: classic pcap only (pcapng is
+// rejected at the magic check), the Ethernet link type only, both byte
+// orders, and both the microsecond (0xa1b2c3d4) and nanosecond
+// (0xa1b23c4d) timestamp magics on the read side. Frames longer than the
+// capture's snapshot length arrive snaplen-truncated — the bytes on disk
+// are what replay sees. ReadPcap materializes a whole capture; PcapReader/
+// PcapWriter stream records one at a time for captures that do not fit in
+// memory (the ingress plane's replay path).
 package traffic
 
 import (
