@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nfcompass/internal/control"
+	"nfcompass/internal/spec"
+	"nfcompass/internal/telemetry"
+)
+
+type fleetOpts struct {
+	addr     string
+	chain    string
+	duration time.Duration
+	shards   int
+	pkt      int
+	seed     int64
+	offload  bool
+}
+
+// runFleet is the `-serve -fleet` multi-tenant mode: instead of wiring one
+// fixed deployment behind the admin server, it runs the rollout coordinator
+// and mounts the /chains control surface, so nfctl (or any HTTP client) can
+// submit, watch, and roll back named chain revisions while the process
+// serves. The CLI chain argument becomes tenant "default", revision 1; a
+// self-drive loop keeps every live tenant's traffic flowing so /metrics and
+// the SLO guard have real samples to work with.
+func runFleet(o fleetOpts) error {
+	m := control.NewManager(control.Config{Shards: o.shards})
+	defer m.Close()
+
+	first := spec.ChainSpec{
+		Name: "default", Revision: 1, Chain: o.chain,
+		Seed: o.seed, PktSize: o.pkt, Offload: o.offload,
+	}
+	if err := m.Submit(first); err != nil {
+		return err
+	}
+	if st := m.Await("default"); st.State != control.StateLive {
+		return fmt.Errorf("initial rollout ended %s: %s", st.State, st.Err)
+	}
+	fmt.Printf("chain %q revision 1 live on the shared dataplane\n", first.Name)
+
+	srv, err := telemetry.New(telemetry.Config{
+		Source:   m,
+		Journal:  m.Journal(),
+		Control:  m,
+		Interval: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Start(o.addr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		srv.Shutdown(sctx)
+	}()
+	fmt.Printf("control plane on http://%s  (/chains /metrics /snapshot /decisions ...)\n", addr)
+
+	ctx, cancel := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	dur := o.duration
+	if dur <= 0 {
+		dur = time.Duration(1<<62 - 1) // until interrupted
+		fmt.Printf("serving until interrupted\n")
+	} else {
+		fmt.Printf("serving for %s; interrupt to stop early\n", dur)
+	}
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		// Pump one burst per live tenant; rollouts hold the same lock, so
+		// self-drive traffic and canary guards interleave cleanly.
+		if err := m.Pump(2); err != nil {
+			fmt.Fprintf(os.Stderr, "nfcompass: pump: %v\n", err)
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	fmt.Printf("\nfinal snapshot:\n%s", m.Snapshot())
+	fmt.Printf("\ndecision journal (%d total):\n%s",
+		m.Journal().Total(), m.Journal())
+	return nil
+}

@@ -63,6 +63,8 @@ func main() {
 		"pace the -source capture replay at this packet rate (0 = as fast as the pipeline pulls)")
 	serve := flag.String("serve", "",
 		"run the chain continuously on the live dataplane and serve the telemetry plane (/metrics /snapshot /healthz /trace /decisions /debug/pprof) on this address, e.g. :9090")
+	fleet := flag.Bool("fleet", false,
+		"with -serve: run the multi-tenant control plane instead of a fixed deployment — the chain argument becomes tenant \"default\" revision 1, and the admin server additionally mounts the /chains endpoints for nfctl (submit, status, rollout watch, rollback)")
 	duration := flag.Duration("duration", 30*time.Second,
 		"length of the -serve continuous run; the traffic profile shifts halfway through so the adaptor has a drift to react to (0 = run until interrupted)")
 	flag.Usage = func() {
@@ -79,6 +81,21 @@ func main() {
 	chain, err := spec.Parse(flag.Arg(0), *seed)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Multi-tenant control-plane mode: hand the chain to the rollout
+	// coordinator and serve the /chains surface (see fleet.go).
+	if *fleet {
+		if *serve == "" {
+			fatal(fmt.Errorf("-fleet requires -serve ADDR"))
+		}
+		if err := runFleet(fleetOpts{
+			addr: *serve, chain: flag.Arg(0), duration: *duration,
+			shards: *shards, pkt: *pkt, seed: *seed, offload: !*noGTA,
+		}); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	opt := core.DefaultOptions()

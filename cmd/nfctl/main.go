@@ -1,0 +1,225 @@
+// Command nfctl is the operator CLI for the nfcompass multi-tenant control
+// plane. It talks to the /chains endpoints of a `nfcompass -serve -fleet`
+// process (or any embedder of internal/telemetry with Control wired):
+//
+//	nfctl [-addr URL] submit -f spec.json [-wait]   submit a chain revision
+//	nfctl [-addr URL] status [name]                 one chain, or all chains
+//	nfctl [-addr URL] wait <name>                   poll a rollout to its end
+//	nfctl [-addr URL] rollback <name>               revert to the prior revision
+//
+// submit reads a ChainSpec JSON document ({"name","revision","chain",...})
+// from -f or stdin. Rollouts are asynchronous: submit returns once the
+// coordinator admits the revision; -wait (or the wait subcommand) polls the
+// rollout endpoint until the state turns terminal and exits non-zero unless
+// it ended Live.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"nfcompass/internal/control"
+	"nfcompass/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:9090",
+		"base URL of the nfcompass control plane")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nfctl [-addr URL] <submit|status|wait|rollback> [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c := client{base: strings.TrimRight(*addr, "/")}
+	var err error
+	switch cmd, args := flag.Arg(0), flag.Args()[1:]; cmd {
+	case "submit":
+		err = cmdSubmit(c, args)
+	case "status":
+		err = cmdStatus(c, args)
+	case "wait":
+		err = cmdWait(c, args)
+	case "rollback":
+		err = cmdRollback(c, args)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfctl:", err)
+		os.Exit(1)
+	}
+}
+
+// client wraps the /chains REST surface. Error responses carry a JSON
+// {"error": ...} body, which do() folds into the returned error.
+type client struct {
+	base string
+}
+
+func (c client) do(method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func cmdSubmit(c client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	file := fs.String("f", "", "ChainSpec JSON file (default: stdin)")
+	wait := fs.Bool("wait", false, "block until the rollout reaches a terminal state")
+	fs.Parse(args)
+
+	in := io.Reader(os.Stdin)
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	body, err := io.ReadAll(io.LimitReader(in, 1<<20))
+	if err != nil {
+		return err
+	}
+
+	var st control.ChainStatus
+	if err := c.do(http.MethodPost, "/chains", strings.NewReader(string(body)), &st); err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s revision %d: %s\n", st.Name, st.Target.Revision, st.State)
+	if !*wait {
+		return nil
+	}
+	return waitFor(c, st.Name)
+}
+
+func cmdStatus(c client, args []string) error {
+	if len(args) > 1 {
+		return fmt.Errorf("usage: status [name]")
+	}
+	if len(args) == 1 {
+		var st control.ChainStatus
+		if err := c.do(http.MethodGet, "/chains/"+args[0], nil, &st); err != nil {
+			return err
+		}
+		printStatus(st)
+		return nil
+	}
+	var all []control.ChainStatus
+	if err := c.do(http.MethodGet, "/chains", nil, &all); err != nil {
+		return err
+	}
+	if len(all) == 0 {
+		fmt.Println("no chains")
+		return nil
+	}
+	for _, st := range all {
+		printStatus(st)
+	}
+	return nil
+}
+
+func cmdWait(c client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: wait <name>")
+	}
+	return waitFor(c, args[0])
+}
+
+func cmdRollback(c client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: rollback <name>")
+	}
+	var st control.ChainStatus
+	if err := c.do(http.MethodPost, "/chains/"+args[0]+"/rollback", nil, &st); err != nil {
+		return err
+	}
+	fmt.Printf("rolled back %s to revision %d\n", st.Name, st.LiveRevision)
+	return nil
+}
+
+// waitFor polls the rollout endpoint until the chain's state is terminal,
+// then prints the journaled transition trail. Exit status reflects the
+// outcome: only Live returns nil.
+func waitFor(c client, name string) error {
+	var body struct {
+		Status    control.ChainStatus `json:"status"`
+		Decisions []core.Decision     `json:"decisions"`
+	}
+	for {
+		if err := c.do(http.MethodGet, "/chains/"+name+"/rollout", nil, &body); err != nil {
+			return err
+		}
+		if terminal(body.Status.State) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for _, d := range body.Decisions {
+		if d.Revision == body.Status.Target.Revision {
+			fmt.Printf("  %s\n", d.String())
+		}
+	}
+	printStatus(body.Status)
+	if body.Status.State != control.StateLive {
+		return fmt.Errorf("chain %s ended %s: %s", name, body.Status.State, body.Status.Err)
+	}
+	return nil
+}
+
+func terminal(s control.State) bool {
+	return s == control.StateLive || s == control.StateRolledBack || s == control.StateFailed
+}
+
+func printStatus(st control.ChainStatus) {
+	line := fmt.Sprintf("%-12s %-11s rev=%d live=%d", st.Name, st.State,
+		st.Target.Revision, st.LiveRevision)
+	if st.PrevRevision != 0 {
+		line += fmt.Sprintf(" prev=%d", st.PrevRevision)
+	}
+	if st.CanaryP99Us > 0 {
+		line += fmt.Sprintf(" canary_p99=%.1fus", st.CanaryP99Us)
+	}
+	if st.Err != "" {
+		line += " err=" + st.Err
+	}
+	fmt.Println(line)
+}

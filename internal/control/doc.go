@@ -1,0 +1,24 @@
+// Package control is the multi-tenant control plane: it turns named,
+// versioned chain specs (spec.ChainSpec) into one shared sharded dataplane
+// and takes every submitted revision through a staged rollout.
+//
+// Two pieces:
+//
+//   - The composer (Compose) merges the tenants' chains into a single
+//     element graph: a de-duplicated read-only prefix shared by every
+//     tenant (the CoCo-style cross-chain consolidation), a TenantDemux
+//     fan-out keyed on Packet.Tenant, and per-tenant chain remainders
+//     ending in per-tenant sinks. The composition is deterministic, so it
+//     doubles as the per-shard build callback of dataplane.NewSharded.
+//
+//   - The coordinator (Manager) owns the chain lifecycle: each revision
+//     moves Validating → Profiling → Allocating → Canary → Live, with a
+//     canary replica watching the e2e p99 latency ring against the spec's
+//     SLO for a guard window and rolling back automatically on regression.
+//     Every transition lands in a core.DecisionJournal, so rollouts are
+//     auditable through the same /decisions surface as placement swaps.
+//
+// The package sits above internal/core and internal/dataplane and below
+// internal/telemetry (which serves its /chains endpoints) — it never
+// imports the serving layer.
+package control

@@ -326,24 +326,10 @@ func (a *Adaptor) adaptBatch() {
 }
 
 // histWindow returns cur minus prev bucket-wise — the samples recorded
-// between two cumulative snapshots. Falls back to cur when the shapes
-// disagree (tracker replaced) or prev is empty. Min/Max keep the
-// cumulative values: the windowed percentile only reads Bounds and Counts.
+// between two cumulative snapshots (see stats.HistSnapshot.Window, which
+// the canary SLO guard shares).
 func histWindow(cur, prev stats.HistSnapshot) stats.HistSnapshot {
-	if prev.Count == 0 || len(cur.Counts) != len(prev.Counts) ||
-		cur.Count < prev.Count {
-		return cur
-	}
-	w := cur
-	w.Counts = make([]uint64, len(cur.Counts))
-	for i := range cur.Counts {
-		if cur.Counts[i] >= prev.Counts[i] {
-			w.Counts[i] = cur.Counts[i] - prev.Counts[i]
-		}
-	}
-	w.Count = cur.Count - prev.Count
-	w.Sum = cur.Sum - prev.Sum
-	return w
+	return cur.Window(prev)
 }
 
 func clampInt(v, lo, hi int) int {

@@ -51,6 +51,13 @@ type Decision struct {
 	BaselineP99Ns float64 `json:"baseline_p99_ns,omitempty"`
 	// Err carries the error text for Reason "error" decisions.
 	Err string `json:"err,omitempty"`
+	// Chain/Revision identify the control-plane chain a rollout decision
+	// concerns; State is the coordinator state entered ("Validating",
+	// "Canary", "Live", "RolledBack", ...). All empty for the adaptor's
+	// placement and batch-sizing decisions.
+	Chain    string `json:"chain,omitempty"`
+	Revision int    `json:"revision,omitempty"`
+	State    string `json:"state,omitempty"`
 }
 
 // String renders one journal row.
@@ -61,6 +68,9 @@ func (d Decision) String() string {
 	}
 	s := fmt.Sprintf("#%-3d %s %-8s drift=%.3f/%.2f", d.Seq,
 		d.Wall.Format("15:04:05.000"), verdict, d.Drift, d.Threshold)
+	if d.Chain != "" {
+		s += fmt.Sprintf(" chain=%s rev=%d state=%s", d.Chain, d.Revision, d.State)
+	}
 	if d.Candidate != "" {
 		s += fmt.Sprintf(" candidate=%s predicted=%.0fns measured=%.2fGbps",
 			d.Candidate, d.PredictedCostNs, d.MeasuredGbps)

@@ -2,11 +2,80 @@ package core
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"nfcompass/internal/traffic"
 )
+
+// TestJournalConcurrentObserveAndReaders hammers one journal with writer
+// goroutines (the adaptor's Observe path and the control plane's rollout
+// transitions both Record concurrently) while snapshot readers pull
+// Entries/Total/String — the exact shape the /decisions endpoint serves
+// live. Run under -race this pins the mutex discipline; the assertions pin
+// that readers always see internally consistent copies: monotonically
+// increasing Seq with no duplicates, and a final Total equal to the number
+// of records written.
+func TestJournalConcurrentObserveAndReaders(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 500
+		readers   = 4
+	)
+	j := NewDecisionJournal(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ents := j.Entries()
+				for i := 1; i < len(ents); i++ {
+					if ents[i].Seq <= ents[i-1].Seq {
+						t.Errorf("non-monotonic Seq in snapshot: %d after %d",
+							ents[i].Seq, ents[i-1].Seq)
+						return
+					}
+				}
+				if total := j.Total(); uint64(len(ents)) > total {
+					t.Errorf("snapshot holds %d entries but Total=%d", len(ents), total)
+					return
+				}
+				_ = j.String()
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				j.Record(Decision{Reason: "reallocated", Chain: "t", Revision: w})
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got, want := j.Total(), uint64(writers*perWriter); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	ents := j.Entries()
+	if len(ents) != 64 {
+		t.Fatalf("retained %d entries, want ring capacity 64", len(ents))
+	}
+	if ents[len(ents)-1].Seq != uint64(writers*perWriter) {
+		t.Fatalf("newest Seq = %d, want %d", ents[len(ents)-1].Seq, writers*perWriter)
+	}
+}
 
 func TestJournalRingEviction(t *testing.T) {
 	j := NewDecisionJournal(3)

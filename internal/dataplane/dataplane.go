@@ -54,6 +54,12 @@ type Config struct {
 	// the A/B lever (`nfcompass -no-compile`); leave it off in production
 	// configurations.
 	DisableCompile bool
+	// Tenants labels graph nodes with the chain (tenant) they belong to on
+	// a shared multi-tenant dataplane; nodes absent from the map are
+	// shared infrastructure (source, demux, de-duplicated prefix, sink).
+	// The labels flow into ElementStats.Tenant and the Prometheus
+	// exposition's tenant label; they have no execution-path effect.
+	Tenants map[element.NodeID]string
 	// PinOSThread wires each element goroutine (and so each compiled
 	// stage-loop) to a dedicated OS thread via runtime.LockOSThread — the
 	// NUMA-style worker pinning a DPDK dataplane gets from lcore affinity.

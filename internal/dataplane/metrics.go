@@ -52,6 +52,20 @@ type ElementStats struct {
 	// Placement is the element's resolved placement at snapshot time
 	// ("cpu", "gpu0", "split1:0.40").
 	Placement string
+	// Tenant is the owning chain on a multi-tenant dataplane (empty for
+	// single-tenant pipelines and for shared nodes). See Config.Tenants.
+	Tenant string
+}
+
+// TenantTotals is one tenant's boundary accounting on a shared dataplane:
+// what its chain was fed and what came out. The control plane fills these
+// rows (it owns the tagged injection boundary); they merge across shard
+// reports by tenant name.
+type TenantTotals struct {
+	Tenant      string
+	InPackets   uint64
+	OutPackets  uint64
+	DropPackets uint64
 }
 
 // NsPerPkt returns the mean processing cost per live input packet over the
@@ -93,6 +107,10 @@ type Report struct {
 	// Offload is the emulated GPU device backend's activity (all zeros for
 	// a CPU-only assignment).
 	Offload OffloadSnapshot
+	// PerTenant carries per-chain boundary totals on a shared multi-tenant
+	// dataplane (empty otherwise); the control plane stamps it from its
+	// tagged injection/release counters.
+	PerTenant []TenantTotals
 }
 
 // Snapshot captures per-element and per-edge statistics. It is safe to call
@@ -123,6 +141,7 @@ func (p *Pipeline) Snapshot() *Report {
 			QueueLen:  len(p.inbox[i]),
 			QueueCap:  cap(p.inbox[i]),
 			Placement: tbl.nodes[i].String(),
+			Tenant:    p.cfg.Tenants[id],
 		}
 		if p.metrics != nil {
 			m := &p.metrics[i]
@@ -233,6 +252,21 @@ func AggregateReports(reps []*Report) *Report {
 		for _, ed := range r.Edges {
 			edges[ed.EdgeKey] += ed.Packets
 		}
+		for _, tt := range r.PerTenant {
+			merged := false
+			for i := range agg.PerTenant {
+				if agg.PerTenant[i].Tenant == tt.Tenant {
+					agg.PerTenant[i].InPackets += tt.InPackets
+					agg.PerTenant[i].OutPackets += tt.OutPackets
+					agg.PerTenant[i].DropPackets += tt.DropPackets
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				agg.PerTenant = append(agg.PerTenant, tt)
+			}
+		}
 	}
 	for k, v := range edges {
 		agg.Edges = append(agg.Edges, EdgeStats{EdgeKey: k, Packets: v})
@@ -282,6 +316,10 @@ func (r *Report) String() string {
 	if o := r.Offload; o.CompiledBatches > 0 {
 		fmt.Fprintf(&sb, "compiled: batches=%d hops-saved=%d\n",
 			o.CompiledBatches, o.CompiledHopsSaved)
+	}
+	for _, tt := range r.PerTenant {
+		fmt.Fprintf(&sb, "tenant %-12s in=%d out=%d drop=%d\n",
+			tt.Tenant, tt.InPackets, tt.OutPackets, tt.DropPackets)
 	}
 	fmt.Fprintf(&sb, "%-3s %-22s %-14s %-12s %9s %9s %7s %6s %9s %9s %9s %9s\n",
 		"id", "element", "kind", "place", "pkts-in", "pkts-out", "drops", "queue",
@@ -374,40 +412,70 @@ func (r *Report) WritePrometheus(w io.Writer) {
 			"goroutine+channel handoffs elided by the compiled fast path")
 		stats.PromCounter(w, p+"compiled_hops_saved_total", nil, o.CompiledHopsSaved)
 	}
+	// Per-tenant boundary totals on a shared multi-tenant dataplane.
+	if len(r.PerTenant) > 0 {
+		stats.PromHeader(w, p+"tenant_packets_total", "counter",
+			"per-tenant packets at the shared dataplane boundary, by direction")
+		for _, tt := range r.PerTenant {
+			stats.PromCounter(w, p+"tenant_packets_total",
+				stats.Labels{"tenant": tt.Tenant, "dir": "in"}, tt.InPackets)
+			stats.PromCounter(w, p+"tenant_packets_total",
+				stats.Labels{"tenant": tt.Tenant, "dir": "out"}, tt.OutPackets)
+		}
+		stats.PromHeader(w, p+"tenant_drop_packets_total", "counter",
+			"per-tenant packets dropped on the shared dataplane")
+		for _, tt := range r.PerTenant {
+			stats.PromCounter(w, p+"tenant_drop_packets_total",
+				stats.Labels{"tenant": tt.Tenant}, tt.DropPackets)
+		}
+	}
 	if !r.MetricsEnabled {
 		return
 	}
 
+	// elemLabels builds the common label set of one element's series; the
+	// tenant label appears only on multi-tenant deployments so
+	// single-tenant expositions are byte-identical to the pre-tenant form.
+	elemLabels := func(e ElementStats, kind bool) stats.Labels {
+		l := stats.Labels{"element": e.Name}
+		if kind {
+			l["kind"] = e.Kind
+		}
+		if e.Tenant != "" {
+			l["tenant"] = e.Tenant
+		}
+		return l
+	}
 	stats.PromHeader(w, p+"element_packets_total", "counter",
 		"live packets through each element, by direction")
 	for _, e := range r.Elements {
-		l := stats.Labels{"element": e.Name, "kind": e.Kind}
+		l := elemLabels(e, true)
 		l["dir"] = "in"
 		stats.PromCounter(w, p+"element_packets_total", l, e.PktsIn)
-		l = stats.Labels{"element": e.Name, "kind": e.Kind, "dir": "out"}
+		l = elemLabels(e, true)
+		l["dir"] = "out"
 		stats.PromCounter(w, p+"element_packets_total", l, e.PktsOut)
 	}
 	stats.PromHeader(w, p+"element_drops_total", "counter", "packets dropped per element")
 	for _, e := range r.Elements {
-		stats.PromCounter(w, p+"element_drops_total",
-			stats.Labels{"element": e.Name, "kind": e.Kind}, e.Drops)
+		stats.PromCounter(w, p+"element_drops_total", elemLabels(e, true), e.Drops)
 	}
 	stats.PromHeader(w, p+"element_queue_depth", "gauge", "inbox depth at snapshot time")
 	for _, e := range r.Elements {
 		stats.PromGauge(w, p+"element_queue_depth",
-			stats.Labels{"element": e.Name}, float64(e.QueueLen))
+			elemLabels(e, false), float64(e.QueueLen))
 	}
 	stats.PromHeader(w, p+"element_send_wait_ns_total", "counter",
 		"time blocked sending downstream")
 	for _, e := range r.Elements {
 		stats.PromCounter(w, p+"element_send_wait_ns_total",
-			stats.Labels{"element": e.Name}, e.SendWaitNs)
+			elemLabels(e, false), e.SendWaitNs)
 	}
 	stats.PromHeader(w, p+"element_process_ns", "histogram",
 		"per-batch Process wall time in nanoseconds")
 	for _, e := range r.Elements {
 		stats.PromHistogram(w, p+"element_process_ns",
-			stats.Labels{"element": e.Name, "kind": e.Kind}, e.Proc)
+			elemLabels(e, true), e.Proc)
 	}
 	stats.PromHeader(w, p+"edge_packets_total", "counter", "live packets per graph edge")
 	for _, ed := range r.Edges {

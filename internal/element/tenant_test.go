@@ -1,0 +1,46 @@
+package element
+
+import (
+	"testing"
+
+	"nfcompass/internal/netpkt"
+)
+
+func TestTenantDemuxSplitsByTag(t *testing.T) {
+	d := NewTenantDemux("demux", []uint16{1, 2})
+	var pkts []*netpkt.Packet
+	for i := 0; i < 6; i++ {
+		p := netpkt.NewPacket(make([]byte, 60))
+		p.Tenant = uint16(1 + i%2)
+		if i == 5 {
+			p.Tenant = 9 // unowned tag
+		}
+		pkts = append(pkts, p)
+	}
+	out := d.Process(netpkt.NewBatch(7, pkts))
+	if len(out) != 2 {
+		t.Fatalf("ports = %d, want 2", len(out))
+	}
+	if n := len(out[0].Packets); n != 3 {
+		t.Errorf("port 0 got %d packets, want 3", n)
+	}
+	if n := len(out[1].Packets); n != 2 {
+		t.Errorf("port 1 got %d packets, want 2", n)
+	}
+	for port, b := range out {
+		if b.ID != 7 {
+			t.Errorf("port %d batch ID = %d, want 7", port, b.ID)
+		}
+		for _, p := range b.Packets {
+			if int(p.Tenant) != port+1 {
+				t.Errorf("port %d got tenant %d", port, p.Tenant)
+			}
+		}
+	}
+	if d.Unknown != 1 {
+		t.Errorf("Unknown = %d, want 1", d.Unknown)
+	}
+	if !pkts[5].Dropped {
+		t.Error("unowned-tag packet not dropped")
+	}
+}

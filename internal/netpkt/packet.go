@@ -50,6 +50,12 @@ type Packet struct {
 	// it; stateful elements (NAT, IDS stream reassembly) key on it.
 	FlowID uint64
 
+	// Tenant tags the packet with its owning chain on a shared
+	// multi-tenant dataplane (0 = untagged/single-tenant). The control
+	// plane's ingress sets it and the TenantDemux element routes on it;
+	// clones inherit it like every other annotation.
+	Tenant uint16
+
 	// Paint is the Click paint annotation (Paint / CheckPaint elements).
 	Paint byte
 

@@ -1,0 +1,151 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"nfcompass/internal/nf"
+)
+
+// ChainSpec is the declarative unit of the multi-tenant control plane: a
+// named, versioned service chain plus the deployment knobs that make the
+// spec alone determine a deployable pipeline. Operators submit specs over
+// the admin server (POST /chains) or nfctl; the coordinator takes each
+// revision through validate → profile → allocate → canary → live.
+type ChainSpec struct {
+	// Name identifies the chain (the tenant). Revisions of one name
+	// replace each other; distinct names run concurrently on the shared
+	// dataplane.
+	Name string `json:"name"`
+	// Revision orders updates of one chain. A submitted revision must be
+	// greater than the chain's current one; the coordinator keeps the
+	// previous revision as the rollback target.
+	Revision int `json:"revision"`
+	// Chain is the textual NF chain ("firewall:1000,ipv4,nat"). See
+	// Names() for the accepted NFs.
+	Chain string `json:"chain"`
+	// Seed makes the spec's generated tables (ACLs, routes) deterministic
+	// (default 1): two builds of one spec are functionally identical,
+	// which is what makes cross-chain de-duplication sound.
+	Seed int64 `json:"seed,omitempty"`
+	// Shards requests a replica count for the shared dataplane hosting
+	// this chain (0 = the manager's default). The largest request among
+	// live chains wins.
+	Shards int `json:"shards,omitempty"`
+	// BatchSize is the injection batch size for this tenant's traffic
+	// (default 64).
+	BatchSize int `json:"batch_size,omitempty"`
+	// PktSize shapes the tenant's synthetic traffic in self-driving
+	// deployments (0 = IMIX).
+	PktSize int `json:"pkt_size,omitempty"`
+	// Offload enables graph-partition task allocation for this chain: the
+	// coordinator profiles the chain and maps the resulting CPU/GPU
+	// placement onto the shared dataplane.
+	Offload bool `json:"offload,omitempty"`
+	// Synthesize enables NF-level element merging within the chain
+	// (default true; only an explicit false disables it).
+	Synthesize *bool `json:"synthesize,omitempty"`
+	// SLO is the rollout guard: a canary revision whose observed e2e tail
+	// latency breaches it is rolled back automatically.
+	SLO SLO `json:"slo,omitempty"`
+}
+
+// SLO bounds a chain's end-to-end latency during rollout.
+type SLO struct {
+	// P99Us is the e2e p99 latency ceiling in microseconds measured on the
+	// canary's inject→release ring (0 = no latency SLO: the canary
+	// promotes after the guard window regardless of tail).
+	P99Us float64 `json:"p99_us,omitempty"`
+	// GuardTicks is how many consecutive healthy observation ticks the
+	// canary must survive before promotion (0 = manager default).
+	GuardTicks int `json:"guard_ticks,omitempty"`
+}
+
+// Validate checks the spec without building anything: name, revision, and
+// chain syntax (including that every NF name is known).
+func (s *ChainSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("spec: chain name required")
+	}
+	if s.Revision <= 0 {
+		return fmt.Errorf("spec: chain %q: revision must be >= 1 (got %d)", s.Name, s.Revision)
+	}
+	if _, err := Parse(s.Chain, s.seed()); err != nil {
+		return fmt.Errorf("spec: chain %q: %w", s.Name, err)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("spec: chain %q: negative shards", s.Name)
+	}
+	if s.BatchSize < 0 {
+		return fmt.Errorf("spec: chain %q: negative batch size", s.Name)
+	}
+	if s.SLO.P99Us < 0 {
+		return fmt.Errorf("spec: chain %q: negative SLO", s.Name)
+	}
+	return nil
+}
+
+// seed returns the effective table seed (default 1).
+func (s *ChainSpec) seed() int64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+// EffectiveBatchSize returns the injection batch size (default 64).
+func (s *ChainSpec) EffectiveBatchSize() int {
+	if s.BatchSize <= 0 {
+		return 64
+	}
+	return s.BatchSize
+}
+
+// WantSynthesize reports whether NF-level synthesis is enabled (default
+// true).
+func (s *ChainSpec) WantSynthesize() bool {
+	return s.Synthesize == nil || *s.Synthesize
+}
+
+// Build parses the chain and constructs its NFs with the spec's seed.
+func (s *ChainSpec) Build() ([]*nf.NF, error) {
+	return Parse(s.Chain, s.seed())
+}
+
+// Canonical returns the chain string re-emitted from its parsed tokens —
+// whitespace normalized, arguments preserved. Specs that canonicalize
+// identically build identical chains.
+func (s *ChainSpec) Canonical() (string, error) {
+	toks, err := Tokens(s.Chain)
+	if err != nil {
+		return "", err
+	}
+	return Format(toks), nil
+}
+
+// JSON renders the spec as indented JSON — the wire form ParseChainSpec
+// accepts back, so Spec → JSON → ParseChainSpec is a lossless round trip.
+func (s ChainSpec) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Plain struct of scalars: cannot fail.
+		panic(err)
+	}
+	return b
+}
+
+// ParseChainSpec decodes and validates a JSON spec — the admin server's
+// POST /chains body and nfctl's -f payload.
+func ParseChainSpec(data []byte) (ChainSpec, error) {
+	var s ChainSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return ChainSpec{}, fmt.Errorf("spec: bad chain spec JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return ChainSpec{}, err
+	}
+	return s, nil
+}

@@ -38,24 +38,71 @@ func Names() []string {
 	}
 }
 
-// Parse builds the NF chain for a spec string. seed makes generated
-// tables (ACLs) deterministic.
-func Parse(s string, seed int64) ([]*nf.NF, error) {
-	var chain []*nf.NF
+// namesHint renders the accepted-NF list for error messages, so a typo in a
+// submitted spec tells the operator exactly what the parser takes.
+func namesHint() string { return "accepted NFs: " + strings.Join(Names(), " ") }
+
+// Token is one parsed chain position: an NF name plus its optional
+// colon-separated argument. Tokens(s) → Token.String() → Tokens(s) is a
+// lossless round trip (modulo whitespace), which is what lets a ChainSpec
+// carry a canonical chain string.
+type Token struct {
+	Name string `json:"name"`
+	Arg  string `json:"arg,omitempty"`
+}
+
+// String renders the token back into spec notation ("firewall:1000").
+func (t Token) String() string {
+	if t.Arg == "" {
+		return t.Name
+	}
+	return t.Name + ":" + t.Arg
+}
+
+// Tokens splits a chain string into its NF tokens without building
+// anything. It performs the purely syntactic half of Parse: name/argument
+// separation and empty-position checks; unknown names are caught at build
+// time.
+func Tokens(s string) ([]Token, error) {
+	var toks []Token
 	for i, tok := range strings.Split(s, ",") {
 		tok = strings.TrimSpace(tok)
 		if tok == "" {
-			return nil, fmt.Errorf("spec: empty NF at position %d", i)
+			return nil, fmt.Errorf("spec: empty NF at position %d (%s)", i, namesHint())
 		}
 		name, arg, _ := strings.Cut(tok, ":")
-		f, err := build(name, arg, fmt.Sprintf("%s%d", name, i), seed)
+		toks = append(toks, Token{Name: strings.TrimSpace(name), Arg: strings.TrimSpace(arg)})
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("spec: empty chain (%s)", namesHint())
+	}
+	return toks, nil
+}
+
+// Format joins tokens back into the canonical chain string — the inverse of
+// Tokens.
+func Format(toks []Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse builds the NF chain for a spec string. seed makes generated
+// tables (ACLs) deterministic.
+func Parse(s string, seed int64) ([]*nf.NF, error) {
+	toks, err := Tokens(s)
+	if err != nil {
+		return nil, err
+	}
+	chain := make([]*nf.NF, 0, len(toks))
+	for i, t := range toks {
+		f, err := build(t.Name, t.Arg, fmt.Sprintf("%s%d", t.Name, i), seed)
 		if err != nil {
-			return nil, fmt.Errorf("spec: %q: %w", tok, err)
+			return nil, fmt.Errorf("spec: %q: %w", t.String(), err)
 		}
 		chain = append(chain, f)
-	}
-	if len(chain) == 0 {
-		return nil, fmt.Errorf("spec: empty chain")
 	}
 	return chain, nil
 }
@@ -113,7 +160,7 @@ func build(name, arg, label string, seed int64) (*nf.NF, error) {
 	case "wanopt":
 		return nf.NewWANOptimizer(label), nil
 	default:
-		return nil, fmt.Errorf("unknown NF (known: %s)", strings.Join(Names(), " "))
+		return nil, fmt.Errorf("unknown NF (%s)", namesHint())
 	}
 }
 

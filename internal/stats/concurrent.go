@@ -226,6 +226,30 @@ func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
 	return out
 }
 
+// Window returns s minus prev bucket-wise: the samples recorded between
+// two cumulative snapshots of one histogram. It is how live controllers
+// (the adaptor's AIMD batch sizing, the control plane's canary SLO guard)
+// turn a monotonically growing latency ring into a per-tick distribution.
+// Falls back to s when the shapes disagree (tracker replaced) or prev is
+// empty. Min/Max keep the cumulative values: windowed percentiles only
+// read Bounds and Counts.
+func (s HistSnapshot) Window(prev HistSnapshot) HistSnapshot {
+	if prev.Count == 0 || len(s.Counts) != len(prev.Counts) ||
+		s.Count < prev.Count {
+		return s
+	}
+	w := s
+	w.Counts = make([]uint64, len(s.Counts))
+	for i := range s.Counts {
+		if s.Counts[i] >= prev.Counts[i] {
+			w.Counts[i] = s.Counts[i] - prev.Counts[i]
+		}
+	}
+	w.Count = s.Count - prev.Count
+	w.Sum = s.Sum - prev.Sum
+	return w
+}
+
 // Mean returns the average observation, or 0 with none.
 func (s HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

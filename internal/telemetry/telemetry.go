@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nfcompass/internal/control"
 	"nfcompass/internal/core"
 	"nfcompass/internal/dataplane"
 )
@@ -39,6 +40,10 @@ type Config struct {
 	// Interval is the periodic snapshot refresh period backing /metrics and
 	// /healthz (default 1s). /snapshot always takes a fresh snapshot.
 	Interval time.Duration
+	// Control, when non-nil, is the multi-tenant rollout coordinator; it
+	// enables the /chains endpoints (submit, status, rollout watch,
+	// rollback).
+	Control *control.Manager
 }
 
 // Server is an embeddable admin HTTP server for a running pipeline:
@@ -76,6 +81,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/trace", s.handleTrace)
 	s.mux.HandleFunc("/decisions", s.handleDecisions)
+	if cfg.Control != nil {
+		s.mux.HandleFunc("GET /chains", s.handleChainsList)
+		s.mux.HandleFunc("POST /chains", s.handleChainsSubmit)
+		s.mux.HandleFunc("GET /chains/{name}", s.handleChainStatus)
+		s.mux.HandleFunc("GET /chains/{name}/rollout", s.handleChainRollout)
+		s.mux.HandleFunc("POST /chains/{name}/rollback", s.handleChainRollback)
+	}
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
