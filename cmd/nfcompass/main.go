@@ -61,6 +61,8 @@ func main() {
 		"replay passes over the -source capture; passes after the first present rekeyed flows (sustained churn)")
 	pps := flag.Float64("pps", 0,
 		"pace the -source capture replay at this packet rate (0 = as fast as the pipeline pulls)")
+	rxWorkers := flag.Int("rx-workers", 0,
+		"parallel ingress for the -source nic run: split the source into up to this many readers feeding one RX worker per queue over SPSC rings, with per-shard egress drains (0 = auto: one reader per queue; 1 = classic single-reader pump, the A/B lever)")
 	serve := flag.String("serve", "",
 		"run the chain continuously on the live dataplane and serve the telemetry plane (/metrics /snapshot /healthz /trace /decisions /debug/pprof) on this address, e.g. :9090")
 	fleet := flag.Bool("fleet", false,
@@ -182,7 +184,7 @@ func main() {
 		}
 		if err := runSource(build, sourceOpts{
 			spec: *source, shards: *shards, pin: *pin,
-			loops: *loops, pps: *pps,
+			loops: *loops, pps: *pps, rxWorkers: *rxWorkers,
 			batchSize: *batchSize, noCompile: *noCompile,
 			mkBatches: mkBatches,
 		}); err != nil {

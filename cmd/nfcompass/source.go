@@ -39,6 +39,7 @@ type sourceOpts struct {
 	pin       bool
 	loops     int
 	pps       float64
+	rxWorkers int // 0 = auto (one reader per queue in nic mode), 1 = single-reader pump
 	batchSize int
 	noCompile bool
 	mkBatches func(off int64) []*netpkt.Batch
@@ -132,6 +133,16 @@ func runSource(build func(shard int) (*element.Graph, error), o sourceOpts) erro
 	if shards < 1 {
 		shards = 1
 	}
+	// Resolve the parallelism knob: auto means one reader per NIC queue;
+	// without a NIC there is nothing for per-queue workers to own, so the
+	// classic single-reader pump runs.
+	workers := o.rxWorkers
+	if workers == 0 && nic != nil {
+		workers = nic.Queues()
+	}
+	if workers < 1 || nic == nil {
+		workers = 1
+	}
 	sp, err := dataplane.NewSharded(build, dataplane.ShardedConfig{
 		Shards: shards,
 		Config: dataplane.Config{
@@ -139,6 +150,7 @@ func runSource(build func(shard int) (*element.Graph, error), o sourceOpts) erro
 			PinOSThread:    o.pin,
 			DisableCompile: o.noCompile,
 		},
+		ShardOut: workers > 1,
 	})
 	if err != nil {
 		return err
@@ -146,6 +158,11 @@ func runSource(build func(shard int) (*element.Graph, error), o sourceOpts) erro
 	mode := "funnel (flow-affinity dispatcher)"
 	if nic != nil {
 		mode = fmt.Sprintf("%v, direct per-queue injection", nic)
+		if workers > 1 {
+			mode += fmt.Sprintf(", parallel RX/TX (<=%d readers, %d queue workers, per-shard drains)", workers, nic.Queues())
+		} else {
+			mode += ", single-reader pump"
+		}
 	}
 	fmt.Printf("ingress: source=%s shards=%d pin=%v mode=%s\n", o.spec, shards, o.pin, mode)
 
@@ -162,15 +179,18 @@ func runSource(build func(shard int) (*element.Graph, error), o sourceOpts) erro
 	}()
 
 	st, err := ingress.Pump(context.Background(), src, sp, nil, ingress.PumpConfig{
-		BatchSize: o.batchSize,
-		NIC:       nic,
-		FlowTTL:   int64(60 * time.Second),
+		BatchSize:  o.batchSize,
+		NIC:        nic,
+		FlowTTL:    int64(60 * time.Second),
+		RXWorkers:  workers,
+		PinWorkers: o.pin && workers > 1,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\ningress replay: %d packets (%d batches, %.1f MB) in %v = %.0f pps\n",
-		st.Packets, st.Batches, float64(st.Bytes)/1e6, st.Duration.Round(time.Millisecond), st.PPS)
+	fmt.Printf("\ningress replay: %d packets (%d batches, %.1f MB) in %v = %.0f pps (%d readers, %d queue workers)\n",
+		st.Packets, st.Batches, float64(st.Bytes)/1e6, st.Duration.Round(time.Millisecond), st.PPS,
+		st.Readers, st.Workers)
 	fmt.Printf("  flows: %d distinct, %d peak concurrent, %d expired (60s TTL)\n",
 		st.Flows, st.PeakFlows, st.ExpiredFlows)
 	fmt.Printf("  output: %d forwarded, %d dropped, p99 e2e %v\n",

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	trafficgen [-n N] [-size 64|imix|uniform] [-tcp] [-ipv6] [-match]
-//	           [-seed N] [-hex] [-pcap FILE] [-udp ADDR [-pps N]]
+//	           [-seed N] [-hex] [-pcap FILE] [-udp ADDR [-pps N] [-workers W]]
 package main
 
 import (
@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nfcompass/internal/netpkt"
@@ -39,7 +41,8 @@ func main() {
 	hexDump := flag.Bool("hex", false, "dump raw packet bytes as hex")
 	pcapOut := flag.String("pcap", "", "write packets to this pcap file instead of text")
 	udpOut := flag.String("udp", "", "emit packets as UDP datagrams (one frame per datagram) to this address — the wire feeding nfcompass -source udp:ADDR")
-	pps := flag.Float64("pps", 0, "pace -udp emission at this packet rate (0 = as fast as possible)")
+	pps := flag.Float64("pps", 0, "pace -udp emission at this packet rate (0 = as fast as possible; with -workers, the rate each worker sends at)")
+	workers := flag.Int("workers", 1, "concurrent -udp senders, each with its own socket and flow space — pairs with the receiver's multi-socket reader pool (-rx-workers)")
 	flag.Parse()
 
 	var size traffic.SizeDist
@@ -61,43 +64,75 @@ func main() {
 	if *match {
 		payload = traffic.PayloadFullMatch
 	}
-	gen := traffic.NewGenerator(traffic.Config{
+	genCfg := traffic.Config{
 		Size: size, TCP: *tcp, IPv6: *ipv6,
 		Payload: payload, MatchTokens: []string{"attack", "malware"},
 		Seed: *seed, Flows: *flows,
-	})
+	}
+	gen := traffic.NewGenerator(genCfg)
 
 	if *udpOut != "" {
-		conn, err := net.Dial("udp", *udpOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "trafficgen:", err)
+		w := *workers
+		if w < 1 {
+			w = 1
+		}
+		// Each worker dials its own socket (distinct source port, so a
+		// reuseport receiver pool spreads the workers) and generates from
+		// its own seed, keeping the workers' flow spaces disjoint.
+		var (
+			wg          sync.WaitGroup
+			sent, bytes atomic.Int64
+			failed      atomic.Bool
+		)
+		start := time.Now()
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				cfg := genCfg
+				cfg.Seed = genCfg.Seed + int64(wi)*0x9e3779b9
+				g := traffic.NewGenerator(cfg)
+				conn, err := net.Dial("udp", *udpOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "trafficgen:", err)
+					failed.Store(true)
+					return
+				}
+				defer conn.Close()
+				var interval time.Duration
+				if *pps > 0 {
+					interval = time.Duration(float64(time.Second) / *pps)
+				}
+				count := *n / w
+				if wi < *n%w {
+					count++
+				}
+				for i := 0; i < count; i++ {
+					p := g.NextPacket()
+					if _, err := conn.Write(p.Data); err != nil {
+						fmt.Fprintln(os.Stderr, "trafficgen:", err)
+						failed.Store(true)
+						return
+					}
+					sent.Add(1)
+					bytes.Add(int64(p.Len()))
+					if interval > 0 {
+						// Pace against the wall clock so short write times
+						// don't drift.
+						if next := start.Add(time.Duration(i+1) * interval); time.Until(next) > 0 {
+							time.Sleep(time.Until(next))
+						}
+					}
+				}
+			}(wi)
+		}
+		wg.Wait()
+		el := time.Since(start)
+		fmt.Fprintf(os.Stderr, "trafficgen: sent %d datagrams (%d bytes) to %s from %d workers in %v (%.0f pps)\n",
+			sent.Load(), bytes.Load(), *udpOut, w, el.Round(time.Millisecond), float64(sent.Load())/el.Seconds())
+		if failed.Load() {
 			os.Exit(1)
 		}
-		defer conn.Close()
-		var interval time.Duration
-		if *pps > 0 {
-			interval = time.Duration(float64(time.Second) / *pps)
-		}
-		start := time.Now()
-		var sent, bytes int
-		for i := 0; i < *n; i++ {
-			p := gen.NextPacket()
-			if _, err := conn.Write(p.Data); err != nil {
-				fmt.Fprintln(os.Stderr, "trafficgen:", err)
-				os.Exit(1)
-			}
-			sent++
-			bytes += p.Len()
-			if interval > 0 {
-				// Pace against the wall clock so short write times don't drift.
-				if next := start.Add(time.Duration(i+1) * interval); time.Until(next) > 0 {
-					time.Sleep(time.Until(next))
-				}
-			}
-		}
-		el := time.Since(start)
-		fmt.Fprintf(os.Stderr, "trafficgen: sent %d datagrams (%d bytes) to %s in %v (%.0f pps)\n",
-			sent, bytes, *udpOut, el.Round(time.Millisecond), float64(sent)/el.Seconds())
 		return
 	}
 

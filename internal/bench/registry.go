@@ -29,6 +29,7 @@ var Registry = map[string]Experiment{
 	"micro":    {ID: "micro", Paper: "§IV-C-2 dictionary", Run: Micro},
 	"scaling":  {ID: "scaling", Paper: "§II-A-2 SFC length", Run: Scaling},
 	"soak":     {ID: "soak", Paper: "Fig. 7 sustained soak", Run: Soak},
+	"rxscale":  {ID: "rxscale", Paper: "Fig. 7 scaling axis", Run: RXScale},
 }
 
 // IDs returns the registered experiment ids in order.

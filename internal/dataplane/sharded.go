@@ -41,6 +41,18 @@ type ShardedConfig struct {
 	// sink, one output batch per input batch, consecutive ascending batch
 	// IDs.
 	Ordered bool
+	// ShardOut enables per-shard output: completed batches leave through
+	// OutShard(q) — one channel per replica, each fed by its own
+	// accounting forwarder — instead of the global fan-in behind Out().
+	// This is the egress half of the parallel ingress plane: N drain
+	// goroutines consume N shards with no merge point, so output
+	// throughput scales with the shard count instead of serializing on
+	// one channel. Boundary accounting (Stats.Out*, the e2e latency
+	// probe) is identical to the merged path — the counters are atomics,
+	// updated from each forwarder. Incompatible with Ordered (ordered
+	// release is definitionally a global merge); Out() must not be
+	// consumed in this mode.
+	ShardOut bool
 	// ShardBy overrides the dispatcher's flow→shard mapping (default
 	// FlowKey() % shards). An emulated multi-queue NIC passes its RSS
 	// hash+indirection here so the funnel path (In()) and the direct
@@ -88,6 +100,7 @@ type ShardedPipeline struct {
 
 	in     chan *netpkt.Batch
 	out    chan *netpkt.Batch
+	outs   []chan *netpkt.Batch // per-shard outputs (ShardOut mode)
 	done   chan struct{}
 	cancel context.CancelFunc
 
@@ -112,6 +125,9 @@ func NewSharded(build func(shard int) (*element.Graph, error), cfg ShardedConfig
 	if cfg.Shards <= 0 {
 		cfg.Shards = DefaultShards()
 	}
+	if cfg.ShardOut && cfg.Ordered {
+		return nil, fmt.Errorf("dataplane: ShardOut is incompatible with Ordered (ordered release is a global merge)")
+	}
 	sp := &ShardedPipeline{
 		cfg:    cfg,
 		shards: make([]*Pipeline, cfg.Shards),
@@ -123,6 +139,12 @@ func NewSharded(build func(shard int) (*element.Graph, error), cfg ShardedConfig
 	}
 	if cfg.Metrics {
 		sp.lat = newE2ETracker()
+	}
+	if cfg.ShardOut {
+		sp.outs = make([]chan *netpkt.Batch, cfg.Shards)
+		for i := range sp.outs {
+			sp.outs[i] = make(chan *netpkt.Batch, maxInt(cfg.QueueDepth, 16))
+		}
 	}
 	var ref *element.Graph
 	for i := range sp.shards {
@@ -184,6 +206,41 @@ func (sp *ShardedPipeline) Start(ctx context.Context) {
 	}
 
 	go sp.dispatch(ctx)
+
+	if sp.cfg.ShardOut {
+		// Per-shard output mode: no fan-in, no merger. Each shard gets its
+		// own accounting forwarder feeding OutShard(q); the boundary
+		// counters and the latency probe are atomics, so the observation is
+		// identical to the merged path, just without the serialization.
+		var fwdWG sync.WaitGroup
+		for i, s := range sp.shards {
+			fwdWG.Add(1)
+			go func(q int, p *Pipeline) {
+				defer fwdWG.Done()
+				defer close(sp.outs[q])
+				for b := range p.Out() {
+					sp.Stats.OutBatches.Add(1)
+					live := uint64(b.Live())
+					sp.Stats.OutPackets.Add(live)
+					sp.Stats.DropPackets.Add(uint64(b.Len()) - live)
+					if sp.lat != nil {
+						sp.lat.observe(b.ID, time.Since(sp.start).Nanoseconds())
+					}
+					select {
+					case sp.outs[q] <- b:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}(i, s)
+		}
+		go func() {
+			fwdWG.Wait()
+			close(sp.out)
+			close(sp.done)
+		}()
+		return
+	}
 
 	// Fan the shard outputs into one channel for the merger.
 	merged := make(chan *netpkt.Batch, cap(sp.out))
@@ -462,8 +519,28 @@ func (sp *ShardedPipeline) fail(err error) {
 // In returns the injection channel (close via CloseInput to drain).
 func (sp *ShardedPipeline) In() chan<- *netpkt.Batch { return sp.in }
 
-// Out returns the channel of completed batches.
+// Out returns the channel of completed batches. In ShardOut mode nothing is
+// ever sent on it (it still closes at drain); consume OutShard(q) instead.
 func (sp *ShardedPipeline) Out() <-chan *netpkt.Batch { return sp.out }
+
+// OutShard returns shard q's completed-batch channel — the per-queue TX
+// ring of the parallel egress path. Only available in ShardOut mode; it
+// panics otherwise, because without the per-shard forwarders the channel
+// would never carry anything and a consumer would hang silently.
+func (sp *ShardedPipeline) OutShard(q int) <-chan *netpkt.Batch {
+	if sp.outs == nil {
+		panic("dataplane: OutShard requires ShardedConfig.ShardOut")
+	}
+	return sp.outs[q]
+}
+
+// MetricsEnabled reports whether the pipeline records metrics (Config.Metrics)
+// — callers use it to skip reading E2E percentiles that would silently be 0.
+func (sp *ShardedPipeline) MetricsEnabled() bool { return sp.cfg.Metrics }
+
+// PerShardOut reports whether the pipeline was built with ShardOut, i.e.
+// whether OutShard is usable.
+func (sp *ShardedPipeline) PerShardOut() bool { return sp.outs != nil }
 
 // CloseInput signals that no more batches will be injected.
 func (sp *ShardedPipeline) CloseInput() { close(sp.in) }

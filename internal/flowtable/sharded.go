@@ -186,6 +186,28 @@ func (s *Sharded[V]) ExpireTail(max int) int {
 	return n
 }
 
+// ExpireTailRange is ExpireTail restricted to stripes [lo, hi): worker w of
+// n parallel ingress pumps sweeps stripes [w*S/n, (w+1)*S/n), so the whole
+// table is still covered every round but no two workers ever contend on the
+// same stripe's lock for expiry work. Bounds are clamped to the stripe
+// count; an empty range reclaims nothing.
+func (s *Sharded[V]) ExpireTailRange(lo, hi, max int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.stripes) {
+		hi = len(s.stripes)
+	}
+	n := 0
+	for i := lo; i < hi; i++ {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.t.ExpireTail(max)
+		st.mu.Unlock()
+	}
+	return n
+}
+
 // Range visits entries stripe by stripe (most to least recently used
 // within each stripe) with that stripe's lock held; returning false stops
 // the walk. visit must not call back into the table.

@@ -17,13 +17,39 @@ type Source interface {
 	Close() error
 }
 
+// SplittableSource is a Source that can fan out into independent parallel
+// readers — the source side of the parallel ingress plane. Split returns up
+// to n sources that jointly yield what the parent would have yielded,
+// partitioned so that no flow ever spans two sub-sources (the partition IS
+// the per-flow-order contract: each flow has one reader, so its packets
+// stay in source order). A source may return fewer than n readers (or just
+// itself) when its semantics don't split that far; callers size their
+// reader pool to what comes back. After a successful Split that returns
+// new sources the parent must not be read again; Close on the parent stays
+// valid and sub-sources are closed individually.
+type SplittableSource interface {
+	Source
+	Split(n int) ([]Source, error)
+}
+
 // Sink consumes batches leaving the dataplane. Consume takes ownership of
 // the batch: the sink must release it (Batch.Release) or retain it, and
-// the caller never touches it again. Sinks are single-consumer: one
-// goroutine calls Consume.
+// the caller never touches it again. Sinks are single-consumer by default:
+// one goroutine calls Consume. A sink that additionally implements
+// ConcurrentSink opts into being called from many drain goroutines at once
+// (see ParallelDrain).
 type Sink interface {
 	Consume(b *netpkt.Batch) error
 	Close() error
+}
+
+// ConcurrentSink marks a Sink safe for concurrent Consume calls — the
+// parallel egress drain calls such sinks directly from one goroutine per
+// shard; everything else is serialized behind a mutex.
+type ConcurrentSink interface {
+	Sink
+	// ConcurrentSafe reports whether Consume may be called concurrently.
+	ConcurrentSafe() bool
 }
 
 // DiscardSink counts and releases everything — the terminal device of
@@ -41,6 +67,10 @@ func (d *DiscardSink) Consume(b *netpkt.Batch) error {
 	b.Release()
 	return nil
 }
+
+// ConcurrentSafe implements ConcurrentSink: the counters are atomics, so
+// per-shard drain goroutines may consume without serialization.
+func (d *DiscardSink) ConcurrentSafe() bool { return true }
 
 // Close implements Sink.
 func (d *DiscardSink) Close() error { return nil }

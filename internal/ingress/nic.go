@@ -36,6 +36,12 @@ func (n *NIC) Queues() int { return n.queues }
 // Queue classifies a packet to its receive queue (RSS hash + indirection).
 func (n *NIC) Queue(p *netpkt.Packet) int { return n.rss.Queue(p) }
 
+// QueueBatch classifies a read batch in one call (see RSS.QueueBatch):
+// identical mapping to per-packet Queue, amortized table walk.
+func (n *NIC) QueueBatch(pkts []*netpkt.Packet, dst []int) []int {
+	return n.rss.QueueBatch(pkts, dst)
+}
+
 // Arena returns queue q's buffer pool.
 func (n *NIC) Arena(q int) *netpkt.Arena { return n.arenas[q] }
 

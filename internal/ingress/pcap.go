@@ -38,6 +38,12 @@ type PcapConfig struct {
 	// changes — so per-flow state in the pipeline still behaves, while
 	// conntrack sees genuine churn.
 	RekeyPerPass bool
+	// PacePerReader changes what PacePPS means after a Split: each reader
+	// paces at the full PacePPS (the per-queue line-rate model — offered
+	// load grows with the reader count, the way every RX queue of a NIC
+	// has its own wire). Unset, Split divides PacePPS across readers so
+	// the aggregate offered rate is what the caller asked for.
+	PacePerReader bool
 }
 
 // PcapSource replays a classic pcap capture as a Source. Construct with
@@ -49,6 +55,10 @@ type PcapSource struct {
 	rc   io.ReadCloser
 	pr   *traffic.PcapReader
 	pass int
+	// stride is the pass increment at end of capture (0 or 1 when the
+	// source is whole; N for a reader produced by Split(N), which replays
+	// passes start, start+N, start+2N, … — the round-robin pass partition).
+	stride int
 
 	count     uint64    // packets released
 	start     time.Time // wall anchor for pacing, set on first Next
@@ -100,7 +110,11 @@ func (s *PcapSource) Next() (*netpkt.Packet, error) {
 		p, err := s.pr.Next()
 		if err == io.EOF {
 			s.rc.Close()
-			s.pass++
+			step := s.stride
+			if step < 1 {
+				step = 1
+			}
+			s.pass += step
 			if s.pass >= s.cfg.Loops || s.cfg.Loops <= 1 {
 				return nil, io.EOF
 			}
@@ -152,6 +166,43 @@ func (s *PcapSource) pace(arrival int64) {
 	if d := time.Duration(targetNs) - time.Since(s.start); d > 0 {
 		time.Sleep(d)
 	}
+}
+
+// Split implements SplittableSource: loop passes are dealt round-robin to
+// up to n readers (reader i replays passes i, i+n, i+2n, …). Per-pass
+// rekeying makes every pass an independent set of flows, so no flow spans
+// two readers and per-flow order is each reader's source order — exactly
+// the contract the parallel pump needs. A source that cannot split safely
+// (single pass, or rekeying off so passes share flow identities) returns
+// itself unsplit. On success the parent is retired: its open reader is
+// closed and further Next calls return io.EOF.
+func (s *PcapSource) Split(n int) ([]Source, error) {
+	if n <= 1 || s.cfg.Loops <= 1 || !s.cfg.RekeyPerPass || s.closed {
+		return []Source{s}, nil
+	}
+	if n > s.cfg.Loops {
+		n = s.cfg.Loops
+	}
+	subs := make([]Source, n)
+	for i := range subs {
+		cfg := s.cfg
+		if cfg.PacePPS > 0 && !cfg.PacePerReader {
+			cfg.PacePPS /= float64(n)
+		}
+		sub := &PcapSource{open: s.open, cfg: cfg, pass: i, stride: n}
+		if err := sub.reopen(); err != nil {
+			for _, d := range subs[:i] {
+				d.Close()
+			}
+			return nil, err
+		}
+		subs[i] = sub
+	}
+	s.closed = true
+	if s.rc != nil {
+		s.rc.Close()
+	}
+	return subs, nil
 }
 
 // Passes reports how many full passes have completed.

@@ -35,6 +35,22 @@ type PumpConfig struct {
 	// reclaimed per injected batch (default 64) — the incremental sweep
 	// that replaces stop-the-world expiry.
 	ExpiryBudget int
+	// RXWorkers is the ingress-parallelism knob. <= 1 keeps the classic
+	// single-goroutine pump (the A/B lever: -rx-workers=1). Any larger
+	// value selects the parallel plane: up to RXWorkers source readers
+	// (sources that cannot split run fewer) feed per-queue SPSC rings,
+	// and one RX worker per NIC queue builds arena batches, touches
+	// conntrack, and injects into its own shard independently. Requires
+	// NIC (per-queue injection is what the workers parallelize over).
+	RXWorkers int
+	// PinWorkers locks every reader and RX worker goroutine to its own OS
+	// thread (runtime.LockOSThread) — the RX-core discipline, pairing
+	// with dataplane.Config.PinOSThread on the shard side.
+	PinWorkers bool
+	// RingSize is the capacity of each reader→worker SPSC ring (default
+	// 512). One ring exists per (reader, queue) pair so every ring keeps
+	// exactly one producer and one consumer.
+	RingSize int
 }
 
 // PumpStats reports what a replay run did.
@@ -52,7 +68,15 @@ type PumpStats struct {
 
 	Duration time.Duration // injection start → pipeline drained
 	PPS      float64       // Packets / Duration
-	P99      time.Duration // p99 dispatch→release latency (Metrics runs)
+
+	// P99 is the p99 dispatch→release latency. It is only populated when
+	// the pipeline was built with dataplane Metrics enabled; otherwise the
+	// latency probe never records and P99 is silently zero — zero here
+	// means "not measured", not "instant".
+	P99 time.Duration
+
+	Readers int // source readers that ran (1 = single-reader pump)
+	Workers int // per-queue RX workers (0 = single-reader pump)
 }
 
 // Pump replays a source through a sharded pipeline until the source is
@@ -84,6 +108,12 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 	}
 	if sink == nil {
 		sink = &DiscardSink{}
+	}
+	if cfg.RXWorkers > 1 {
+		if cfg.NIC == nil {
+			return nil, fmt.Errorf("ingress: RXWorkers=%d requires a NIC (the parallel plane runs one worker per RSS queue)", cfg.RXWorkers)
+		}
+		return pumpParallel(ctx, src, sp, sink, cfg)
 	}
 
 	ft := flowtable.NewSharded[struct{}](cfg.FlowStripes, cfg.FlowCapacity)
@@ -126,12 +156,27 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 		if len(pkts) == 0 {
 			return true
 		}
+		if ctx.Err() != nil {
+			// Don't race the send against a done context: with buffered
+			// shard queues the send can win even though every worker has
+			// already exited, stranding the batch in a pipeline that will
+			// never drain it. Packets not yet accepted are still ours.
+			for _, p := range pkts {
+				netpkt.PutPacket(p)
+			}
+			pkts = pkts[:0]
+			return false
+		}
 		if cfg.NIC == nil {
 			b := netpkt.NewBatch(nextID, append(make([]*netpkt.Packet, 0, len(pkts)), pkts...))
 			nextID++
 			select {
 			case sp.In() <- b:
 			case <-ctx.Done():
+				// The batch never entered the pipeline; it is still ours
+				// to release or the packets leak out of their arenas.
+				b.Release()
+				pkts = pkts[:0]
 				return false
 			}
 			st.Batches++
@@ -152,6 +197,16 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 				sb.ID = nextID
 				nextID++
 				if !sp.InjectShard(ctx, q, sb) {
+					// Injection refused (ctx cancelled): this sub-batch and
+					// every later queue's packets are still ours — release
+					// them so the arenas balance.
+					sb.Release()
+					for _, rest := range byQueue[q+1:] {
+						for _, p := range rest {
+							netpkt.PutPacket(p)
+						}
+					}
+					pkts = pkts[:0]
 					return false
 				}
 				st.Batches++
@@ -196,8 +251,17 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 			}
 		}
 	}
-	if runErr == nil && !flush() {
-		runErr = ctx.Err()
+	if runErr == nil {
+		if !flush() {
+			runErr = ctx.Err()
+		}
+	} else {
+		// A source error leaves read-but-uninjected packets pending;
+		// release them rather than stranding them outside their arenas.
+		for _, p := range pkts {
+			netpkt.PutPacket(p)
+		}
+		pkts = pkts[:0]
 	}
 
 	sp.CloseInput()
@@ -213,6 +277,9 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 	if s := st.Duration.Seconds(); s > 0 {
 		st.PPS = float64(st.Packets) / s
 	}
-	st.P99 = time.Duration(sp.E2E().Percentile(99))
+	if sp.MetricsEnabled() {
+		st.P99 = time.Duration(sp.E2E().Percentile(99))
+	}
+	st.Readers = 1
 	return st, runErr
 }

@@ -1,0 +1,84 @@
+package ingress
+
+import (
+	"sync/atomic"
+
+	"nfcompass/internal/netpkt"
+)
+
+// spscRing is a bounded single-producer/single-consumer packet ring: one
+// reader goroutine pushes, one RX worker pops. With exactly one goroutine
+// on each side, the ring needs no locks and no CAS — the producer owns
+// tail, the consumer owns head, and each only *reads* the other's index —
+// so a push or pop is two atomic loads, one slot store, and one index
+// store. That is the descriptor-ring discipline of a real NIC queue, and
+// it is what keeps the reader→worker handoff off the Go channel lock when
+// every packet of a soak crosses it.
+//
+// The capacity is rounded up to a power of two so index wrapping is a
+// mask. A full ring rejects the push (the caller spins or backs off —
+// ingress backpressure, not silent drop); an empty ring rejects the pop.
+// Close is the producer's end-of-stream signal: after Close, pops drain
+// whatever is resident and then Drained reports true.
+type spscRing struct {
+	buf  []*netpkt.Packet
+	mask uint64
+
+	_      [64]byte // keep head and tail on separate cache lines
+	head   atomic.Uint64
+	_      [64]byte
+	tail   atomic.Uint64
+	_      [64]byte
+	closed atomic.Bool
+}
+
+func newSPSCRing(capacity int) *spscRing {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{buf: make([]*netpkt.Packet, n), mask: uint64(n - 1)}
+}
+
+// Push appends p; false means the ring is full (try again — the consumer
+// is behind). Producer-side only.
+func (r *spscRing) Push(p *netpkt.Packet) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = p
+	r.tail.Store(t + 1)
+	return true
+}
+
+// Pop removes the oldest packet; false means the ring is currently empty.
+// Consumer-side only.
+func (r *spscRing) Pop() (*netpkt.Packet, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil, false
+	}
+	p := r.buf[h&r.mask]
+	r.buf[h&r.mask] = nil // drop the ref so the ring never pins a released packet
+	r.head.Store(h + 1)
+	return p, true
+}
+
+// Len reports how many packets are resident (approximate under concurrency,
+// exact from either endpoint's own goroutine).
+func (r *spscRing) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Close marks the producer side finished. Resident packets remain poppable.
+func (r *spscRing) Close() { r.closed.Store(true) }
+
+// Drained reports end-of-stream: the producer closed and everything pushed
+// has been popped. Order matters — closed is checked *before* emptiness, so
+// a push racing the final emptiness check can never be lost (if closed was
+// observed true, no further push happens by contract).
+func (r *spscRing) Drained() bool {
+	return r.closed.Load() && r.head.Load() == r.tail.Load()
+}

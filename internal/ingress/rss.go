@@ -142,3 +142,38 @@ func (r *RSS) HashPacket(p *netpkt.Packet) uint32 {
 func (r *RSS) Queue(p *netpkt.Packet) int {
 	return r.indirection[r.HashPacket(p)&(rssIndirection-1)]
 }
+
+// QueueBatch classifies a whole read batch in one call, appending each
+// packet's queue to dst (reused across calls: pass dst[:0]) and returning
+// it. Batching amortizes the per-packet call overhead and keeps the
+// contribution table hot in cache across the run of packets — the hash
+// itself is the same Toeplitz walk Queue does, so the mapping is
+// bit-identical to per-packet classification (test-pinned).
+func (r *RSS) QueueBatch(pkts []*netpkt.Packet, dst []int) []int {
+	tbl := r.tbl
+	ind := &r.indirection
+	for _, p := range pkts {
+		var in [36]byte
+		n := 0
+		switch {
+		case p.L3Offset >= 0 && p.L3Proto == netpkt.ProtoIPv4 && len(p.L3()) >= 20:
+			n += copy(in[n:], p.L3()[12:20])
+		case p.L3Offset >= 0 && p.L3Proto == netpkt.ProtoIPv6 && len(p.L3()) >= 40:
+			n += copy(in[n:], p.L3()[8:40])
+		default:
+			binary.BigEndian.PutUint64(in[:8], p.FlowKey())
+			n = 8
+			goto hash
+		}
+		if l4 := p.L4(); (p.L4Proto == netpkt.IPProtoTCP || p.L4Proto == netpkt.IPProtoUDP) && len(l4) >= 4 {
+			n += copy(in[n:], l4[0:4])
+		}
+	hash:
+		var h uint32
+		for i := 0; i < n; i++ {
+			h ^= tbl[i][in[i]]
+		}
+		dst = append(dst, ind[h&(rssIndirection-1)])
+	}
+	return dst
+}

@@ -23,13 +23,41 @@ type UDPSource struct {
 }
 
 // NewUDPSource binds addr (e.g. "127.0.0.1:9000", ":9000"). A nil arena
-// uses the netpkt default arena for frame buffers.
+// uses the netpkt default arena for frame buffers. Where the platform
+// supports it the socket is bound with SO_REUSEPORT, so Split can later
+// stand up a multi-socket reader pool on the same address; on other
+// platforms the bind is plain and Split degrades to a single reader.
 func NewUDPSource(addr string, arena *netpkt.Arena) (*UDPSource, error) {
-	conn, err := net.ListenPacket("udp", addr)
+	conn, err := listenUDPReusePort(addr)
 	if err != nil {
 		return nil, err
 	}
 	return &UDPSource{conn: conn, arena: arena}, nil
+}
+
+// Split implements SplittableSource: n sockets bound to the same address
+// via SO_REUSEPORT, the kernel's receive-side scaling for sockets — it
+// hashes each datagram's 4-tuple to one member of the reuseport group, so
+// every sender (flow) lands on exactly one reader and per-flow order is
+// that socket's receive order. The original socket is reader 0. On
+// platforms without reuseport (or when n <= 1) the source returns itself
+// unsplit and the pump falls back to one reader.
+func (s *UDPSource) Split(n int) ([]Source, error) {
+	if n <= 1 || !reusePortSupported {
+		return []Source{s}, nil
+	}
+	subs := []Source{s}
+	for len(subs) < n {
+		conn, err := listenUDPReusePort(s.conn.LocalAddr().String())
+		if err != nil {
+			for _, d := range subs[1:] {
+				d.Close()
+			}
+			return nil, err
+		}
+		subs = append(subs, &UDPSource{conn: conn, arena: s.arena})
+	}
+	return subs, nil
 }
 
 // LocalAddr reports the bound address (useful with port 0).

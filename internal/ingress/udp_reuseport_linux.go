@@ -1,0 +1,37 @@
+//go:build linux
+
+package ingress
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported gates UDPSource.Split: on Linux every member of a
+// reuseport group receives a kernel-hashed share of the address's
+// datagrams — the socket-layer analogue of NIC RSS.
+const reusePortSupported = true
+
+// soReusePort is Linux's SO_REUSEPORT (kernel >= 3.9). The frozen syscall
+// package never grew the constant (it lives in x/sys/unix, a dependency
+// this module does not take), so it is spelled here.
+const soReusePort = 0xf
+
+// listenUDPReusePort binds a UDP socket with SO_REUSEPORT set before bind,
+// so additional sockets can join the same address later (all members of a
+// reuseport group must carry the flag).
+func listenUDPReusePort(addr string) (net.PacketConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.ListenPacket(context.Background(), "udp", addr)
+}

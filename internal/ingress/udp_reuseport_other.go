@@ -1,0 +1,15 @@
+//go:build !linux
+
+package ingress
+
+import "net"
+
+// reusePortSupported gates UDPSource.Split: without SO_REUSEPORT the
+// multi-socket reader pool cannot exist, so Split returns the source
+// unsplit and ingress runs a single UDP reader.
+const reusePortSupported = false
+
+// listenUDPReusePort is a plain bind on platforms without reuseport.
+func listenUDPReusePort(addr string) (net.PacketConn, error) {
+	return net.ListenPacket("udp", addr)
+}

@@ -98,6 +98,10 @@ type Packet struct {
 	// arena is the recycling domain this packet was drawn from (nil for
 	// packets built outside any arena); PutPacket routes the release there.
 	arena *Arena
+	// counted marks the packet as included in its arena's outstanding
+	// ledger (set by Arena.GetPacket, cleared by PutPacket); clones never
+	// inherit it, so the audit tracks each drawn buffer exactly once.
+	counted bool
 }
 
 // NewPacket returns a packet wrapping data. Offsets are unset (-1).
@@ -111,7 +115,7 @@ func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Data = make([]byte, len(p.Data))
 	copy(q.Data, p.Data)
-	q.shared, q.pooled, q.arena = false, false, nil
+	q.shared, q.pooled, q.arena, q.counted = false, false, nil, false
 	return &q
 }
 
@@ -122,6 +126,7 @@ func (p *Packet) Clone() *Packet {
 func (p *Packet) CloneInto(q *Packet) {
 	data := q.Data
 	arena := q.arena
+	counted := q.counted
 	if cap(data) < len(p.Data) {
 		data = make([]byte, len(p.Data))
 	} else {
@@ -131,6 +136,7 @@ func (p *Packet) CloneInto(q *Packet) {
 	*q = *p
 	q.Data = data
 	q.arena = arena
+	q.counted = counted
 	q.shared, q.pooled = false, false
 }
 
@@ -153,7 +159,7 @@ func (p *Packet) ClonePooled() *Packet {
 func (p *Packet) ShallowClone() *Packet {
 	p.shared = true
 	q := *p
-	q.pooled, q.arena = false, nil
+	q.pooled, q.arena, q.counted = false, nil, false
 	return &q
 }
 

@@ -53,6 +53,11 @@ func SetPoolPoison(on bool) { poisonPut.Store(on) }
 type Arena struct {
 	packets sync.Pool
 	batches sync.Pool
+	// outstanding counts packets drawn from this arena and not yet
+	// released back — the pool-audit ledger. Clones and builder packets
+	// are not counted (only Arena.GetPacket increments), so a drained
+	// system reads exactly zero.
+	outstanding atomic.Int64
 }
 
 // NewArena constructs an empty recycling domain.
@@ -77,9 +82,16 @@ func (a *Arena) GetPacket(n int) *Packet {
 	} else {
 		data = data[:n]
 	}
-	*p = Packet{Data: data, L3Offset: -1, L4Offset: -1, arena: a}
+	*p = Packet{Data: data, L3Offset: -1, L4Offset: -1, arena: a, counted: true}
+	a.outstanding.Add(1)
 	return p
 }
+
+// Outstanding reports how many packets drawn from this arena have not yet
+// been released back. Zero after a full drain; a positive residue is a leak
+// (a packet abandoned without PutPacket). Batch headers and clones are not
+// tracked — the audit follows buffer ownership, which is what leaks hurt.
+func (a *Arena) Outstanding() int64 { return a.outstanding.Load() }
 
 // GetBatch returns an empty batch from this arena whose Packets slice has
 // at least the given capacity.
@@ -114,6 +126,12 @@ func PutPacket(p *Packet) {
 		panic("netpkt: double release of Packet (already in pool)")
 	}
 	p.pooled = true
+	if p.counted {
+		p.counted = false
+		if p.arena != nil {
+			p.arena.outstanding.Add(-1)
+		}
+	}
 	if p.shared {
 		// A shallow clone aliases these bytes; recycling them would hand
 		// live data to an unrelated GetPacket.
