@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// table mirrors bench.Table's JSON shape; only the fields the comparison
+// needs are decoded.
+type table struct {
+	ID      string
+	Headers []string
+	Rows    [][]string
+}
+
+func loadTables(path string) ([]table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ts []table
+	if err := json.Unmarshal(data, &ts); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("%s: no tables", path)
+	}
+	return ts, nil
+}
+
+type diffOpts struct {
+	PPSTol   float64 // allowed fractional pps regression
+	PPSScale float64 // candidate pps multiplier (offered-load normalization)
+	Table    string  // restrict to one table ID ("" = all common)
+}
+
+// diffResult accumulates per-row verdicts; any Failures entry means the
+// candidate regressed.
+type diffResult struct {
+	Lines    []string
+	Failures []string
+	Skipped  []string
+}
+
+func (r *diffResult) Report() string {
+	var sb strings.Builder
+	for _, l := range r.Lines {
+		sb.WriteString(l + "\n")
+	}
+	for _, s := range r.Skipped {
+		sb.WriteString("skip: " + s + "\n")
+	}
+	if len(r.Failures) == 0 {
+		sb.WriteString("benchdiff: ok\n")
+	} else {
+		for _, f := range r.Failures {
+			sb.WriteString("FAIL: " + f + "\n")
+		}
+	}
+	return sb.String()
+}
+
+func (r *diffResult) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// diff compares candidate tables against baseline tables. Rows are keyed
+// by their first column; "pps" cells must stay within the tolerance after
+// scaling, and "drops" cells must not increase.
+func diff(base, cand []table, o diffOpts) *diffResult {
+	if o.PPSScale == 0 {
+		o.PPSScale = 1
+	}
+	res := &diffResult{}
+	byID := make(map[string]table, len(cand))
+	for _, t := range cand {
+		byID[t.ID] = t
+	}
+	compared := 0
+	for _, bt := range base {
+		if o.Table != "" && bt.ID != o.Table {
+			continue
+		}
+		ct, ok := byID[bt.ID]
+		if !ok {
+			res.Skipped = append(res.Skipped, fmt.Sprintf("table %q only in baseline", bt.ID))
+			continue
+		}
+		compared++
+		diffTable(res, bt, ct, o)
+	}
+	if compared == 0 {
+		res.failf("no common tables to compare (want %q)", o.Table)
+	}
+	return res
+}
+
+func diffTable(res *diffResult, base, cand table, o diffOpts) {
+	bPPS, bDrops := colIndex(base.Headers, "pps"), colIndex(base.Headers, "drops")
+	cPPS, cDrops := colIndex(cand.Headers, "pps"), colIndex(cand.Headers, "drops")
+	if bPPS < 0 && bDrops < 0 {
+		res.Skipped = append(res.Skipped, fmt.Sprintf("table %q has no pps/drops columns", base.ID))
+		return
+	}
+	cRows := make(map[string][]string, len(cand.Rows))
+	for _, r := range cand.Rows {
+		if len(r) > 0 {
+			cRows[r[0]] = r
+		}
+	}
+	matched := 0
+	for _, br := range base.Rows {
+		if len(br) == 0 {
+			continue
+		}
+		cr, ok := cRows[br[0]]
+		if !ok {
+			res.Skipped = append(res.Skipped,
+				fmt.Sprintf("%s[%s]: row only in baseline", base.ID, br[0]))
+			continue
+		}
+		matched++
+		if bPPS >= 0 && cPPS >= 0 {
+			bv, berr := cellFloat(br, bPPS)
+			cv, cerr := cellFloat(cr, cPPS)
+			switch {
+			case berr != nil || cerr != nil:
+				res.Skipped = append(res.Skipped,
+					fmt.Sprintf("%s[%s]: unparsable pps", base.ID, br[0]))
+			default:
+				scaled := cv * o.PPSScale
+				res.Lines = append(res.Lines, fmt.Sprintf(
+					"%s[%s]: pps %.0f -> %.0f (scaled %.0f, %+.1f%%)",
+					base.ID, br[0], bv, cv, scaled, 100*(scaled-bv)/bv))
+				if scaled < bv*(1-o.PPSTol) {
+					res.failf("%s[%s]: pps regressed %.0f -> %.0f (scaled, -%.1f%% > %.0f%% tolerance)",
+						base.ID, br[0], bv, scaled, 100*(bv-scaled)/bv, 100*o.PPSTol)
+				}
+			}
+		}
+		if bDrops >= 0 && cDrops >= 0 {
+			bd, berr := cellFloat(br, bDrops)
+			cd, cerr := cellFloat(cr, cDrops)
+			if berr == nil && cerr == nil && cd > bd {
+				res.failf("%s[%s]: drops increased %.0f -> %.0f", base.ID, br[0], bd, cd)
+			}
+		}
+	}
+	if matched == 0 {
+		res.failf("table %q: no matching rows", base.ID)
+	}
+}
+
+func colIndex(headers []string, name string) int {
+	for i, h := range headers {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func cellFloat(row []string, i int) (float64, error) {
+	if i >= len(row) {
+		return 0, fmt.Errorf("short row")
+	}
+	return strconv.ParseFloat(strings.TrimSpace(row[i]), 64)
+}

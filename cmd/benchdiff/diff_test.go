@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkTable(id string, rows ...[]string) table {
+	return table{
+		ID:      id,
+		Headers: []string{"shards", "pps", "drops"},
+		Rows:    rows,
+	}
+}
+
+func TestDiffOK(t *testing.T) {
+	base := []table{mkTable("rxscale", []string{"1", "40000", "0"}, []string{"4", "160000", "0"})}
+	cand := []table{mkTable("rxscale", []string{"1", "39000", "0"}, []string{"4", "155000", "0"})}
+	res := diff(base, cand, diffOpts{PPSTol: 0.10, PPSScale: 1})
+	if len(res.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", res.Failures)
+	}
+}
+
+func TestDiffPPSRegression(t *testing.T) {
+	base := []table{mkTable("rxscale", []string{"1", "40000", "0"})}
+	cand := []table{mkTable("rxscale", []string{"1", "30000", "0"})}
+	res := diff(base, cand, diffOpts{PPSTol: 0.10, PPSScale: 1})
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "pps regressed") {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+}
+
+func TestDiffPPSScaleNormalizes(t *testing.T) {
+	// Candidate ran at half the offered load; -pps-scale 2 makes it
+	// comparable, so 21k scaled to 42k beats the 40k baseline.
+	base := []table{mkTable("rxscale", []string{"1", "40000", "0"})}
+	cand := []table{mkTable("rxscale", []string{"1", "21000", "0"})}
+	res := diff(base, cand, diffOpts{PPSTol: 0.10, PPSScale: 2})
+	if len(res.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", res.Failures)
+	}
+}
+
+func TestDiffAnyDropIncreaseFails(t *testing.T) {
+	base := []table{mkTable("rxscale", []string{"1", "40000", "0"})}
+	cand := []table{mkTable("rxscale", []string{"1", "40000", "1"})}
+	res := diff(base, cand, diffOpts{PPSTol: 0.10})
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "drops increased") {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+}
+
+func TestDiffSubsetRowsSkippedNotFailed(t *testing.T) {
+	// Quick-mode artifacts carry a subset of the committed rows.
+	base := []table{mkTable("rxscale",
+		[]string{"1", "40000", "0"}, []string{"2", "80000", "0"},
+		[]string{"4", "160000", "0"}, []string{"8", "316000", "0"})}
+	cand := []table{mkTable("rxscale", []string{"1", "40000", "0"}, []string{"4", "158000", "0"})}
+	res := diff(base, cand, diffOpts{PPSTol: 0.10})
+	if len(res.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", res.Failures)
+	}
+	if len(res.Skipped) != 2 {
+		t.Fatalf("skipped = %v, want 2 baseline-only rows", res.Skipped)
+	}
+}
+
+func TestDiffNoMatchingRowsFails(t *testing.T) {
+	base := []table{mkTable("rxscale", []string{"1", "40000", "0"})}
+	cand := []table{mkTable("rxscale", []string{"16", "40000", "0"})}
+	res := diff(base, cand, diffOpts{PPSTol: 0.10})
+	if len(res.Failures) != 1 {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+}
+
+func TestDiffMissingTableFails(t *testing.T) {
+	base := []table{mkTable("rxscale", []string{"1", "40000", "0"})}
+	cand := []table{mkTable("other", []string{"1", "40000", "0"})}
+	res := diff(base, cand, diffOpts{PPSTol: 0.10})
+	if len(res.Failures) == 0 {
+		t.Fatal("expected failure when no common tables")
+	}
+}
+
+func TestLoadTablesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	data, _ := json.Marshal([]table{mkTable("x", []string{"1", "2", "0"})})
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := loadTables(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].ID != "x" {
+		t.Fatalf("tables = %+v", ts)
+	}
+}
+
+// TestDiffAgainstCommittedBaseline guards the committed artifact's shape:
+// the baseline CI diffs against must keep pps/drops columns benchdiff can
+// find.
+func TestDiffAgainstCommittedBaseline(t *testing.T) {
+	ts, err := loadTables("../../BENCH_PR9.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	res := diff(ts, ts, diffOpts{PPSTol: 0.10, Table: "rxscale"})
+	if len(res.Failures) != 0 {
+		t.Fatalf("self-diff failed: %v", res.Failures)
+	}
+}

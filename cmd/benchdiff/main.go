@@ -1,0 +1,60 @@
+// Command benchdiff compares two nfbench JSON artifacts (BENCH_*.json) and
+// fails when the candidate regresses against the baseline: a pps drop
+// beyond the tolerance, or any increase in drops. CI runs it against the
+// committed baseline after every quick bench, so a throughput regression
+// breaks the build instead of landing silently.
+//
+// Usage:
+//
+//	benchdiff [-pps-tol 0.10] [-pps-scale 1] [-table ID] baseline.json candidate.json
+//
+// Tables are matched by ID and rows by their first column (the experiment's
+// independent variable, e.g. the shard count); rows present in only one
+// file are reported but not compared — quick-mode artifacts usually carry a
+// subset of the committed full-mode rows.
+//
+// -pps-scale normalizes a known offered-load difference between the two
+// artifacts: the candidate's pps cells are multiplied by the factor before
+// comparison. Use it when the baseline was produced at a different pacing
+// rate than the candidate (e.g. full-mode 40k pps/reader vs quick-mode
+// 20k: -pps-scale 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	tol := flag.Float64("pps-tol", 0.10, "allowed fractional pps regression (0.10 = 10%)")
+	scale := flag.Float64("pps-scale", 1, "multiply candidate pps by this factor before comparing (offered-load normalization)")
+	table := flag.String("table", "", "compare only this table ID (default: every ID present in both files)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] baseline.json candidate.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := loadTables(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := loadTables(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	res := diff(base, cand, diffOpts{PPSTol: *tol, PPSScale: *scale, Table: *table})
+	fmt.Print(res.Report())
+	if len(res.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

@@ -53,6 +53,8 @@ func main() {
 		"disable device-resident segment fusion in the -assign dataplane run: every GPU element pays its own H2D/D2H round trip (A/B lever for the fusion saving)")
 	noCompile := flag.Bool("no-compile", false,
 		"disable compiled CPU stage-loops in dataplane runs: every CPU element keeps its own goroutine and channel hop (A/B lever for the compilation saving)")
+	noFlight := flag.Bool("no-flight", false,
+		"disable the pipeline flight recorder in -source and -serve runs: no stage spans, no utilization sampling, no loss ledger, no bottleneck report (A/B lever for the recorder's overhead)")
 	source := flag.String("source", "",
 		"drive the chain from the ingress plane: pcap:FILE (capture replay), udp:ADDR (one frame per datagram), or nic:queues=N[,pcap=FILE] (emulated RSS NIC, per-queue injection into N shards)")
 	pin := flag.Bool("pin", false,
@@ -186,7 +188,7 @@ func main() {
 			spec: *source, shards: *shards, pin: *pin,
 			loops: *loops, pps: *pps, rxWorkers: *rxWorkers,
 			batchSize: *batchSize, noCompile: *noCompile,
-			mkBatches: mkBatches,
+			noFlight: *noFlight, mkBatches: mkBatches,
 		}); err != nil {
 			fatal(err)
 		}
@@ -206,7 +208,7 @@ func main() {
 		if err := runServe(d, deploy, opt, serveOpts{
 			addr: *serve, duration: *duration, shards: *shards,
 			pkt: *pkt, batchSize: *batchSize, seed: *seed,
-			platform: p, noCompile: *noCompile,
+			platform: p, noCompile: *noCompile, noFlight: *noFlight,
 		}); err != nil {
 			fatal(err)
 		}

@@ -11,6 +11,7 @@ import (
 	"nfcompass/internal/core"
 	"nfcompass/internal/dataplane"
 	"nfcompass/internal/element"
+	"nfcompass/internal/flight"
 	"nfcompass/internal/hetsim"
 	"nfcompass/internal/netpkt"
 	"nfcompass/internal/telemetry"
@@ -38,6 +39,7 @@ type serveOpts struct {
 	seed      int64
 	platform  hetsim.Platform
 	noCompile bool
+	noFlight  bool
 }
 
 // runServe is the `-serve` continuous mode: deploy the chain onto the live
@@ -72,8 +74,17 @@ func runServe(d *core.Deployment, deploy func() (*core.Deployment, error),
 	defer cancel()
 
 	ring := dataplane.NewRingTrace(1 << 14)
+	// Flight recorder: stage spans + utilization sampling for the whole
+	// run, served at /trace.chrome, /spans, /bottleneck and folded into
+	// /metrics. -no-flight is the A/B lever for its overhead.
+	var rec *flight.Recorder
+	var smp *flight.Sampler
+	if !o.noFlight {
+		rec = flight.New(flight.Config{})
+		smp = flight.NewSampler(rec, flight.DefaultSampleInterval)
+	}
 	cfg := dataplane.Config{PreserveOrder: true, Metrics: true, Trace: ring,
-		DisableCompile: o.noCompile}
+		DisableCompile: o.noCompile, Flight: rec}
 	if d.Alloc != nil {
 		cfg.Assignment = d.Assignment
 		cfg.Offload = &dataplane.OffloadConfig{Platform: &o.platform}
@@ -123,6 +134,8 @@ func runServe(d *core.Deployment, deploy func() (*core.Deployment, error),
 		Trace:    ring,
 		Journal:  adaptor.Journal(),
 		Interval: time.Second,
+		Flight:   rec,
+		Sampler:  smp,
 	})
 	if err != nil {
 		return err
@@ -136,7 +149,8 @@ func runServe(d *core.Deployment, deploy func() (*core.Deployment, error),
 		defer scancel()
 		srv.Shutdown(sctx)
 	}()
-	fmt.Printf("\ntelemetry plane on http://%s  (/metrics /snapshot /healthz /trace /decisions /debug/pprof)\n", addr)
+	smp.Start()
+	fmt.Printf("\ntelemetry plane on http://%s  (/metrics /snapshot /healthz /trace /trace.chrome /spans /bottleneck /decisions /debug/pprof)\n", addr)
 
 	drained := make(chan struct{})
 	go func() {
@@ -226,8 +240,25 @@ func runServe(d *core.Deployment, deploy func() (*core.Deployment, error),
 	if err := eng.Wait(); err != nil {
 		return err
 	}
+	smp.Stop()
 
 	fmt.Printf("\nfinal snapshot:\n%s", eng.Snapshot())
+	if rec != nil {
+		// The drain verdict joins the decision journal so a post-mortem
+		// /decisions read (or the printout below) carries the limiting
+		// stage next to the placement decisions that produced it.
+		rep := smp.Report()
+		if lg := rec.Ledger(); lg.Total() > 0 {
+			fmt.Printf("\nloss attribution: %s\n", lg)
+		}
+		fmt.Printf("\nbottleneck report:\n%s", rep)
+		adaptor.Journal().Record(core.Decision{
+			Accepted:       true,
+			Reason:         "bottleneck",
+			Bottleneck:     rep.Limiting,
+			BottleneckUtil: rep.LimitingUtil,
+		})
+	}
 	fmt.Printf("\ndecision journal (%d total):\n%s",
 		adaptor.Journal().Total(), adaptor.Journal())
 	return nil

@@ -28,6 +28,7 @@ import (
 
 	"nfcompass/internal/dataplane"
 	"nfcompass/internal/element"
+	"nfcompass/internal/flight"
 	"nfcompass/internal/ingress"
 	"nfcompass/internal/netpkt"
 	"nfcompass/internal/traffic"
@@ -42,6 +43,7 @@ type sourceOpts struct {
 	rxWorkers int // 0 = auto (one reader per queue in nic mode), 1 = single-reader pump
 	batchSize int
 	noCompile bool
+	noFlight  bool
 	mkBatches func(off int64) []*netpkt.Batch
 }
 
@@ -143,12 +145,22 @@ func runSource(build func(shard int) (*element.Graph, error), o sourceOpts) erro
 	if workers < 1 || nic == nil {
 		workers = 1
 	}
+	// Flight recorder: span every stage boundary of the run and sample
+	// utilization so the replay summary can name the limiting stage.
+	// -no-flight is the A/B lever for its overhead.
+	var rec *flight.Recorder
+	var smp *flight.Sampler
+	if !o.noFlight {
+		rec = flight.New(flight.Config{})
+		smp = flight.NewSampler(rec, flight.DefaultSampleInterval)
+	}
 	sp, err := dataplane.NewSharded(build, dataplane.ShardedConfig{
 		Shards: shards,
 		Config: dataplane.Config{
 			QueueDepth: 8, Metrics: true,
 			PinOSThread:    o.pin,
 			DisableCompile: o.noCompile,
+			Flight:         rec,
 		},
 		ShardOut: workers > 1,
 	})
@@ -178,13 +190,16 @@ func runSource(build func(shard int) (*element.Graph, error), o sourceOpts) erro
 		}
 	}()
 
+	smp.Start()
 	st, err := ingress.Pump(context.Background(), src, sp, nil, ingress.PumpConfig{
 		BatchSize:  o.batchSize,
 		NIC:        nic,
 		FlowTTL:    int64(60 * time.Second),
 		RXWorkers:  workers,
 		PinWorkers: o.pin && workers > 1,
+		Flight:     rec,
 	})
+	smp.Stop()
 	if err != nil {
 		return err
 	}
@@ -194,7 +209,13 @@ func runSource(build func(shard int) (*element.Graph, error), o sourceOpts) erro
 	fmt.Printf("  flows: %d distinct, %d peak concurrent, %d expired (60s TTL)\n",
 		st.Flows, st.PeakFlows, st.ExpiredFlows)
 	fmt.Printf("  output: %d forwarded, %d dropped, p99 e2e %v\n",
-		st.OutPackets, st.Drops, st.P99.Round(time.Microsecond))
+		st.OutPackets, st.Drops, st.E2ELabel())
 	fmt.Printf("\ndataplane snapshot:\n%s", sp.Snapshot())
+	if rec != nil {
+		if lg := rec.Ledger(); lg.Total() > 0 {
+			fmt.Printf("\nloss attribution: %s\n", lg)
+		}
+		fmt.Printf("\nbottleneck report:\n%s", smp.Report())
+	}
 	return nil
 }

@@ -1,0 +1,137 @@
+package bench
+
+// Flight-recorder overhead experiment (ISSUE PR10): the same unpaced
+// parallel-ingress plane RXScale measures, run back to back with the flight
+// recorder on and off (-no-flight's Config surface). The recorder promises
+// <5% pps overhead — per-worker span rings, padded atomic meters, and a
+// bounded sampler budget are what make continuous observability cheap
+// enough to leave on — and this table is the standing receipt. The
+// `limiting` column is the sampler's verdict for the instrumented run, so
+// the experiment also demonstrates attribution shifting as RX parallelism
+// grows.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"nfcompass/internal/dataplane"
+	"nfcompass/internal/flight"
+	"nfcompass/internal/ingress"
+)
+
+// Flight runs the recorder-overhead A/B experiment.
+func Flight(cfg Config) (*Table, error) {
+	cfg.defaults()
+	tracePkts, passes := 20_000, 8
+	workerCounts := []int{1, 2, 4}
+	if cfg.Quick {
+		tracePkts, passes = 2_000, 4
+		workerCounts = []int{1, 4}
+	}
+	capt, err := soakTrace(tracePkts, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	openTrace := func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(capt)), nil }
+	build := soakChain(cfg.Seed)
+
+	tbl := &Table{
+		ID:      "flight",
+		Title:   "Flight recorder overhead: staged-ingress spans + sampling, on vs off",
+		Headers: []string{"workers", "pps_flight", "pps_off", "overhead_pct", "drops", "limiting", "util"},
+	}
+	ctx := context.Background()
+	for _, workers := range workerCounts {
+		run := func(rec *flight.Recorder) (*ingress.PumpStats, error) {
+			nic := ingress.NewNIC(workers)
+			sp, err := dataplane.NewSharded(build, dataplane.ShardedConfig{
+				Shards:   workers,
+				Config:   dataplane.Config{QueueDepth: 8, Metrics: true, PinOSThread: true, Flight: rec},
+				ShardOut: workers > 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			src, err := ingress.NewPcapSource(openTrace, ingress.PcapConfig{
+				Loops:        passes,
+				RekeyPerPass: true,
+				Arena:        nic.Arena(0),
+			})
+			if err != nil {
+				return nil, err
+			}
+			st, err := ingress.Pump(ctx, src, sp, nil, ingress.PumpConfig{
+				BatchSize: cfg.BatchSize,
+				NIC:       nic,
+				FlowTTL:   int64(time.Hour),
+				RXWorkers: workers,
+				Flight:    rec,
+			})
+			src.Close()
+			return st, err
+		}
+
+		// Discarded warmup pass: the first run at each worker count pays
+		// one-time costs (page faults, heap growth, scheduler ramp) that
+		// would otherwise be misattributed to whichever arm runs first.
+		// Each arm then takes the best of `trials` runs — unpaced pps on a
+		// shared machine is noisy, and best-of compares the two arms at
+		// their least-disturbed, which is where a real per-packet overhead
+		// would still show.
+		if _, err := run(nil); err != nil {
+			return nil, fmt.Errorf("flight workers=%d warmup: %w", workers, err)
+		}
+		trials := 3
+		if cfg.Quick {
+			trials = 2
+		}
+		var on, off *ingress.PumpStats
+		var smp *flight.Sampler
+		for t := 0; t < trials; t++ {
+			o, err := run(nil)
+			if err != nil {
+				return nil, fmt.Errorf("flight workers=%d off: %w", workers, err)
+			}
+			if off == nil || o.PPS > off.PPS {
+				off = o
+			}
+			r := flight.New(flight.Config{})
+			s := flight.NewSampler(r, 50*time.Millisecond)
+			s.Start()
+			i, err := run(r)
+			s.Stop()
+			if err != nil {
+				return nil, fmt.Errorf("flight workers=%d: %w", workers, err)
+			}
+			if on == nil || i.PPS > on.PPS {
+				on, smp = i, s
+			}
+		}
+
+		rep := smp.Report()
+		overhead := 0.0
+		if off.PPS > 0 {
+			overhead = 100 * (off.PPS - on.PPS) / off.PPS
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%.0f", on.PPS),
+			fmt.Sprintf("%.0f", off.PPS),
+			f1(overhead),
+			fmt.Sprintf("%d", on.Drops),
+			rep.Limiting,
+			f2(rep.LimitingUtil),
+		)
+	}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("trace: %d unique-flow IMIX packets x %d rekeyed passes, unpaced (source released as fast as the plane pulls) — overhead shows at the ceiling, not under pacing headroom", tracePkts, passes),
+		"pps_flight: recorder + 50ms sampler live for the whole run; pps_off: same plane with Config.Flight/PumpConfig.Flight nil (-no-flight)",
+		"overhead_pct = (pps_off - pps_flight) / pps_off; noisy runs can go negative — the recorder's contract is staying under ~5%",
+		"limiting/util: the sampler's drain verdict for the instrumented run (utilization-law ranking over stage busy fractions and queue growth)",
+		"repro: go run ./cmd/nfbench -json BENCH_PR10.json flight",
+	)
+	return tbl, nil
+}

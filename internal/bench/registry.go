@@ -30,6 +30,7 @@ var Registry = map[string]Experiment{
 	"scaling":  {ID: "scaling", Paper: "§II-A-2 SFC length", Run: Scaling},
 	"soak":     {ID: "soak", Paper: "Fig. 7 sustained soak", Run: Soak},
 	"rxscale":  {ID: "rxscale", Paper: "Fig. 7 scaling axis", Run: RXScale},
+	"flight":   {ID: "flight", Paper: "DESIGN.md §16 A/B", Run: Flight},
 }
 
 // IDs returns the registered experiment ids in order.

@@ -49,6 +49,12 @@ type Decision struct {
 	PrevBatchSize int     `json:"prev_batch_size,omitempty"`
 	P99Ns         float64 `json:"p99_ns,omitempty"`
 	BaselineP99Ns float64 `json:"baseline_p99_ns,omitempty"`
+	// Bottleneck/BottleneckUtil record a flight-recorder verdict: the
+	// pipeline stage the sampler named as limiting and its mean busy
+	// fraction at the time. Set on "bottleneck" decisions (written when a
+	// -serve run drains); empty for placement and batch-sizing decisions.
+	Bottleneck     string  `json:"bottleneck,omitempty"`
+	BottleneckUtil float64 `json:"bottleneck_util,omitempty"`
 	// Err carries the error text for Reason "error" decisions.
 	Err string `json:"err,omitempty"`
 	// Chain/Revision identify the control-plane chain a rollout decision
@@ -78,6 +84,9 @@ func (d Decision) String() string {
 	if d.BatchSize != 0 {
 		s += fmt.Sprintf(" batch=%d→%d p99=%.0fns base=%.0fns",
 			d.PrevBatchSize, d.BatchSize, d.P99Ns, d.BaselineP99Ns)
+	}
+	if d.Bottleneck != "" {
+		s += fmt.Sprintf(" bottleneck=%s util=%.2f", d.Bottleneck, d.BottleneckUtil)
 	}
 	s += fmt.Sprintf(" epoch=%d (%s)", d.Epoch, d.Reason)
 	if d.Err != "" {

@@ -179,6 +179,13 @@ func (nr *nodeRunner) runCompiledTraced(ctx context.Context, msg stageMsg, pl no
 			nr.m.drops.Add(uint64(hs.liveIn - hs.liveOut))
 		}
 	}
+	if sampled && nr.fl != nil {
+		// The head's flight span covers its own share of the compiled
+		// stage-loop; members book theirs from the marker (passThrough).
+		end := nr.fl.Now()
+		nr.fl.AddBusy(hs.procNs)
+		nr.fl.Span(msg.b.ID, hs.liveIn, end-hs.procNs, end)
+	}
 	p.trace(TraceExit, nr.id, it.b)
 	if executed <= 1 {
 		// The head emitted nothing: the chain died here, exactly where the

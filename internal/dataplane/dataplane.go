@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nfcompass/internal/element"
+	"nfcompass/internal/flight"
 	"nfcompass/internal/hetsim"
 	"nfcompass/internal/netpkt"
 	"nfcompass/internal/stats"
@@ -60,6 +61,16 @@ type Config struct {
 	// The labels flow into ElementStats.Tenant and the Prometheus
 	// exposition's tenant label; they have no execution-path effect.
 	Tenants map[element.NodeID]string
+	// Flight, when non-nil, threads the pipeline flight recorder through
+	// the dataplane: the collector records ordered-release spans, every
+	// element lane records per-batch processing spans and busy ns (at the
+	// Metrics TimingSample rate), and the shard inbox registers a depth
+	// probe. The per-batch cost when nil is a pointer check per site.
+	Flight *flight.Recorder
+	// DisableFlight forces Flight to nil — the A/B lever (-no-flight)
+	// that proves the recorder's overhead on an otherwise identical
+	// configuration.
+	DisableFlight bool
 	// PinOSThread wires each element goroutine (and so each compiled
 	// stage-loop) to a dedicated OS thread via runtime.LockOSThread — the
 	// NUMA-style worker pinning a DPDK dataplane gets from lcore affinity.
@@ -108,6 +119,15 @@ type Pipeline struct {
 	// lat records per-batch inject→release latency (nil when Config.Metrics
 	// is off).
 	lat *e2eTracker
+	// flight wiring (all nil when Config.Flight is nil/disabled):
+	// flRelease is the collector's release-stage lane, flElems holds one
+	// lane per element ("nf:<name>", lane = shard index), flightLane is
+	// this pipeline's lane index (0 standalone, shard index when built by
+	// NewSharded).
+	flight     *flight.Recorder
+	flightLane int
+	flRelease  *flight.LaneRecorder
+	flElems    []*flight.LaneRecorder
 	// inbox holds each element's input channel; Snapshot samples queue
 	// depths from it.
 	inbox []chan stageMsg
@@ -184,7 +204,28 @@ func New(g *element.Graph, cfg Config) (*Pipeline, error) {
 	p.markers.New = func() any { return new(workItem) }
 	p.pool = newDevicePool(p, cfg.Offload)
 	p.placements.Store(p.resolvePlacements(cfg.Assignment, 0))
+	if cfg.Flight != nil && !cfg.DisableFlight {
+		p.initFlight(cfg.Flight, 0)
+	}
 	return p, nil
+}
+
+// initFlight attaches the flight recorder at the given lane index: one
+// span lane per element, a release lane for the collector, and an inbox
+// depth probe. NewSharded calls it per shard (lane = shard index) after
+// stripping Flight from the inner configs, so lanes are never registered
+// twice.
+func (p *Pipeline) initFlight(rec *flight.Recorder, lane int) {
+	p.flight = rec
+	p.flightLane = lane
+	p.flRelease = rec.Lane(flight.StageRelease, lane)
+	p.flElems = make([]*flight.LaneRecorder, p.g.Len())
+	for i := range p.flElems {
+		p.flElems[i] = rec.Lane("nf:"+p.g.Node(element.NodeID(i)).Name(), lane)
+	}
+	rec.AddQueue(flight.StageShard, lane, func() (int, int) {
+		return len(p.in), cap(p.in)
+	})
 }
 
 // clock returns monotonic time since the pipeline's trace origin (see the
@@ -294,6 +335,9 @@ func (p *Pipeline) Start(ctx context.Context) {
 			host: element.NewHostBackend(),
 			m:    m, edgeCtr: edgeCtr, sampleN: p.cfg.TimingSample,
 		}
+		if p.flElems != nil {
+			nr.fl = p.flElems[i]
+		}
 		wg.Add(1)
 		go func(nr *nodeRunner, succ [][]element.NodeID, isSink bool) {
 			defer wg.Done()
@@ -374,6 +418,10 @@ func (p *Pipeline) Start(ctx context.Context) {
 			p.Stats.DropPackets.Add(uint64(b.Len()) - live)
 			if p.lat != nil {
 				p.lat.observe(b.ID, p.clock().Nanoseconds())
+			}
+			if p.flRelease != nil {
+				now := p.flRelease.Now()
+				p.flRelease.Span(b.ID, int(live), now, now)
 			}
 			p.trace(TraceRelease, -1, b)
 			select {

@@ -1,0 +1,140 @@
+package dataplane
+
+import (
+	"context"
+	"testing"
+
+	"nfcompass/internal/element"
+	"nfcompass/internal/flight"
+)
+
+// TestPipelineFlightSpans: a metrics-on pipeline with a recorder attached
+// records one release span per output batch and element spans at the
+// timing-sample cadence, and exposes its inbox through a shard queue probe.
+func TestPipelineFlightSpans(t *testing.T) {
+	rec := flight.New(flight.Config{})
+	g := testChainGraph()
+	outs, _, err := RunBatches(context.Background(), g,
+		Config{Metrics: true, PreserveOrder: true, Flight: rec}, genBatches(30, 32, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 30 {
+		t.Fatalf("out batches = %d", len(outs))
+	}
+
+	var release, elems int
+	stages := map[string]bool{}
+	for _, s := range rec.Spans() {
+		stages[s.Stage] = true
+		switch {
+		case s.Stage == flight.StageRelease:
+			release++
+		case len(s.Stage) > 3 && s.Stage[:3] == "nf:":
+			elems++
+		}
+	}
+	if release != 30 {
+		t.Errorf("release spans = %d, want one per output batch (30); stages %v", release, stages)
+	}
+	if elems == 0 {
+		t.Error("no element spans recorded")
+	}
+
+	var sawShardProbe bool
+	for _, s := range rec.Samples() {
+		if s.Stage == flight.StageShard && s.HasQueue {
+			sawShardProbe = true
+			if s.QueueCap <= 0 {
+				t.Errorf("shard probe capacity = %d", s.QueueCap)
+			}
+		}
+	}
+	if !sawShardProbe {
+		t.Error("no shard inbox queue probe registered")
+	}
+}
+
+// TestPipelineFlightDisabled: DisableFlight severs the recorder even when
+// one is configured — the A/B lever must actually disable recording.
+func TestPipelineFlightDisabled(t *testing.T) {
+	rec := flight.New(flight.Config{})
+	g := testChainGraph()
+	outs, _, err := RunBatches(context.Background(), g,
+		Config{Metrics: true, PreserveOrder: true, Flight: rec, DisableFlight: true},
+		genBatches(10, 16, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 10 {
+		t.Fatalf("out batches = %d", len(outs))
+	}
+	if n := len(rec.Spans()); n != 0 {
+		t.Errorf("DisableFlight still recorded %d spans", n)
+	}
+}
+
+// TestShardedFlightSpans: the sharded pipeline assigns each replica its
+// shard index as the flight lane, records dispatch spans on the funnel, and
+// probes both the dispatch queue and every shard inbox.
+func TestShardedFlightSpans(t *testing.T) {
+	rec := flight.New(flight.Config{})
+	build := func(int) (*element.Graph, error) { return testChainGraph(), nil }
+	const shards = 3
+	outs, _, err := RunBatchesSharded(context.Background(), build, ShardedConfig{
+		Shards: shards,
+		Config: Config{Metrics: true, Flight: rec},
+	}, genBatches(40, 32, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) == 0 {
+		t.Fatal("no output batches")
+	}
+
+	var dispatch int
+	lanes := map[string]map[int]bool{}
+	for _, s := range rec.Spans() {
+		if s.Stage == flight.StageDispatch {
+			dispatch++
+		}
+		if lanes[s.Stage] == nil {
+			lanes[s.Stage] = map[int]bool{}
+		}
+		lanes[s.Stage][s.Lane] = true
+	}
+	if dispatch != 40 {
+		t.Errorf("dispatch spans = %d, want one per injected batch (40)", dispatch)
+	}
+	if got := len(lanes[flight.StageRelease]); got != shards {
+		t.Errorf("release spans on %d lanes, want one per shard (%d)", got, shards)
+	}
+
+	probes := map[string]int{}
+	for _, s := range rec.Samples() {
+		if s.HasQueue {
+			probes[s.Stage]++
+		}
+	}
+	if probes[flight.StageDispatch] != 1 {
+		t.Errorf("dispatch queue probes = %d, want 1", probes[flight.StageDispatch])
+	}
+	if probes[flight.StageShard] != shards {
+		t.Errorf("shard inbox probes = %d, want %d", probes[flight.StageShard], shards)
+	}
+}
+
+// TestShardedDisableFlight: the sharded wrapper owns the lever too.
+func TestShardedDisableFlight(t *testing.T) {
+	rec := flight.New(flight.Config{})
+	build := func(int) (*element.Graph, error) { return testChainGraph(), nil }
+	if _, _, err := RunBatchesSharded(context.Background(), build, ShardedConfig{
+		Shards: 2,
+		Config: Config{Metrics: true, Flight: rec, DisableFlight: true},
+	}, genBatches(10, 16, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec.Spans()); n != 0 {
+		t.Errorf("DisableFlight still recorded %d spans", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nfcompass/internal/element"
+	"nfcompass/internal/flight"
 	"nfcompass/internal/hetsim"
 	"nfcompass/internal/netpkt"
 	"nfcompass/internal/stats"
@@ -39,6 +40,10 @@ type nodeRunner struct {
 	edgeCtr [][]*stats.Counter
 	sampleN int
 	tick    int
+	// fl is this element's flight lane ("nf:<name>", lane = shard index).
+	// Spans and busy ns record on the same TimingSample cadence as the
+	// proc histogram, so flight attribution costs no extra clock reads.
+	fl *flight.LaneRecorder
 
 	// epoch is the placement epoch of the last handled batch; lane is the
 	// offload lane, created on first offload; outstanding counts in-flight
@@ -142,8 +147,14 @@ func (nr *nodeRunner) handle(ctx context.Context, msg stageMsg) bool {
 	}
 	outs := nr.host.Process(nr.el, msg.b)
 	if timed {
-		nr.m.proc.Add(float64(time.Since(t0).Nanoseconds()))
+		d := time.Since(t0).Nanoseconds()
+		nr.m.proc.Add(float64(d))
 		nr.m.procPkts.Add(uint64(msg.live))
+		if nr.fl != nil {
+			end := nr.fl.Now()
+			nr.fl.AddBusy(d)
+			nr.fl.Span(msg.b.ID, msg.live, end-d, end)
+		}
 	}
 	nr.p.trace(TraceExit, nr.id, msg.b)
 	return nr.forward(ctx, msg.b, msg.live, outs)
@@ -203,6 +214,11 @@ func (nr *nodeRunner) deliver(ctx context.Context, it *workItem) bool {
 		nr.m.proc.Add(float64(it.procNs))
 		nr.m.procPkts.Add(uint64(it.live))
 	}
+	if nr.fl != nil {
+		end := nr.fl.Now()
+		nr.fl.AddBusy(it.procNs)
+		nr.fl.Span(it.b.ID, it.live, end-it.procNs, end)
+	}
 	nr.p.trace(TraceExit, nr.id, it.b)
 	return nr.forward(ctx, it.b, it.live, it.outs)
 }
@@ -221,6 +237,11 @@ func (nr *nodeRunner) deliverFused(ctx context.Context, it *workItem) bool {
 		if ms.liveOut < ms.liveIn {
 			nr.m.drops.Add(uint64(ms.liveIn - ms.liveOut))
 		}
+	}
+	if nr.fl != nil {
+		end := nr.fl.Now()
+		nr.fl.AddBusy(ms.procNs)
+		nr.fl.Span(it.b.ID, ms.liveIn, end-ms.procNs, end)
 	}
 	nr.p.trace(TraceExit, nr.id, it.b)
 	if it.executed <= 1 {
@@ -265,6 +286,11 @@ func (nr *nodeRunner) passThrough(ctx context.Context, it *workItem) bool {
 		if it.sampled {
 			nr.m.proc.Add(float64(ms.procNs))
 			nr.m.procPkts.Add(uint64(ms.liveIn))
+			if nr.fl != nil {
+				end := nr.fl.Now()
+				nr.fl.AddBusy(ms.procNs)
+				nr.fl.Span(vb.ID, ms.liveIn, end-ms.procNs, end)
+			}
 		}
 		if !last {
 			// The tail's output accounting happens in forward below.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nfcompass/internal/element"
+	"nfcompass/internal/flight"
 	"nfcompass/internal/hetsim"
 	"nfcompass/internal/netpkt"
 	"nfcompass/internal/stats"
@@ -104,6 +105,11 @@ type ShardedPipeline struct {
 	done   chan struct{}
 	cancel context.CancelFunc
 
+	// flDispatch records a flight span per funnel-dispatched batch (split
+	// decision + shard sends); nil when flight recording is off or batches
+	// arrive via InjectShard only.
+	flDispatch *flight.LaneRecorder
+
 	// mu guards parts and firstID: the dispatcher registers how many
 	// shard-local sub-batches each injected batch ID was split into
 	// *before* sending any of them, so the merger can never observe an
@@ -146,6 +152,15 @@ func NewSharded(build func(shard int) (*element.Graph, error), cfg ShardedConfig
 			sp.outs[i] = make(chan *netpkt.Batch, maxInt(cfg.QueueDepth, 16))
 		}
 	}
+	// The sharded pipeline owns flight wiring: shards get their lanes at
+	// their own shard index (initFlight below), so strip the recorder from
+	// the per-shard config or New would register every shard at lane 0.
+	rec := cfg.Flight
+	if cfg.DisableFlight {
+		rec = nil
+	}
+	inner := cfg.Config
+	inner.Flight = nil
 	var ref *element.Graph
 	for i := range sp.shards {
 		g, err := build(i)
@@ -157,7 +172,7 @@ func NewSharded(build func(shard int) (*element.Graph, error), cfg ShardedConfig
 		} else if err := sameShape(ref, g); err != nil {
 			return nil, fmt.Errorf("dataplane: shard %d graph differs from shard 0: %w", i, err)
 		}
-		p, err := New(g, cfg.Config)
+		p, err := New(g, inner)
 		if err != nil {
 			return nil, fmt.Errorf("dataplane: shard %d: %w", i, err)
 		}
@@ -166,7 +181,16 @@ func NewSharded(build func(shard int) (*element.Graph, error), cfg ShardedConfig
 		// NanosSinceStart timelines would drift apart by the construction
 		// skew.
 		p.start = sp.start
+		if rec != nil {
+			p.initFlight(rec, i)
+		}
 		sp.shards[i] = p
+	}
+	if rec != nil {
+		sp.flDispatch = rec.Lane(flight.StageDispatch, 0)
+		rec.AddQueue(flight.StageDispatch, 0, func() (int, int) {
+			return len(sp.in), cap(sp.in)
+		})
 	}
 	return sp, nil
 }
@@ -282,8 +306,12 @@ func (sp *ShardedPipeline) dispatch(ctx context.Context) {
 	// slices are allocated when a batch actually splits.
 	byShard := make([][]*netpkt.Packet, n)
 	for b := range sp.in {
+		// Flight bookkeeping must read the batch before any shard send:
+		// after sendShard the receiving replica owns it.
+		dStart := sp.flDispatch.Now()
+		id, live := b.ID, b.Live()
 		sp.Stats.InBatches.Add(1)
-		sp.Stats.InPackets.Add(uint64(b.Live()))
+		sp.Stats.InPackets.Add(uint64(live))
 		sp.Stats.InBytes.Add(uint64(b.Bytes()))
 		if sp.lat != nil {
 			sp.lat.record(b.ID, time.Since(sp.start).Nanoseconds())
@@ -297,9 +325,11 @@ func (sp *ShardedPipeline) dispatch(ctx context.Context) {
 
 		if n == 1 {
 			sp.register(b.ID, 1)
+			sendStart := sp.flDispatch.Now()
 			if !sp.sendShard(ctx, 0, b) {
 				return
 			}
+			sp.dispatchSpan(id, live, dStart, sendStart)
 			continue
 		}
 		for i := range byShard {
@@ -322,9 +352,11 @@ func (sp *ShardedPipeline) dispatch(ctx context.Context) {
 				first = 0
 			}
 			sp.register(b.ID, 1)
+			sendStart := sp.flDispatch.Now()
 			if !sp.sendShard(ctx, first, b) {
 				return
 			}
+			sp.dispatchSpan(id, live, dStart, sendStart)
 			continue
 		}
 		nparts := 0
@@ -334,6 +366,7 @@ func (sp *ShardedPipeline) dispatch(ctx context.Context) {
 			}
 		}
 		sp.register(b.ID, nparts)
+		sendStart := sp.flDispatch.Now()
 		for s, pkts := range byShard {
 			if len(pkts) == 0 {
 				continue
@@ -347,7 +380,23 @@ func (sp *ShardedPipeline) dispatch(ctx context.Context) {
 				return
 			}
 		}
+		sp.dispatchSpan(id, live, dStart, sendStart)
 	}
+}
+
+// dispatchSpan books one funnel-dispatched batch with the flight recorder:
+// split work (affinity scan + sub-batch copies) counts as busy, blocked
+// shard-inbox sends as stall — a dispatcher waiting on a slow replica is
+// backpressured, not the bottleneck.
+func (sp *ShardedPipeline) dispatchSpan(id uint64, live int, start, sendStart int64) {
+	fl := sp.flDispatch
+	if fl == nil {
+		return
+	}
+	end := fl.Now()
+	fl.AddBusy(sendStart - start)
+	fl.AddStall(end - sendStart)
+	fl.Span(id, live, start, end)
 }
 
 // register records the expected sub-batch count for an in-flight batch ID

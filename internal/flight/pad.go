@@ -1,0 +1,24 @@
+package flight
+
+import "sync/atomic"
+
+// padInt64 and padUint64 are cache-line padded atomics, mirroring the
+// stats package's Counter/Gauge layout: the value occupies the first 8
+// bytes of its own 64-byte line so adjacent lanes' meters never
+// false-share when different workers hammer them.
+
+type padInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+func (p *padInt64) Add(d int64) { p.v.Add(d) }
+func (p *padInt64) Load() int64 { return p.v.Load() }
+
+type padUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+func (p *padUint64) Add(d uint64) { p.v.Add(d) }
+func (p *padUint64) Load() uint64 { return p.v.Load() }

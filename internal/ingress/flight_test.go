@@ -1,0 +1,181 @@
+package ingress
+
+import (
+	"context"
+	"testing"
+
+	"nfcompass/internal/dataplane"
+	"nfcompass/internal/flight"
+	"nfcompass/internal/netpkt"
+)
+
+// ledgerStages sums a ledger's booked packets for the given stages.
+func ledgerStages(lg *flight.Ledger, stages ...string) uint64 {
+	want := make(map[string]bool, len(stages))
+	for _, s := range stages {
+		want[s] = true
+	}
+	var n uint64
+	for _, e := range lg.Entries() {
+		if want[e.Stage] {
+			n += e.Packets
+		}
+	}
+	return n
+}
+
+// TestPumpFlightCleanRun: a healthy parallel run records spans on every
+// ingress stage, accumulates busy time, and books nothing in the loss
+// ledger — zero drops must mean a zero ledger, or loss attribution would
+// cry wolf.
+func TestPumpFlightCleanRun(t *testing.T) {
+	capt := capture(t, 600, 64, 11)
+	const shards = 2
+	nic := NewNIC(shards)
+	rec := flight.New(flight.Config{})
+	sp, err := dataplane.NewSharded(statelessChainBuild, dataplane.ShardedConfig{
+		Shards:   shards,
+		Config:   dataplane.Config{QueueDepth: 4, Metrics: true, Flight: rec},
+		ShardOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := memSource(t, capt, PcapConfig{Arena: nic.Arena(0), Loops: 2, RekeyPerPass: true})
+	defer src.Close()
+	st, err := Pump(context.Background(), src, sp, nil, PumpConfig{
+		BatchSize: 32,
+		NIC:       nic,
+		RXWorkers: shards,
+		Flight:    rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets == 0 || st.OutPackets == 0 {
+		t.Fatalf("degenerate run: %+v", st)
+	}
+	if total := rec.Ledger().Total(); total != 0 {
+		t.Fatalf("clean run booked %d lost packets: %s", total, rec.Ledger())
+	}
+
+	stages := map[string]bool{}
+	for _, sp := range rec.Spans() {
+		stages[sp.Stage] = true
+	}
+	// StageConntrack is absent by design here: the run sets no FlowTTL, so
+	// no conntrack sweep ever executes.
+	for _, want := range []string{flight.StageRead, flight.StageRX, flight.StageInject,
+		flight.StageDrain, flight.StageRelease} {
+		if !stages[want] {
+			t.Errorf("no spans recorded for stage %q (got %v)", want, stages)
+		}
+	}
+	var busy int64
+	for _, s := range rec.Samples() {
+		if s.Stage == flight.StageRead || s.Stage == flight.StageRX {
+			busy += s.BusyNs
+		}
+	}
+	if busy == 0 {
+		t.Error("read/rx stages accumulated no busy time")
+	}
+}
+
+// TestPumpSingleFlightLedgerReconciles: on the single-reader pump, every
+// packet the source handed out is either forwarded, dropped by the chain,
+// or attributed to a {stage, reason} in the loss ledger — exactly, with
+// pool poisoning armed and a zero arena ledger on top.
+func TestPumpSingleFlightLedgerReconciles(t *testing.T) {
+	netpkt.SetPoolPoison(true)
+	defer netpkt.SetPoolPoison(false)
+
+	capt := capture(t, 400, 64, 97)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	const shards = 4
+	nic := NewNIC(shards)
+	rec := flight.New(flight.Config{})
+	sp, err := dataplane.NewSharded(statelessChainBuild, dataplane.ShardedConfig{
+		Shards: shards,
+		Config: dataplane.Config{QueueDepth: 2, Flight: rec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := memSource(t, capt, PcapConfig{Arena: nic.Arena(0)})
+	defer src.Close()
+	st, err := Pump(ctx, src, sp, nil, PumpConfig{BatchSize: 32, NIC: nic, Flight: rec})
+	if err == nil {
+		t.Fatal("pump on a cancelled context returned nil error")
+	}
+	if st == nil {
+		t.Fatal("no stats returned alongside the abort error")
+	}
+	lg := rec.Ledger()
+	if lg.Total() == 0 {
+		t.Fatal("aborted run booked nothing in the loss ledger")
+	}
+	if got, want := lg.Total(), st.Packets-st.OutPackets-uint64(st.Drops); got != want {
+		t.Fatalf("ledger total %d != packets-in minus packets-out %d (%d - %d - %d): %s",
+			got, want, st.Packets, st.OutPackets, st.Drops, lg)
+	}
+	for q := 0; q < shards; q++ {
+		if n := nic.Arena(q).Outstanding(); n != 0 {
+			t.Fatalf("arena %d: %d packets outstanding after aborted run", q, n)
+		}
+	}
+}
+
+// TestPumpParallelFlightLedgerReconciles: same identity on the parallel
+// plane. PumpStats.Packets is worker-counted, while packets a reader
+// released on abort (read/ctx-canceled) or that died in a ring drain
+// (ring/abandoned) never reach a worker — so the worker-side identity is
+// ledger minus those two stages.
+func TestPumpParallelFlightLedgerReconciles(t *testing.T) {
+	netpkt.SetPoolPoison(true)
+	defer netpkt.SetPoolPoison(false)
+
+	capt := capture(t, 400, 64, 61)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	const shards = 4
+	nic := NewNIC(shards)
+	rec := flight.New(flight.Config{})
+	sp, err := dataplane.NewSharded(statelessChainBuild, dataplane.ShardedConfig{
+		Shards:   shards,
+		Config:   dataplane.Config{QueueDepth: 4, Flight: rec},
+		ShardOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := memSource(t, capt, PcapConfig{Arena: nic.Arena(0), Loops: 4, RekeyPerPass: true})
+	defer src.Close()
+	st, err := Pump(ctx, src, sp, nil, PumpConfig{
+		BatchSize: 32,
+		NIC:       nic,
+		RXWorkers: shards,
+		Flight:    rec,
+	})
+	if err == nil {
+		t.Fatal("pump on a cancelled context returned nil error")
+	}
+	if st == nil {
+		t.Fatal("no stats returned alongside the abort error")
+	}
+	lg := rec.Ledger()
+	preWorker := ledgerStages(lg, flight.StageRead, flight.StageRing)
+	workerBooked := lg.Total() - preWorker
+	if got, want := workerBooked, st.Packets-st.OutPackets-uint64(st.Drops); got != want {
+		t.Fatalf("worker-side ledger %d != packets-in minus packets-out %d (%d - %d - %d; pre-worker %d): %s",
+			got, want, st.Packets, st.OutPackets, st.Drops, preWorker, lg)
+	}
+	for q := 0; q < shards; q++ {
+		if n := nic.Arena(q).Outstanding(); n != 0 {
+			t.Fatalf("arena %d: %d packets outstanding after aborted run", q, n)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nfcompass/internal/dataplane"
+	"nfcompass/internal/flight"
 	"nfcompass/internal/flowtable"
 	"nfcompass/internal/netpkt"
 )
@@ -37,13 +38,14 @@ func (c *replayClock) Now() int64 { return c.v.Load() }
 // false-share with a neighbour's; they are merged into PumpStats exactly
 // once, after the workers drain.
 type rxCounters struct {
-	packets atomic.Uint64
-	bytes   atomic.Uint64
-	batches atomic.Uint64
-	flows   atomic.Uint64
-	expired atomic.Uint64
-	peak    atomic.Int64
-	_       [64]byte
+	packets  atomic.Uint64
+	bytes    atomic.Uint64
+	batches  atomic.Uint64
+	flows    atomic.Uint64
+	expired  atomic.Uint64
+	released atomic.Uint64 // popped+counted packets the worker released (inject refused)
+	peak     atomic.Int64
+	_        [64]byte
 }
 
 // drainCounters is one egress drainer's slab, padded for the same reason.
@@ -63,9 +65,17 @@ type drainCounters struct {
 // shard's channel is closed and reports emitted packets, drops, and the
 // first sink error.
 func ParallelDrain(sp *dataplane.ShardedPipeline, sink Sink) func() (outPackets, drops uint64, err error) {
+	return parallelDrain(sp, sink, nil)
+}
+
+// parallelDrain is ParallelDrain plus flight instrumentation: each shard's
+// drain goroutine owns one drain-stage lane (span + busy meter per sink
+// call) and sink errors are booked in the loss ledger.
+func parallelDrain(sp *dataplane.ShardedPipeline, sink Sink, rec *flight.Recorder) func() (outPackets, drops uint64, err error) {
 	shards := sp.NumShards()
 	ctrs := make([]drainCounters, shards)
 	consume := sinkConsumer(sink)
+	ledger := rec.Ledger()
 	var (
 		wg      sync.WaitGroup
 		errOnce sync.Once
@@ -76,12 +86,21 @@ func ParallelDrain(sp *dataplane.ShardedPipeline, sink Sink) func() (outPackets,
 		go func(q int) {
 			defer wg.Done()
 			c := &ctrs[q]
+			dl := rec.Lane(flight.StageDrain, q)
 			for b := range sp.OutShard(q) {
 				live := uint64(b.Live())
+				id := b.ID
 				c.out.Add(live)
 				c.drops.Add(uint64(b.Len()) - live)
+				t0 := dl.Now()
 				if err := consume(b); err != nil {
 					errOnce.Do(func() { sinkErr = err })
+					ledger.Add(flight.StageDrain, flight.ReasonSinkError, live)
+				}
+				if dl != nil {
+					t1 := dl.Now()
+					dl.AddBusy(t1 - t0)
+					dl.Span(id, int(live), t0, t1)
 				}
 			}
 		}(q)
@@ -115,18 +134,30 @@ func sinkConsumer(sink Sink) func(*netpkt.Batch) error {
 // mergedDrain consumes the pipeline's single merged output — the egress
 // shape for pipelines built without ShardOut, kept so ingress parallelism
 // (-rx-workers) and per-shard egress can be A/B'd independently.
-func mergedDrain(sp *dataplane.ShardedPipeline, sink Sink) func() (uint64, uint64, error) {
+func mergedDrain(sp *dataplane.ShardedPipeline, sink Sink, rec *flight.Recorder) func() (uint64, uint64, error) {
 	done := make(chan struct{})
 	var out, drops uint64
 	var sinkErr error
+	ledger := rec.Ledger()
 	go func() {
 		defer close(done)
+		dl := rec.Lane(flight.StageDrain, 0)
 		for b := range sp.Out() {
 			live := uint64(b.Live())
+			id := b.ID
 			out += live
 			drops += uint64(b.Len()) - live
-			if err := sink.Consume(b); err != nil && sinkErr == nil {
-				sinkErr = err
+			t0 := dl.Now()
+			if err := sink.Consume(b); err != nil {
+				if sinkErr == nil {
+					sinkErr = err
+				}
+				ledger.Add(flight.StageDrain, flight.ReasonSinkError, live)
+			}
+			if dl != nil {
+				t1 := dl.Now()
+				dl.AddBusy(t1 - t0)
+				dl.Span(id, int(live), t0, t1)
 			}
 		}
 	}()
@@ -162,11 +193,13 @@ func releaseAll(pkts []*netpkt.Packet) {
 }
 
 // drainAbandoned releases everything still queued (or arriving) on worker
-// q's rings after an aborted run. Readers observe the same cancellation and
-// close their rings; the bounded wait covers a reader stuck in a blocking
-// Next, which releases its own read batch once it checks ctx and so never
-// pushes after this window.
-func drainAbandoned(rings [][]*spscRing, q int) {
+// q's rings after an aborted run, booking each packet as a ring-stage loss.
+// Readers observe the same cancellation and close their rings; the bounded
+// wait covers a reader stuck in a blocking Next, which releases its own
+// read batch once it checks ctx and so never pushes after this window.
+func drainAbandoned(rings [][]*spscRing, q int, ledger *flight.Ledger) {
+	var lost uint64
+	defer func() { ledger.Add(flight.StageRing, flight.ReasonAbandoned, lost) }()
 	for attempt := 0; attempt < 1024; attempt++ {
 		done := true
 		for r := range rings {
@@ -177,6 +210,7 @@ func drainAbandoned(rings [][]*spscRing, q int) {
 					break
 				}
 				netpkt.PutPacket(p)
+				lost++
 			}
 			if !ring.Drained() {
 				done = false
@@ -240,11 +274,14 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 	start := time.Now()
 	sp.Start(ctx)
 
+	rec := cfg.Flight
+	ledger := rec.Ledger()
+
 	var wait func() (uint64, uint64, error)
 	if sp.PerShardOut() {
-		wait = ParallelDrain(sp, sink)
+		wait = parallelDrain(sp, sink, rec)
 	} else {
-		wait = mergedDrain(sp, sink)
+		wait = mergedDrain(sp, sink, rec)
 	}
 
 	rings := make([][]*spscRing, readers)
@@ -252,6 +289,22 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 		rings[r] = make([]*spscRing, queues)
 		for q := range rings[r] {
 			rings[r][q] = newSPSCRing(ringSize)
+		}
+	}
+	if rec != nil {
+		// One occupancy probe per queue column: the sampler sums the
+		// per-reader rings feeding worker q (atomic cursor reads, safe
+		// from the sampler goroutine).
+		ringCap := rings[0][0].Cap() * readers
+		for q := 0; q < queues; q++ {
+			q := q
+			rec.AddQueue(flight.StageRing, q, func() (int, int) {
+				n := 0
+				for r := range rings {
+					n += rings[r][q].Len()
+				}
+				return n, ringCap
+			})
 		}
 	}
 
@@ -276,9 +329,12 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 				defer runtime.UnlockOSThread()
 			}
 			myRings := rings[r]
+			rl := rec.Lane(flight.StageRead, r)
+			var seq uint64
 			buf := make([]*netpkt.Packet, 0, cfg.BatchSize)
 			var qs []int
 			for {
+				loopStart := rl.Now()
 				buf = buf[:0]
 				var rdErr error
 				for len(buf) < cfg.BatchSize {
@@ -296,20 +352,36 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 				}
 				if ctx.Err() != nil {
 					// Cancelled: whatever was just read never reaches a
-					// ring, so it is ours to release.
+					// ring, so it is ours to release. These packets were
+					// never counted by a worker, so they live only in the
+					// ledger.
+					ledger.Add(flight.StageRead, flight.ReasonCtxCanceled, uint64(len(buf)))
 					releaseAll(buf)
 					fail(ctx.Err())
 					break
 				}
 				qs = cfg.NIC.QueueBatch(buf, qs[:0])
+				readEnd := rl.Now()
+				if rl != nil {
+					// Busy covers read + RSS classify; the ring-push loop
+					// below is backpressure and accrues as stall.
+					rl.AddBusy(readEnd - loopStart)
+				}
 				aborted := false
 				for i, p := range buf {
 					if !ringPush(ctx, myRings[qs[i]], p) {
+						ledger.Add(flight.StageRead, flight.ReasonCtxCanceled, uint64(len(buf)-i))
 						releaseAll(buf[i:])
 						fail(ctx.Err())
 						aborted = true
 						break
 					}
+				}
+				if rl != nil {
+					pushEnd := rl.Now()
+					rl.AddStall(pushEnd - readEnd)
+					rl.Span(seq, len(buf), loopStart, pushEnd)
+					seq++
 				}
 				if aborted {
 					break
@@ -339,27 +411,58 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 			}
 			ws := &workers[q]
 			arena := cfg.NIC.Arena(q)
+			wl := rec.Lane(flight.StageRX, q)
+			il := rec.Lane(flight.StageInject, q)
+			cl := rec.Lane(flight.StageConntrack, q)
 			// Each worker owns a contiguous slice of conntrack stripes, so
 			// the lazy TTL sweep parallelizes without double-visiting.
 			expLo := q * cfg.FlowStripes / queues
 			expHi := (q + 1) * cfg.FlowStripes / queues
 			var cur *netpkt.Batch
+			var batchStart int64 // recorder ns when cur was opened
+			var flAcc int64      // inject+conntrack ns inside the current sweep
 			flushes := 0
 			flush := func() bool {
 				if cur == nil || len(cur.Packets) == 0 {
 					return true
 				}
+				n := len(cur.Packets)
 				cur.ID = nextID.Add(1) - 1
+				id := cur.ID
+				injStart := il.Now()
+				if wl != nil {
+					// The rx span covers building this batch: first pop to
+					// handoff.
+					wl.Span(id, n, batchStart, injStart)
+				}
 				if !sp.InjectShard(ctx, q, cur) {
 					cur.Release()
 					cur = nil
+					// These packets were popped and counted; the ledger
+					// entry keeps Packets == Out + Drops + ledger exact.
+					ledger.Add(flight.StageInject, flight.ReasonInjectRefused, uint64(n))
+					ws.released.Add(uint64(n))
 					return false
 				}
 				cur = nil
+				if il != nil {
+					injEnd := il.Now()
+					// Shard-inbox wait is backpressure, not work.
+					il.AddStall(injEnd - injStart)
+					il.Span(id, n, injStart, injEnd)
+					flAcc += injEnd - injStart
+				}
 				ws.batches.Add(1)
 				flushes++
 				if cfg.FlowTTL > 0 {
+					ct0 := cl.Now()
 					ws.expired.Add(uint64(ft.ExpireTailRange(expLo, expHi, cfg.ExpiryBudget)))
+					if cl != nil {
+						ct1 := cl.Now()
+						cl.AddBusy(ct1 - ct0)
+						cl.Span(id, 0, ct0, ct1)
+						flAcc += ct1 - ct0
+					}
 				}
 				// Sampling the global flow census locks every stripe, so
 				// only worker 0 does it, and only every few batches.
@@ -372,6 +475,11 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 			}
 			idle := 0
 			for {
+				var sweepStart int64
+				if wl != nil {
+					sweepStart = wl.Now()
+					flAcc = 0
+				}
 				got := 0
 				for r := range rings {
 					ring := rings[r][q]
@@ -388,18 +496,26 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 						ws.bytes.Add(uint64(len(p.Data)))
 						if cur == nil {
 							cur = arena.GetBatch(cfg.BatchSize)
+							batchStart = wl.Now()
 						}
 						cur.Packets = append(cur.Packets, p)
 						if len(cur.Packets) >= cfg.BatchSize {
 							if !flush() {
 								fail(ctx.Err())
-								drainAbandoned(rings, q)
+								drainAbandoned(rings, q, ledger)
 								return
 							}
 						}
 					}
 				}
 				if got > 0 {
+					if wl != nil {
+						// Worker busy is the sweep minus time attributed to
+						// the inject and conntrack stages.
+						if d := wl.Now() - sweepStart - flAcc; d > 0 {
+							wl.AddBusy(d)
+						}
+					}
 					idle = 0
 					continue
 				}
@@ -416,7 +532,7 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 				if done || idle >= 8 {
 					if !flush() {
 						fail(ctx.Err())
-						drainAbandoned(rings, q)
+						drainAbandoned(rings, q, ledger)
 						return
 					}
 				}
@@ -441,6 +557,7 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 	}
 	fail(sinkErr)
 
+	var released uint64
 	for i := range workers {
 		w := &workers[i]
 		st.Packets += w.packets.Load()
@@ -448,6 +565,7 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 		st.Batches += w.batches.Load()
 		st.Flows += w.flows.Load()
 		st.ExpiredFlows += w.expired.Load()
+		released += w.released.Load()
 		if p := int(w.peak.Load()); p > st.PeakFlows {
 			st.PeakFlows = p
 		}
@@ -463,6 +581,14 @@ func pumpParallel(ctx context.Context, src Source, sp *dataplane.ShardedPipeline
 	}
 	if sp.MetricsEnabled() {
 		st.P99 = time.Duration(sp.E2E().Percentile(99))
+		st.E2EMeasured = true
+	}
+	// Worker-counted packets that neither left the pipeline nor were
+	// released by a worker abort were stranded inside it by cancellation.
+	// (Reader-released and ring-abandoned packets never reach the worker
+	// counters; their ledger rows attribute loss beyond st.Packets.)
+	if stranded := int64(st.Packets) - int64(out) - int64(drops) - int64(released); stranded > 0 {
+		ledger.Add(flight.StagePipeline, flight.ReasonCanceled, uint64(stranded))
 	}
 	return st, runErr
 }

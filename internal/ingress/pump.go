@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nfcompass/internal/dataplane"
+	"nfcompass/internal/flight"
 	"nfcompass/internal/flowtable"
 	"nfcompass/internal/netpkt"
 )
@@ -51,6 +52,13 @@ type PumpConfig struct {
 	// 512). One ring exists per (reader, queue) pair so every ring keeps
 	// exactly one producer and one consumer.
 	RingSize int
+	// Flight, when non-nil, threads the pipeline flight recorder through
+	// the ingress plane: readers, RX workers, conntrack sweeps, shard
+	// injection, and drains record lifecycle spans and busy/stall meters,
+	// the SPSC rings register depth probes, and every drop/abort path
+	// books its packets in the loss ledger. Nil disables all of it at the
+	// cost of one nil check per site (-no-flight).
+	Flight *flight.Recorder
 }
 
 // PumpStats reports what a replay run did.
@@ -70,13 +78,32 @@ type PumpStats struct {
 	PPS      float64       // Packets / Duration
 
 	// P99 is the p99 dispatch→release latency. It is only populated when
-	// the pipeline was built with dataplane Metrics enabled; otherwise the
-	// latency probe never records and P99 is silently zero — zero here
-	// means "not measured", not "instant".
+	// the pipeline was built with dataplane Metrics enabled; E2EMeasured
+	// distinguishes "not measured" from a genuine (near-)zero tail.
 	P99 time.Duration
+	// E2EMeasured reports whether the latency probe actually recorded —
+	// true iff the pipeline ran with Metrics enabled. When false, P99 is
+	// meaningless and renders as "n/a".
+	E2EMeasured bool
 
 	Readers int // source readers that ran (1 = single-reader pump)
 	Workers int // per-queue RX workers (0 = single-reader pump)
+}
+
+// E2ELabel renders the p99 end-to-end latency for humans: "n/a" when the
+// run had no latency probe, the rounded duration otherwise.
+func (st *PumpStats) E2ELabel() string {
+	if !st.E2EMeasured {
+		return "n/a"
+	}
+	return st.P99.Round(time.Microsecond).String()
+}
+
+// String summarizes the run on one line.
+func (st *PumpStats) String() string {
+	return fmt.Sprintf("pump: %d pkts %d batches %.0f pps %d flows out=%d drops=%d p99=%s (%d readers, %d workers)",
+		st.Packets, st.Batches, st.PPS, st.Flows, st.OutPackets, st.Drops,
+		st.E2ELabel(), st.Readers, st.Workers)
 }
 
 // Pump replays a source through a sharded pipeline until the source is
@@ -126,6 +153,16 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 	start := time.Now()
 	sp.Start(ctx)
 
+	// Flight lanes (all nil-safe when cfg.Flight is nil): the single
+	// reader owns lane 0 of the read/inject/conntrack stages; the drain
+	// goroutine owns lane 0 of the drain stage.
+	rec := cfg.Flight
+	readLane := rec.Lane(flight.StageRead, 0)
+	injLane := rec.Lane(flight.StageInject, 0)
+	ctLane := rec.Lane(flight.StageConntrack, 0)
+	drainLane := rec.Lane(flight.StageDrain, 0)
+	ledger := rec.Ledger()
+
 	// Drain concurrently with injection; counts are taken before the sink
 	// consumes (it may release the batch).
 	var sinkErr error
@@ -134,19 +171,31 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 		defer close(drained)
 		for b := range sp.Out() {
 			live := uint64(b.Live())
+			id, total := b.ID, uint64(b.Len())
 			st.OutPackets += live
-			st.Drops += uint64(b.Len()) - live
-			if err := sink.Consume(b); err != nil && sinkErr == nil {
-				sinkErr = err
+			st.Drops += total - live
+			t0 := drainLane.Now()
+			if err := sink.Consume(b); err != nil {
+				if sinkErr == nil {
+					sinkErr = err
+				}
+				ledger.Add(flight.StageDrain, flight.ReasonSinkError, live)
+			}
+			if drainLane != nil {
+				t1 := drainLane.Now()
+				drainLane.AddBusy(t1 - t0)
+				drainLane.Span(id, int(live), t0, t1)
 			}
 		}
 	}()
 
 	var (
-		pkts    = make([]*netpkt.Packet, 0, cfg.BatchSize)
-		byQueue [][]*netpkt.Packet
-		nextID  uint64
-		runErr  error
+		pkts      = make([]*netpkt.Packet, 0, cfg.BatchSize)
+		byQueue   [][]*netpkt.Packet
+		nextID    uint64
+		runErr    error
+		released  uint64 // packets counted in st.Packets but released by the pump
+		readStart = readLane.Now()
 	)
 	if cfg.NIC != nil {
 		byQueue = make([][]*netpkt.Packet, cfg.NIC.Queues())
@@ -156,6 +205,14 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 		if len(pkts) == 0 {
 			return true
 		}
+		n := len(pkts)
+		flushStart := readLane.Now()
+		if readLane != nil {
+			// The read span covers accumulating this batch from the
+			// source (including any source pacing) plus RSS classify.
+			readLane.AddBusy(flushStart - readStart)
+			readLane.Span(nextID, n, readStart, flushStart)
+		}
 		if ctx.Err() != nil {
 			// Don't race the send against a done context: with buffered
 			// shard queues the send can win even though every worker has
@@ -164,11 +221,14 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 			for _, p := range pkts {
 				netpkt.PutPacket(p)
 			}
+			ledger.Add(flight.StageInject, flight.ReasonCtxCanceled, uint64(n))
+			released += uint64(n)
 			pkts = pkts[:0]
 			return false
 		}
 		if cfg.NIC == nil {
 			b := netpkt.NewBatch(nextID, append(make([]*netpkt.Packet, 0, len(pkts)), pkts...))
+			id := nextID
 			nextID++
 			select {
 			case sp.In() <- b:
@@ -176,10 +236,18 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 				// The batch never entered the pipeline; it is still ours
 				// to release or the packets leak out of their arenas.
 				b.Release()
+				ledger.Add(flight.StageInject, flight.ReasonCtxCanceled, uint64(n))
+				released += uint64(n)
 				pkts = pkts[:0]
 				return false
 			}
 			st.Batches++
+			if injLane != nil {
+				injEnd := injLane.Now()
+				// Funnel wait is backpressure, not productive work.
+				injLane.AddStall(injEnd - flushStart)
+				injLane.Span(id, n, flushStart, injEnd)
+			}
 		} else {
 			for q := range byQueue {
 				byQueue[q] = byQueue[q][:0]
@@ -188,6 +256,7 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 				q := cfg.NIC.Queue(p)
 				byQueue[q] = append(byQueue[q], p)
 			}
+			firstID := nextID
 			for q, qp := range byQueue {
 				if len(qp) == 0 {
 					continue
@@ -200,25 +269,41 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 					// Injection refused (ctx cancelled): this sub-batch and
 					// every later queue's packets are still ours — release
 					// them so the arenas balance.
+					lost := uint64(len(sb.Packets))
 					sb.Release()
 					for _, rest := range byQueue[q+1:] {
+						lost += uint64(len(rest))
 						for _, p := range rest {
 							netpkt.PutPacket(p)
 						}
 					}
+					ledger.Add(flight.StageInject, flight.ReasonInjectRefused, lost)
+					released += lost
 					pkts = pkts[:0]
 					return false
 				}
 				st.Batches++
 			}
+			if injLane != nil {
+				injEnd := injLane.Now()
+				injLane.AddStall(injEnd - flushStart)
+				injLane.Span(firstID, n, flushStart, injEnd)
+			}
 		}
 		pkts = pkts[:0]
 		if cfg.FlowTTL > 0 {
+			ct0 := ctLane.Now()
 			st.ExpiredFlows += uint64(ft.ExpireTail(cfg.ExpiryBudget))
+			if ctLane != nil {
+				ct1 := ctLane.Now()
+				ctLane.AddBusy(ct1 - ct0)
+				ctLane.Span(nextID, 0, ct0, ct1)
+			}
 		}
 		if n := ft.Len(); n > st.PeakFlows {
 			st.PeakFlows = n
 		}
+		readStart = readLane.Now()
 		return true
 	}
 
@@ -258,6 +343,8 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 	} else {
 		// A source error leaves read-but-uninjected packets pending;
 		// release them rather than stranding them outside their arenas.
+		ledger.Add(flight.StageRead, flight.ReasonSourceError, uint64(len(pkts)))
+		released += uint64(len(pkts))
 		for _, p := range pkts {
 			netpkt.PutPacket(p)
 		}
@@ -279,6 +366,15 @@ func Pump(ctx context.Context, src Source, sp *dataplane.ShardedPipeline, sink S
 	}
 	if sp.MetricsEnabled() {
 		st.P99 = time.Duration(sp.E2E().Percentile(99))
+		st.E2EMeasured = true
+	}
+	// Anything read and injected but neither emitted nor counted as an
+	// in-pipeline drop was stranded by cancellation inside the pipeline —
+	// book it so the ledger reconciles exactly:
+	//   Packets == OutPackets + Drops + ledger.Total()  (sink errors aside,
+	//   which attribute packets that were already counted as emitted).
+	if stranded := int64(st.Packets) - int64(st.OutPackets) - int64(st.Drops) - int64(released); stranded > 0 {
+		ledger.Add(flight.StagePipeline, flight.ReasonCanceled, uint64(stranded))
 	}
 	st.Readers = 1
 	return st, runErr

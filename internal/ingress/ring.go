@@ -69,8 +69,13 @@ func (r *spscRing) Pop() (*netpkt.Packet, bool) {
 }
 
 // Len reports how many packets are resident (approximate under concurrency,
-// exact from either endpoint's own goroutine).
+// exact from either endpoint's own goroutine). Derived from the two atomic
+// cursors, so the flight sampler reads occupancy from any goroutine
+// without perturbing the producer or consumer.
 func (r *spscRing) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Cap reports the rounded-up ring capacity.
+func (r *spscRing) Cap() int { return len(r.buf) }
 
 // Close marks the producer side finished. Resident packets remain poppable.
 func (r *spscRing) Close() { r.closed.Store(true) }

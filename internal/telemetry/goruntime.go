@@ -1,0 +1,142 @@
+package telemetry
+
+// Go runtime health for /metrics, sourced from runtime/metrics. The
+// refresher goroutine reads the samples at snapshot cadence into a reused
+// []metrics.Sample slice and publishes a small value struct through an
+// atomic pointer, so scrapes stay allocation-free and never call into the
+// runtime themselves — the same caching discipline the pipeline snapshot
+// uses. These families answer the "is it the dataplane or is it the
+// runtime" question a bottleneck report raises: a flat pipeline with
+// climbing GC pause or scheduler latency tails is a runtime problem, not a
+// stage problem.
+
+import (
+	"io"
+	"runtime/metrics"
+
+	"nfcompass/internal/stats"
+)
+
+// runtime/metrics sample names, in the fixed order goSampler reads them.
+const (
+	goMetGoroutines = "/sched/goroutines:goroutines"
+	goMetHeap       = "/memory/classes/heap/objects:bytes"
+	goMetGCCycles   = "/gc/cycles/total:gc-cycles"
+	goMetGCPause    = "/gc/pauses:seconds"
+	goMetSchedLat   = "/sched/latencies:seconds"
+)
+
+// goHealth is one published reading — plain values, safe to share via
+// atomic.Pointer.
+type goHealth struct {
+	Goroutines  uint64
+	HeapBytes   uint64
+	GCCycles    uint64
+	GCPauseP99  float64 // seconds
+	SchedLatP99 float64 // seconds
+}
+
+// goSampler owns the reusable sample slice. Not safe for concurrent use:
+// only the refresher goroutine (and New, before Start) calls read.
+type goSampler struct {
+	samples []metrics.Sample
+}
+
+func newGoSampler() *goSampler {
+	names := []string{goMetGoroutines, goMetHeap, goMetGCCycles, goMetGCPause, goMetSchedLat}
+	g := &goSampler{samples: make([]metrics.Sample, len(names))}
+	for i, n := range names {
+		g.samples[i].Name = n
+	}
+	return g
+}
+
+// read refreshes the samples and derives one goHealth. Histogram-valued
+// samples reuse their bucket slices across reads (runtime/metrics
+// guarantees this), so steady-state reads allocate nothing.
+func (g *goSampler) read() goHealth {
+	metrics.Read(g.samples)
+	var h goHealth
+	for i := range g.samples {
+		s := &g.samples[i]
+		switch s.Name {
+		case goMetGoroutines:
+			if s.Value.Kind() == metrics.KindUint64 {
+				h.Goroutines = s.Value.Uint64()
+			}
+		case goMetHeap:
+			if s.Value.Kind() == metrics.KindUint64 {
+				h.HeapBytes = s.Value.Uint64()
+			}
+		case goMetGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				h.GCCycles = s.Value.Uint64()
+			}
+		case goMetGCPause:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h.GCPauseP99 = histQuantile(s.Value.Float64Histogram(), 0.99)
+			}
+		case goMetSchedLat:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h.SchedLatP99 = histQuantile(s.Value.Float64Histogram(), 0.99)
+			}
+		}
+	}
+	return h
+}
+
+// histQuantile walks a runtime/metrics histogram's cumulative counts to the
+// bucket containing quantile q and returns that bucket's upper bound (the
+// lower bound when the upper is +Inf, so the estimate stays finite). The
+// runtime's buckets are fine-grained enough that the bound error is noise
+// next to the tail it reports.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if c > 0 && seen > target {
+			// Buckets[i] / Buckets[i+1] bound bucket i's samples.
+			hi := h.Buckets[i+1]
+			if hi > 1e308 || hi != hi { // +Inf or NaN
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// writePrometheus renders the cached reading. Families are prefixed
+// nfcompass_go_ to keep clear of the standard client_golang go_ namespace
+// should the two ever be scraped together.
+func (h goHealth) writePrometheus(w io.Writer) {
+	stats.PromHeader(w, "nfcompass_go_goroutines", "gauge",
+		"Live goroutine count at the last snapshot refresh.")
+	stats.PromGauge(w, "nfcompass_go_goroutines", nil, float64(h.Goroutines))
+	stats.PromHeader(w, "nfcompass_go_heap_bytes", "gauge",
+		"Bytes of live heap objects at the last snapshot refresh.")
+	stats.PromGauge(w, "nfcompass_go_heap_bytes", nil, float64(h.HeapBytes))
+	stats.PromHeader(w, "nfcompass_go_gc_cycles_total", "counter",
+		"Completed GC cycles since process start.")
+	stats.PromCounter(w, "nfcompass_go_gc_cycles_total", nil, h.GCCycles)
+	stats.PromHeader(w, "nfcompass_go_gc_pause_p99_seconds", "gauge",
+		"p99 stop-the-world GC pause since process start.")
+	stats.PromGauge(w, "nfcompass_go_gc_pause_p99_seconds", nil, h.GCPauseP99)
+	stats.PromHeader(w, "nfcompass_go_sched_latency_p99_seconds", "gauge",
+		"p99 goroutine scheduling latency since process start.")
+	stats.PromGauge(w, "nfcompass_go_sched_latency_p99_seconds", nil, h.SchedLatP99)
+}

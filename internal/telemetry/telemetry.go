@@ -14,6 +14,7 @@ import (
 	"nfcompass/internal/control"
 	"nfcompass/internal/core"
 	"nfcompass/internal/dataplane"
+	"nfcompass/internal/flight"
 )
 
 // Snapshotter is the pipeline surface the server scrapes; both
@@ -44,6 +45,15 @@ type Config struct {
 	// enables the /chains endpoints (submit, status, rollout watch,
 	// rollback).
 	Control *control.Manager
+	// Flight, when non-nil, is the pipeline flight recorder: its span
+	// ring serves /spans (NDJSON) and /trace.chrome (Chrome trace_event
+	// JSON, loadable in Perfetto/chrome://tracing), and its stage meters,
+	// queue probes, and loss ledger join the /metrics exposition.
+	Flight *flight.Recorder
+	// Sampler, when non-nil, is the flight recorder's occupancy/utilization
+	// sampler: it serves the /bottleneck report and adds utilization and
+	// queue-fill families to /metrics.
+	Sampler *flight.Sampler
 }
 
 // Server is an embeddable admin HTTP server for a running pipeline:
@@ -52,6 +62,9 @@ type Config struct {
 //	/snapshot      full Report as JSON (fresh snapshot per request)
 //	/healthz       liveness + backpressure signal as JSON
 //	/trace         retained TraceEvents as NDJSON (?n= limits to the tail)
+//	/trace.chrome  flight spans as Chrome trace_event JSON (Perfetto)
+//	/spans         flight spans as NDJSON (?n= limits to the tail)
+//	/bottleneck    the sampler's bottleneck report (JSON; ?format=text)
 //	/decisions     the adaptor's decision journal as JSON
 //	/debug/pprof/  the standard Go profiling endpoints
 type Server struct {
@@ -64,6 +77,11 @@ type Server struct {
 	// it every Interval while the pipeline runs.
 	cur  atomic.Pointer[dataplane.Report]
 	stop chan struct{}
+
+	// goSamp reads runtime/metrics at refresh cadence; goCur is the cached
+	// reading /metrics renders, so scrapes never touch the runtime.
+	goSamp *goSampler
+	goCur  atomic.Pointer[goHealth]
 }
 
 // New validates the configuration and builds a server (not yet listening).
@@ -74,12 +92,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux(), stop: make(chan struct{})}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), stop: make(chan struct{}), goSamp: newGoSampler()}
 	s.cur.Store(cfg.Source.Snapshot())
+	gh := s.goSamp.read()
+	s.goCur.Store(&gh)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/trace.chrome", s.handleChromeTrace)
+	s.mux.HandleFunc("/spans", s.handleSpans)
+	s.mux.HandleFunc("/bottleneck", s.handleBottleneck)
 	s.mux.HandleFunc("/decisions", s.handleDecisions)
 	if cfg.Control != nil {
 		s.mux.HandleFunc("GET /chains", s.handleChainsList)
@@ -134,8 +157,12 @@ func (s *Server) refresh() {
 		select {
 		case <-t.C:
 			s.cur.Store(s.cfg.Source.Snapshot())
+			gh := s.goSamp.read()
+			s.goCur.Store(&gh)
 		case <-s.cfg.Done:
 			s.cur.Store(s.cfg.Source.Snapshot())
+			gh := s.goSamp.read()
+			s.goCur.Store(&gh)
 			return
 		case <-s.stop:
 			return
@@ -146,6 +173,13 @@ func (s *Server) refresh() {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.cur.Load().WritePrometheus(w)
+	s.goCur.Load().writePrometheus(w)
+	if s.cfg.Flight != nil {
+		s.cfg.Flight.WritePrometheus(w)
+	}
+	if s.cfg.Sampler != nil {
+		s.cfg.Sampler.WritePrometheus(w)
+	}
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
@@ -235,6 +269,49 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			Epoch: e.Epoch, Placement: e.Placement, Segment: seg,
 		})
 	}
+}
+
+// handleChromeTrace exports the flight recorder's span rings as Chrome
+// trace_event JSON — load the body in Perfetto or chrome://tracing to see
+// every stage of the staged ingress as a track, one batch per slice.
+func (s *Server) handleChromeTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.cfg.Flight == nil {
+		fmt.Fprint(w, `{"traceEvents":[]}`)
+		return
+	}
+	s.cfg.Flight.WriteChromeTrace(w)
+}
+
+// handleSpans streams the flight recorder's retained spans as NDJSON,
+// newest last; ?n= limits output to the tail.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if s.cfg.Flight == nil {
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		if q, err := strconv.Atoi(v); err == nil && q > 0 {
+			n = q
+		}
+	}
+	s.cfg.Flight.WriteSpans(w, n)
+}
+
+// handleBottleneck serves the sampler's current bottleneck report — JSON by
+// default, the aligned human-readable table with ?format=text.
+func (s *Server) handleBottleneck(w http.ResponseWriter, r *http.Request) {
+	rep := &flight.BottleneckReport{}
+	if s.cfg.Sampler != nil {
+		rep = s.cfg.Sampler.Report()
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, rep.String())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // decisionsBody is the /decisions payload: total ever recorded plus the
